@@ -1,0 +1,20 @@
+"""Bench A1 — conditioning-method ablation.
+
+Exact (cluster BFS) vs router-based conditioning must agree trial-by-
+trial for complete routers.
+"""
+
+
+def test_a1_conditioning(run_experiment):
+    table = run_experiment("A1")
+    assert len(table) > 0
+    assert all(table.column("verdicts_agree"))
+
+    # identical conditioned trials → identical mean queries per graph
+    for graph in sorted({r["graph"] for r in table.rows}):
+        rows = table.filtered(graph=graph)
+        means = {r["mode"]: r["mean_queries"] for r in rows}
+        if "exact" in means and "router" in means:
+            a, b = means["exact"], means["router"]
+            if a == a and b == b:  # both non-NaN
+                assert abs(a - b) < 1e-9

@@ -1,0 +1,26 @@
+"""Bench A2 — waypoint schedule ablation (Theorems 3(ii)/4 design).
+
+Radius caps trade success for probes; the unbounded schedule is
+complete and much cheaper than exhaustive BFS.
+"""
+
+
+def test_a2_waypoint(run_experiment):
+    table = run_experiment("A2")
+    assert len(table) > 0
+
+    for graph in sorted({r["graph"] for r in table.rows}):
+        rows = table.filtered(graph=graph)
+        by_name = {r["router"]: r for r in rows}
+        unbounded = by_name.get("waypoint")
+        bfs = by_name.get("local-bfs")
+        if unbounded and bfs:
+            assert unbounded["success_rate"] == 1.0
+            assert unbounded["mean_queries"] < bfs["mean_queries"]
+        # success rate should not decrease as the radius cap grows
+        capped = sorted(
+            (r for r in rows if "r<=" in r["router"]),
+            key=lambda r: int(r["router"].split("<=")[1].rstrip(")")),
+        )
+        rates = [r["success_rate"] for r in capped]
+        assert all(a <= b + 0.25 for a, b in zip(rates, rates[1:])), rates

@@ -1,0 +1,18 @@
+"""Bench A3 — G(n, p) growth-policy ablation (Theorems 10-11 design).
+
+Bidirectional growth is the win; oracle access alone is not.
+"""
+
+
+def test_a3_gnp_policies(run_experiment):
+    table = run_experiment("A3")
+    assert len(table) > 0
+
+    for n in sorted({r["n"] for r in table.rows}):
+        rows = {r["router"]: r for r in table.filtered(n=n)}
+        bidi = rows.get("gnp-bidirectional")
+        uni = rows.get("gnp-unidirectional-oracle")
+        if bidi:
+            assert bidi["vs_local"] < 0.8, (n, bidi)
+        if uni:
+            assert 0.5 < uni["vs_local"] < 2.0, (n, uni)

@@ -1,0 +1,22 @@
+"""Bench A4 — mesh vs torus boundary ablation (Theorem 4 methodology).
+
+The O(n) routing law must not depend on boundary conditions.
+"""
+
+
+def test_a4_boundary(run_experiment):
+    table = run_experiment("A4")
+    assert len(table) > 0
+
+    for p in sorted({r["p"] for r in table.rows}):
+        for n in sorted({r["n"] for r in table.rows}):
+            rows = {
+                r["boundary"]: r for r in table.filtered(p=p, n=n)
+            }
+            mesh, torus = rows.get("mesh"), rows.get("torus")
+            if mesh and torus:
+                ratio = (
+                    mesh["queries_per_distance"]
+                    / torus["queries_per_distance"]
+                )
+                assert 1 / 4 < ratio < 4, (p, n, ratio)

@@ -1,0 +1,30 @@
+"""Bench E1 — hypercube routing phase transition (Theorem 3).
+
+Regenerates the alpha-sweep series: median probes (as a fraction of all
+edges) of complete local routers at p = n^-alpha.  Paper shape: cheap
+for alpha < 1/2, near-exhaustive for alpha > 1/2.
+"""
+
+import math
+import os
+
+# the separation factor grows with n; stay lenient at tiny scale
+_FACTOR = 1.5 if os.environ.get("REPRO_BENCH_SCALE", "small") == "tiny" else 3
+
+
+def test_e01_hypercube_phase(run_experiment):
+    table = run_experiment("E1")
+    assert len(table) > 0
+
+    # The transition: the waypoint router's probed fraction for the
+    # largest alpha must dominate the smallest alpha by a clear factor.
+    rows = [
+        r
+        for r in table.filtered(router="waypoint")
+        if r["connected_trials"] and not math.isnan(r["frac_edges_probed"])
+    ]
+    assert rows, "no connected measurements"
+    by_alpha = sorted(rows, key=lambda r: r["alpha"])
+    cheap = by_alpha[0]["frac_edges_probed"]
+    expensive = by_alpha[-1]["frac_edges_probed"]
+    assert expensive > _FACTOR * cheap, (cheap, expensive)

@@ -1,0 +1,21 @@
+"""Bench E2 — hypercube local lower bound (Theorem 3(i) / Lemma 5).
+
+Regenerates the certificate table: empirical eta vs the path-counting
+bound, and router CDF points against the Lemma 5 curve.
+"""
+
+import math
+
+
+def test_e02_hypercube_lower(run_experiment):
+    table = run_experiment("E2")
+    assert len(table) > 0
+
+    for row in table.rows:
+        # The paper's series bound must dominate the Monte-Carlo eta
+        # (up to sampling noise on the empirical side).
+        if row["eta_theory"] < 1.0:
+            assert row["eta_empirical"] <= row["eta_theory"] + 0.1, row
+        # Lemma 5: observed CDF below the bound.
+        if not math.isnan(row["observed_cdf_at_t"]):
+            assert row["observed_cdf_at_t"] <= row["bound_at_t"] + 0.35, row

@@ -1,0 +1,26 @@
+"""Bench E3 — hypercube poly(n) upper bound (Theorem 3(ii)).
+
+Regenerates the success-rate and query-scaling series of the paper's
+waypoint algorithm for alpha < 1/2.
+"""
+
+
+def test_e03_hypercube_upper(run_experiment):
+    table = run_experiment("E3")
+    assert len(table) > 0
+
+    rates = table.column("success_rate")
+    assert sum(rates) / len(rates) > 0.7, "success should be the norm"
+
+    # poly(n), not exponential: the largest-n rows must not blow past a
+    # generous polynomial multiple of the smallest-n rows per alpha.
+    for alpha in sorted({r["alpha"] for r in table.rows}):
+        rows = sorted(table.filtered(alpha=alpha), key=lambda r: r["n"])
+        measured = [
+            r for r in rows if r["median_queries"] == r["median_queries"]
+        ]
+        if len(measured) >= 2:
+            first, last = measured[0], measured[-1]
+            n_ratio = last["n"] / first["n"]
+            q_ratio = last["median_queries"] / max(1, first["median_queries"])
+            assert q_ratio < n_ratio**6, (alpha, q_ratio, n_ratio)

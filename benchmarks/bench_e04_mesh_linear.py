@@ -1,0 +1,24 @@
+"""Bench E4 — mesh O(n) routing above p_c (Theorem 4).
+
+Regenerates the queries-vs-distance series per (d, p): linear growth,
+constant queries-per-distance.
+"""
+
+
+def test_e04_mesh_linear(run_experiment):
+    table = run_experiment("E4")
+    assert len(table) > 0
+
+    # Linear law: per (d, p), queries/distance must not drift upward by
+    # more than a small factor across the distance sweep.
+    keys = {(r["d"], r["p"]) for r in table.rows}
+    checked = 0
+    for d, p in keys:
+        rows = sorted(table.filtered(d=d, p=p), key=lambda r: r["n"])
+        if len(rows) < 2:
+            continue
+        first = rows[0]["queries_per_distance"]
+        last = rows[-1]["queries_per_distance"]
+        assert last < 4 * first + 5, (d, p, first, last)
+        checked += 1
+    assert checked > 0

@@ -1,0 +1,34 @@
+"""Bench E5/E5b — mesh behaviour across p_c + chemical distance (Lemma 8).
+
+Regenerates the p-sweep across the 2-D threshold and the D(x,y)/d(x,y)
+statistics in the supercritical phase.
+"""
+
+import math
+
+
+def test_e05_mesh_pc(run_experiment):
+    table = run_experiment("E5")
+    routing = table.filtered(section="routing")
+    chemical = table.filtered(section="chemical")
+    assert routing and chemical
+
+    # Connectivity collapses below p_c and saturates above.
+    lo = [r for r in routing if r["p"] < 0.45]
+    hi = [r for r in routing if r["p"] > 0.6]
+    if lo and hi:
+        assert max(r["pr_connected"] for r in lo) <= min(
+            r["pr_connected"] for r in hi
+        ) + 0.2
+
+    # Chemical distance: ratio >= 1 always, decreasing in p.
+    by_p = sorted(chemical, key=lambda r: r["p"])
+    for row in by_p:
+        assert row["ratio_mean"] >= 1.0 - 1e-9
+    if len(by_p) >= 2:
+        assert by_p[-1]["ratio_mean"] <= by_p[0]["ratio_mean"] + 0.05
+
+    # Exponential tail: positive fitted rate wherever the fit exists.
+    rates = [r["tail_rate"] for r in chemical if not math.isnan(r["tail_rate"])]
+    for rate in rates:
+        assert rate > 0

@@ -1,0 +1,25 @@
+"""Bench E6 — double-tree connectivity threshold at 1/sqrt(2) (Lemma 6).
+
+Regenerates the (depth, p) connection-probability table against the
+exact Galton-Watson recursion.
+"""
+
+
+def test_e06_tt_threshold(run_experiment):
+    table = run_experiment("E6")
+    assert len(table) > 0
+
+    # Exactness: empirical matches the recursion within MC noise.
+    trials = table.rows[0]["trials"]
+    tolerance = 5 / trials**0.5
+    for row in table.rows:
+        assert row["abs_error"] < tolerance + 0.02, row
+
+    # Threshold shape: at the deepest tree, subcritical p loses to
+    # supercritical p decisively.
+    deepest = max(table.column("depth"))
+    rows = table.filtered(depth=deepest)
+    sub = [r["pr_exact"] for r in rows if r["p"] <= 0.65]
+    sup = [r["pr_exact"] for r in rows if r["p"] >= 0.75]
+    if sub and sup:
+        assert max(sub) < min(sup)

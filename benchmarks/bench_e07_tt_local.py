@@ -1,0 +1,23 @@
+"""Bench E7 — double-tree local routing is exponential (Theorem 7).
+
+Regenerates the mean-queries-vs-depth series; cost must track p^-depth.
+"""
+
+
+def test_e07_tt_local(run_experiment):
+    table = run_experiment("E7")
+    assert len(table) > 0
+
+    for p in sorted({r["p"] for r in table.rows}):
+        for router in sorted({r["router"] for r in table.rows}):
+            rows = sorted(
+                table.filtered(p=p, router=router), key=lambda r: r["depth"]
+            )
+            if len(rows) < 2:
+                continue
+            first, last = rows[0], rows[-1]
+            # super-linear growth in depth (exponential at scale; keep
+            # the bench assertion robust at small depth)
+            depth_ratio = last["depth"] / first["depth"]
+            q_ratio = last["mean_queries"] / first["mean_queries"]
+            assert q_ratio > depth_ratio, (p, router, q_ratio)

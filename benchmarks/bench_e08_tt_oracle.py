@@ -1,0 +1,21 @@
+"""Bench E8 — double-tree oracle routing is linear (Theorem 9).
+
+Regenerates the oracle-queries-vs-depth series; queries/depth must stay
+bounded while E7's local costs explode.
+"""
+
+
+def test_e08_tt_oracle(run_experiment):
+    table = run_experiment("E8")
+    assert len(table) > 0
+
+    for p in sorted({r["p"] for r in table.rows}):
+        rows = sorted(table.filtered(p=p), key=lambda r: r["depth"])
+        if len(rows) < 2:
+            continue
+        per_depth = [r["queries_per_depth"] for r in rows]
+        # linear law: the per-depth constant must not drift by > 3x
+        assert max(per_depth) < 3 * min(per_depth) + 3, (p, per_depth)
+
+    # success probability stays bounded away from zero at any depth
+    assert min(table.column("mirror_success_rate")) > 0.1

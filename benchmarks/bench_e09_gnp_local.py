@@ -1,0 +1,21 @@
+"""Bench E9 — G(n, c/n) local routing is quadratic (Theorem 10).
+
+Regenerates the queries-vs-n series; queries/n^2 roughly flat.
+"""
+
+
+def test_e09_gnp_local(run_experiment):
+    table = run_experiment("E9")
+    assert len(table) > 0
+
+    for c in sorted({r["c"] for r in table.rows}):
+        rows = sorted(table.filtered(c=c), key=lambda r: r["n"])
+        if len(rows) < 2:
+            continue
+        ratios = [r["queries_over_n2"] for r in rows]
+        # Θ(n²): normalised cost within a constant band
+        assert max(ratios) < 6 * min(ratios), (c, ratios)
+        # and genuinely super-linear growth
+        n_ratio = rows[-1]["n"] / rows[0]["n"]
+        q_ratio = rows[-1]["mean_queries"] / rows[0]["mean_queries"]
+        assert q_ratio > n_ratio, (c, q_ratio, n_ratio)

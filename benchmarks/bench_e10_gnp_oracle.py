@@ -1,0 +1,37 @@
+"""Bench E10 — G(n, c/n) oracle routing is Theta(n^1.5) (Theorem 11).
+
+Regenerates the queries-vs-n series for the bidirectional router;
+queries/n^1.5 roughly flat and the local/oracle speedup near sqrt(n).
+"""
+
+import math
+import os
+
+# the sqrt(n) speedup is weak at tiny n; stay lenient there
+_MIN_SPEEDUP = (
+    1.2 if os.environ.get("REPRO_BENCH_SCALE", "small") == "tiny" else 2
+)
+
+
+def test_e10_gnp_oracle(run_experiment):
+    table = run_experiment("E10")
+    assert len(table) > 0
+
+    rows = sorted(table.rows, key=lambda r: r["n"])
+    ratios = [r["queries_over_n15"] for r in rows]
+    assert max(ratios) < 6 * min(ratios), ratios
+
+    # sub-quadratic: doubling n must not quadruple queries
+    if len(rows) >= 2:
+        n_ratio = rows[-1]["n"] / rows[0]["n"]
+        q_ratio = rows[-1]["mean_queries"] / rows[0]["mean_queries"]
+        assert q_ratio < n_ratio**2
+
+    # where measured, the speedup over local routing is substantial
+    speedups = [
+        r["speedup_vs_local"]
+        for r in rows
+        if not math.isnan(r["speedup_vs_local"])
+    ]
+    for s in speedups:
+        assert s > _MIN_SPEEDUP, speedups

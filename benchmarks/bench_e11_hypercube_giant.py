@@ -1,0 +1,26 @@
+"""Bench E11 — hypercube structural thresholds (context for Theorem 3).
+
+Regenerates the giant-fraction and connectivity curves that bracket the
+routing transition.
+"""
+
+
+def test_e11_hypercube_giant(run_experiment):
+    table = run_experiment("E11")
+    assert len(table) > 0
+
+    for n in sorted({r["n"] for r in table.rows}):
+        giant = sorted(
+            table.filtered(section="giant_fraction", n=n),
+            key=lambda r: r["p"],
+        )
+        # the giant fraction grows through p ~ 1/n
+        assert giant[-1]["value"] > giant[0]["value"]
+        # well above the threshold the giant holds most of the cube
+        assert giant[-1]["value"] > 0.5
+
+        conn = sorted(
+            table.filtered(section="pr_connected", n=n), key=lambda r: r["p"]
+        )
+        # connectivity is (weakly) increasing across p = 1/2
+        assert conn[-1]["value"] >= conn[0]["value"]

@@ -1,0 +1,27 @@
+"""Bench E12 — the Section 6 open question, charted.
+
+Regenerates the per-family percolation vs routing sweep for de Bruijn,
+shuffle-exchange and butterfly graphs.
+"""
+
+import math
+
+
+def test_e12_open_question(run_experiment):
+    table = run_experiment("E12")
+    families = sorted({r["family"] for r in table.rows})
+    assert len(families) == 4
+
+    for family in families:
+        rows = sorted(table.filtered(family=family), key=lambda r: r["p"])
+        # structural transition visible: giant grows with p
+        assert rows[-1]["giant_fraction"] >= rows[0]["giant_fraction"]
+        # routing measured somewhere in the supercritical phase
+        measured = [
+            r
+            for r in rows
+            if not math.isnan(r["median_frac_probed"])
+        ]
+        assert measured, family
+        for r in measured:
+            assert 0 < r["median_frac_probed"] <= 1

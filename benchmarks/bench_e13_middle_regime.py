@@ -1,0 +1,28 @@
+"""Bench E13 — the hypercube middle regime (extension).
+
+Giant component with poly(n) diameter, yet near-exhaustive routing for
+alpha beyond 1/2: structure without searchability.
+"""
+
+import math
+
+
+def test_e13_middle_regime(run_experiment):
+    table = run_experiment("E13")
+    rows = sorted(table.rows, key=lambda r: r["alpha"])
+    assert rows
+
+    # structure exists across the sweep
+    assert all(r["giant_fraction"] > 0.1 for r in rows)
+    # diameter lower bound stays polynomial (quadratic is generous)
+    for r in rows:
+        if not math.isnan(r["giant_diameter_lb"]):
+            assert r["giant_diameter_lb"] <= r["n"] ** 2
+
+    # routing cost grows across the transition
+    measured = [r for r in rows if not math.isnan(r["median_frac_probed"])]
+    if len(measured) >= 2:
+        assert (
+            measured[-1]["median_frac_probed"]
+            >= measured[0]["median_frac_probed"]
+        )

@@ -1,0 +1,35 @@
+"""Bench E14 — routing transition under node faults (extension).
+
+Site faults at survival p act like edge faults at ~p^2: the routing
+blow-up *onsets* at smaller alpha.  Past the onset the comparison in
+"fraction of all edges probed" inverts — under heavy site faults the
+surviving subgraph itself shrinks, so the probed share of the *full*
+edge set drops even though routing is no easier — hence the assertions
+below target the onset region (alpha <= 0.5) and connectivity decay.
+"""
+
+import math
+
+
+def test_e14_site_faults(run_experiment):
+    table = run_experiment("E14")
+    assert len(table) > 0
+
+    for alpha in sorted({r["alpha"] for r in table.rows}):
+        rows = {r["fault_model"]: r for r in table.filtered(alpha=alpha)}
+        edge, site = rows.get("edge"), rows.get("site")
+        if not (edge and site):
+            continue
+        # site faults never connect more often than edge faults
+        assert site["connected_trials"] <= edge["connected_trials"] + 1
+        both = (
+            not math.isnan(site["median_frac_probed"])
+            and not math.isnan(edge["median_frac_probed"])
+        )
+        if both and alpha <= 0.5:
+            # onset region: routing under site faults costs at least
+            # about as much as under edge faults at the same nominal p
+            assert (
+                site["median_frac_probed"]
+                >= 0.5 * edge["median_frac_probed"]
+            ), (alpha, site, edge)

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Certify a routing lower bound with Lemma 5 — no algorithm needed.
+
+The paper's Lemma 5 turns a cut ``(S, S̄)`` with the target inside ``S``
+into a bound every local router must obey:
+
+    Pr[X < t]  <=  ( t·η + Pr[(u~v) ∈ S] ) / Pr[u ~ v]
+
+where η bounds the probability that a cut edge is a "doorway" to the
+target through S.  This script estimates the certificate for the double
+binary tree (S = the second tree, η = p^depth exactly), then overlays
+the bound curve with the *measured* query CDF of two real local
+routers: the bound must dominate, whatever local algorithm runs.
+
+Run:  python examples/lower_bound_certificate.py
+"""
+
+from repro import (
+    DirectedDFSRouter,
+    DoubleBinaryTree,
+    LocalBFSRouter,
+    estimate_certificate,
+    measure_complexity,
+)
+from repro.analysis.theory import double_tree_connection_probability
+from repro.util.tables import render_table
+
+DEPTH = 10
+P = 0.78
+SEED = 13
+THRESHOLDS = [4, 16, 64, 256, 1024]
+
+
+def main() -> None:
+    tree = DoubleBinaryTree(DEPTH)
+    x, y = tree.roots()
+    second_tree = {v for v in tree.vertices() if v[0] in ("b", "leaf")}
+
+    cert = estimate_certificate(
+        tree, P, s=second_tree, source=x, target=y, trials=1500, seed=SEED
+    )
+    print(f"double tree depth={DEPTH}, p={P}  (threshold 1/sqrt(2)=0.707)")
+    print(f"cut size              : {cert.cut_size} leaf edges")
+    print(f"eta (empirical max)   : {cert.eta_max:.5f}")
+    print(f"eta (exact, p^depth)  : {P ** DEPTH:.5f}")
+    print(f"Pr[u ~ v] (empirical) : {cert.pr_uv:.3f}")
+    print(
+        "Pr[u ~ v] (exact GW)  : "
+        f"{double_tree_connection_probability(P, DEPTH):.3f}"
+    )
+    print()
+
+    measurements = {}
+    for router in (DirectedDFSRouter(), LocalBFSRouter()):
+        measurements[router.name] = measure_complexity(
+            tree, p=P, router=router, pair=(x, y), trials=80, seed=SEED
+        )
+
+    rows = []
+    for t in THRESHOLDS:
+        row = {
+            "t (probes)": t,
+            "Lemma 5 bound on Pr[X<t]": round(cert.bound(t), 3),
+        }
+        for name, m in measurements.items():
+            row[f"observed {name}"] = round(m.empirical_cdf([t])[0], 3)
+        rows.append(row)
+    print(render_table(rows, title="bound curve vs measured CDFs"))
+    print()
+    print("Every 'observed' column must stay below the bound column —")
+    print("for these routers and for any other local algorithm: that is")
+    print("what makes Lemma 5 a certificate rather than a benchmark.")
+    print("Because eta = p^depth, the bound curve flattens exponentially")
+    print("as the tree deepens: local routing cost ~ p^-n (Theorem 7).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Grid networks route around faults at linear cost — down to p_c.
+
+A sensor grid / network-on-chip scenario: a 40×40 mesh whose links fail
+independently.  Theorem 4 of the paper says that for *any* survival
+probability above the percolation threshold (p_c = 1/2 for the square
+lattice), a local algorithm finds a path between nodes at distance n
+with expected O(n) probes — the constant degrades as p ↓ p_c, but the
+linear law survives.
+
+The script sweeps p and the distance, prints probes-per-hop, and shows
+the collapse below p_c.
+
+Run:  python examples/mesh_fault_tolerance.py
+"""
+
+from repro import Mesh, MeshWaypointRouter, TablePercolation, connected
+from repro.percolation.thresholds import mesh_critical_probability
+from repro.util.rng import derive_seed
+from repro.util.tables import render_table
+
+SIDE = 40
+TRIALS = 10
+SEED = 11
+
+
+def main() -> None:
+    grid = Mesh(2, SIDE)
+    pc = mesh_critical_probability(2)
+    print(f"2-D mesh {SIDE}x{SIDE}; bond percolation threshold p_c = {pc}")
+    print()
+
+    rows = []
+    for p in (0.45, 0.55, 0.6, 0.7, 0.85):
+        for distance in (10, 20, 40):
+            pair = grid.centered_pair_at_distance(distance)
+            total_queries = 0
+            hits = 0
+            conn = 0
+            for t in range(TRIALS):
+                faults = TablePercolation(
+                    grid, p, seed=derive_seed(SEED, p, distance, t)
+                )
+                if not connected(faults, *pair):
+                    continue
+                conn += 1
+                result = MeshWaypointRouter().route(faults, *pair)
+                if result.success:
+                    hits += 1
+                    total_queries += result.queries
+            rows.append(
+                {
+                    "p": p,
+                    "distance": distance,
+                    "connected": f"{conn}/{TRIALS}",
+                    "probes/hop": (
+                        f"{total_queries / hits / distance:.1f}" if hits else "-"
+                    ),
+                }
+            )
+
+    print(render_table(rows))
+    print()
+    print("Above p_c the probes-per-hop column is a constant that does not")
+    print("grow with distance (Theorem 4's O(n) law); it shrinks toward 1")
+    print("as p -> 1.  At p = 0.45 < p_c the endpoints are almost never in")
+    print("the same component — routing is not merely expensive, it is")
+    print("impossible.")
+
+
+if __name__ == "__main__":
+    main()

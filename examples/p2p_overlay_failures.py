@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""P2P overlay under churn: when does exact-match routing stop working?
+
+The paper's introduction motivates its hypercube result with structured
+P2P overlays (Chord, Pastry, skip graphs all embed hypercube-like
+geometry): if the overlay suffers many link failures, *greedy/routing-
+based exact search* fails long before the network falls apart, while
+flooding-style search (here: exhaustive BFS) still finds data.
+
+This script simulates a 2^12-node hypercubic overlay across failure
+rates and reports, per failure level:
+
+* how often the source and the key-owner are even connected,
+* how often greedy routing (strictly distance-decreasing, the DHT
+  primitive) succeeds,
+* the probe cost of waypoint routing vs flooding when they succeed.
+
+Run:  python examples/p2p_overlay_failures.py
+"""
+
+from repro import (
+    GreedyRouter,
+    HashPercolation,
+    Hypercube,
+    LocalBFSRouter,
+    WaypointRouter,
+    connected,
+)
+from repro.util.rng import derive_seed
+from repro.util.tables import render_table
+
+N = 12
+TRIALS = 12
+SEED = 7
+
+
+def main() -> None:
+    overlay = Hypercube(N)
+    source, key_owner = overlay.canonical_pair()
+    routers = {
+        "greedy (DHT hop)": GreedyRouter(),
+        "waypoint repair": WaypointRouter(),
+        "flooding (BFS)": LocalBFSRouter(),
+    }
+
+    rows = []
+    for survive_prob in (0.9, 0.7, 0.5, 0.35, 0.25):
+        stats = {name: [0, 0] for name in routers}  # successes, probes
+        conn = 0
+        for t in range(TRIALS):
+            faults = HashPercolation(
+                overlay, p=survive_prob, seed=derive_seed(SEED, survive_prob, t)
+            )
+            if not connected(faults, source, key_owner):
+                continue
+            conn += 1
+            for name, router in routers.items():
+                result = router.route(faults, source, key_owner)
+                if result.success:
+                    stats[name][0] += 1
+                    stats[name][1] += result.queries
+        row = {
+            "link up-prob": survive_prob,
+            "connected": f"{conn}/{TRIALS}",
+        }
+        for name, (ok, probes) in stats.items():
+            rate = f"{ok}/{conn}" if conn else "-"
+            cost = f"{probes / ok:.0f}" if ok else "-"
+            row[f"{name} ok"] = rate
+            row[f"{name} probes"] = cost
+        rows.append(row)
+
+    print(render_table(rows, title=f"Hypercubic overlay, n={N} "
+                                   f"({overlay.num_vertices()} peers)"))
+    print()
+    print("Reading: as link survival falls toward n^-1/2 =",
+          f"{N ** -0.5:.2f}, the probe cost of routing-based exact search",
+          "(waypoint repair) explodes toward the flooding cost — the")
+    print("paper's Theorem 3 phase transition: the overlay is still")
+    print("connected, paths are still short, but *finding* them costs as")
+    print("much as querying the whole network.  Greedy stays cheap when")
+    print("it succeeds, but it is incomplete: below the transition its")
+    print("success is luck, not guarantee.")
+
+
+if __name__ == "__main__":
+    main()

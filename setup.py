@@ -1,0 +1,10 @@
+"""Setup shim.
+
+Metadata lives in pyproject.toml.  This file exists so that legacy
+editable installs (``pip install -e . --no-use-pep517``) work in offline
+environments that lack the ``wheel`` package required by PEP 660.
+"""
+
+from setuptools import setup
+
+setup()

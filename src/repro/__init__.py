@@ -1,0 +1,140 @@
+"""repro — reproduction of *Routing Complexity of Faulty Networks*.
+
+(Angel, Benjamini, Ofek, Wieder; PODC 2005 / arXiv math/0407185.)
+
+The paper asks: when each link of a network fails independently with
+probability ``1 - p``, how many edges must a routing algorithm *probe*
+to find a surviving path between two vertices — and how does that
+compare to merely knowing a path exists?  This package implements the
+full apparatus: topologies, percolation, the probe/query model with
+enforced locality, every algorithm in the paper, the closed-form
+bounds, and an experiment harness that regenerates each theorem's
+claim as a table.
+
+Quick start::
+
+    from repro import (
+        Hypercube, HashPercolation, LocalBFSRouter, measure_complexity,
+    )
+
+    cube = Hypercube(10)
+    p = 10 ** -0.3                       # p = n^-alpha, alpha < 1/2
+    m = measure_complexity(cube, p=p, router=LocalBFSRouter(),
+                           trials=20, seed=0)
+    print(m.query_summary())
+
+Layers (bottom-up): :mod:`repro.util`, :mod:`repro.graphs`,
+:mod:`repro.percolation`, :mod:`repro.core`, :mod:`repro.routers`,
+:mod:`repro.analysis`, :mod:`repro.experiments`.
+"""
+
+from repro.core import (
+    ComplexityMeasurement,
+    FailureReason,
+    InvalidPathError,
+    Lemma5Certificate,
+    LocalityViolation,
+    LocalProbeOracle,
+    ProbeBudgetExceeded,
+    ProbeOracle,
+    Router,
+    RoutingResult,
+    ball,
+    estimate_certificate,
+    measure_complexity,
+)
+from repro.graphs import (
+    Butterfly,
+    CompleteGraph,
+    DeBruijn,
+    DoubleBinaryTree,
+    ExplicitGraph,
+    Graph,
+    Hypercube,
+    Mesh,
+    RandomMatchingCycle,
+    ShuffleExchange,
+    Torus,
+)
+from repro.percolation import (
+    GnpPercolation,
+    HashPercolation,
+    PercolationModel,
+    SitePercolation,
+    TablePercolation,
+    chemical_distance,
+    connected,
+    giant_fraction,
+    hypercube_routing_threshold,
+    mesh_critical_probability,
+    pair_threshold,
+)
+from repro.routers import (
+    BestFirstRouter,
+    BidirectionalBFSRouter,
+    DirectedDFSRouter,
+    GnpBidirectionalRouter,
+    GnpLocalRouter,
+    GnpUnidirectionalRouter,
+    GreedyRouter,
+    HypercubeWaypointRouter,
+    LocalBFSRouter,
+    MeshWaypointRouter,
+    MirrorPairOracleRouter,
+    WaypointRouter,
+    local_router_suite,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BestFirstRouter",
+    "BidirectionalBFSRouter",
+    "Butterfly",
+    "CompleteGraph",
+    "ComplexityMeasurement",
+    "DeBruijn",
+    "DirectedDFSRouter",
+    "DoubleBinaryTree",
+    "ExplicitGraph",
+    "FailureReason",
+    "GnpBidirectionalRouter",
+    "GnpLocalRouter",
+    "GnpPercolation",
+    "GnpUnidirectionalRouter",
+    "Graph",
+    "GreedyRouter",
+    "HashPercolation",
+    "Hypercube",
+    "HypercubeWaypointRouter",
+    "InvalidPathError",
+    "Lemma5Certificate",
+    "LocalBFSRouter",
+    "LocalProbeOracle",
+    "LocalityViolation",
+    "Mesh",
+    "MeshWaypointRouter",
+    "MirrorPairOracleRouter",
+    "PercolationModel",
+    "ProbeBudgetExceeded",
+    "ProbeOracle",
+    "RandomMatchingCycle",
+    "Router",
+    "RoutingResult",
+    "ShuffleExchange",
+    "SitePercolation",
+    "TablePercolation",
+    "Torus",
+    "WaypointRouter",
+    "__version__",
+    "ball",
+    "chemical_distance",
+    "connected",
+    "estimate_certificate",
+    "giant_fraction",
+    "hypercube_routing_threshold",
+    "local_router_suite",
+    "measure_complexity",
+    "mesh_critical_probability",
+    "pair_threshold",
+]

@@ -1,0 +1,55 @@
+"""Theory-side computations and empirical curve analysis.
+
+* :mod:`repro.analysis.theory` — the paper's closed-form bounds
+  (Theorems 3, 7, 10, 11; Lemma 6) evaluated numerically, log-space
+  where values overflow.
+* :mod:`repro.analysis.path_counting` — Theorem 3(i)'s combinatorial
+  counting argument: exact bounded-walk counts vs the ``n^k l^{2k} l!``
+  bound.
+* :mod:`repro.analysis.phase_transition` — extracting thresholds,
+  scaling exponents and tail rates from measured curves.
+"""
+
+from repro.analysis.path_counting import (
+    ak_bound,
+    open_walk_probability_bound,
+    walk_count,
+)
+from repro.analysis.phase_transition import (
+    crossing_point,
+    exponential_tail_rate,
+    scaling_exponent,
+    sharpest_rise,
+)
+from repro.analysis.theory import (
+    double_tree_connection_probability,
+    gnp_giant_fraction,
+    gnp_local_lower_bound,
+    gnp_oracle_lower_bound,
+    hypercube_eta_series_ratio,
+    log10_ak_bound,
+    log10_hypercube_eta,
+    log10_hypercube_lower_bound_queries,
+    theorem3ii_success_probability,
+    theorem7_bound,
+)
+
+__all__ = [
+    "ak_bound",
+    "crossing_point",
+    "double_tree_connection_probability",
+    "exponential_tail_rate",
+    "gnp_giant_fraction",
+    "gnp_local_lower_bound",
+    "gnp_oracle_lower_bound",
+    "hypercube_eta_series_ratio",
+    "log10_ak_bound",
+    "log10_hypercube_eta",
+    "log10_hypercube_lower_bound_queries",
+    "open_walk_probability_bound",
+    "scaling_exponent",
+    "sharpest_rise",
+    "theorem3ii_success_probability",
+    "theorem7_bound",
+    "walk_count",
+]

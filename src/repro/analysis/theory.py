@@ -1,0 +1,175 @@
+"""Closed-form quantities from the paper, evaluated numerically.
+
+Everything a benchmark wants to overlay next to a measurement:
+Theorem 3's bounds (in log-space — the quantities are astronomically
+large), Lemma 6's exact connection probability, Theorem 7's local
+lower bound, Theorem 10/11's ``G(n,p)`` bounds, and the Erdős–Rényi
+giant-component fraction.
+
+Conventions: ``log10_*`` functions return base-10 logarithms (the
+linear values overflow floats for interesting parameters); plain
+functions return probabilities/counts directly.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.percolation.galton_watson import level_reach_probability
+
+__all__ = [
+    "double_tree_connection_probability",
+    "gnp_giant_fraction",
+    "gnp_local_lower_bound",
+    "gnp_oracle_lower_bound",
+    "hypercube_eta_series_ratio",
+    "log10_ak_bound",
+    "log10_hypercube_eta",
+    "log10_hypercube_lower_bound_queries",
+    "theorem3ii_success_probability",
+    "theorem7_bound",
+]
+
+
+def log10_ak_bound(n: int, l: int, k: int) -> float:
+    """Return ``log10`` of the path-count bound ``|A_k| ≤ n^k l^{2k} l!``.
+
+    ``A_k`` is the set of (possibly non-simple) length-``l+2k`` paths
+    from the target to a fixed boundary vertex that stay inside the
+    radius-``l`` ball (Theorem 3(i)'s counting argument).
+    """
+    if n < 1 or l < 1 or k < 0:
+        raise ValueError("need n >= 1, l >= 1, k >= 0")
+    return (
+        k * math.log10(n)
+        + 2 * k * math.log10(l)
+        + math.log10(math.factorial(l)) / 1.0
+    )
+
+
+def hypercube_eta_series_ratio(n: int, alpha: float, beta: float) -> float:
+    """Return the geometric ratio ``n l² p² = n^{1 + 2β - 2α}``.
+
+    The η bound sums ``(lp)^l Σ_k (n l² p²)^k``; the sum converges iff
+    this ratio is < 1, i.e. ``β < α - 1/2`` — exactly the theorem's
+    constraint.
+    """
+    _check_hypercube_params(n, alpha, beta)
+    return n ** (1 + 2 * beta - 2 * alpha)
+
+
+def log10_hypercube_eta(n: int, alpha: float, beta: float) -> float:
+    """Return ``log10 η`` for the hypercube cut bound.
+
+    ``η = (lp)^l / (1 - n l² p²)`` with ``l = n^β`` and ``p = n^{-α}``,
+    i.e. ``≈ n^{(β-α) n^β}``.  The theorem uses ``2 n^{(β-α)n^β}``; we
+    evaluate the sharper form and expose the factor separately.
+    Requires the series to converge (``β < α - 1/2``).
+    """
+    ratio = hypercube_eta_series_ratio(n, alpha, beta)
+    if ratio >= 1:
+        raise ValueError(
+            f"η series diverges: n^(1+2β-2α) = {ratio:.3g} >= 1 "
+            "(need β < α - 1/2)"
+        )
+    l = n**beta
+    lead = l * (beta - alpha) * math.log(n)  # ln((lp)^l)
+    correction = -math.log(1 - ratio)
+    return (lead + correction) / math.log(10)
+
+
+def log10_hypercube_lower_bound_queries(
+    n: int, alpha: float, beta: float
+) -> float:
+    """Return ``log10`` of Theorem 3(i)'s query threshold.
+
+    The proof concludes ``Pr[X < n^{(α-β)n^β} / n] → 0``: any local
+    router must make at least ``≈ n^{(α-β) n^β - 1}`` probes w.h.p.
+    """
+    _check_hypercube_params(n, alpha, beta)
+    l = n**beta
+    return (l * (alpha - beta) - 1) * math.log10(n)
+
+
+def theorem3ii_success_probability(n: int, alpha: float, c: float = 1.0) -> float:
+    """Return ``1 - exp(-c n^{1-α})`` — Theorem 3(ii)'s success rate."""
+    if not 0 <= alpha < 0.5:
+        raise ValueError(f"theorem 3(ii) needs alpha in [0, 1/2), got {alpha}")
+    if n < 1 or c <= 0:
+        raise ValueError("need n >= 1 and c > 0")
+    return 1.0 - math.exp(-c * n ** (1 - alpha))
+
+
+def double_tree_connection_probability(p: float, depth: int) -> float:
+    """Return the exact ``Pr[x ~ y]`` in ``TT_depth`` with retention ``p``.
+
+    Lemma 6's argument made quantitative: pairing each first-tree edge
+    with its mirror reduces root-to-root connectivity to root-to-level-
+    ``depth`` survival of a binary GW tree with edge probability ``p²``.
+    Strictly positive limit iff ``p > 1/√2``.
+    """
+    if not 0.0 <= p <= 1.0:
+        raise ValueError(f"probability must be in [0,1], got {p!r}")
+    return level_reach_probability(2, p * p, depth)
+
+
+def theorem7_bound(p: float, depth: int, t: float) -> float:
+    """Return Theorem 7's bound on ``Pr[X < t]`` for local routers on TT.
+
+    Lemma 5 with ``S`` = second tree: ``η = p^depth`` (the unique branch
+    from the second root to a boundary leaf), ``Pr[(u~v) ∈ S] = 0``
+    (``u ∉ S``), and ``Pr[u ~ v] = c(p)`` the exact connection
+    probability.  Bound: ``t · p^depth / c(p)``, capped at 1.
+    """
+    c = double_tree_connection_probability(p, depth)
+    if c == 0:
+        raise ValueError("roots are a.s. disconnected; bound undefined")
+    return min(1.0, t * p**depth / c)
+
+
+def gnp_giant_fraction(c: float, tol: float = 1e-12) -> float:
+    """Return the giant-component fraction ``θ(c)`` of ``G(n, c/n)``.
+
+    Largest solution of ``θ = 1 - e^{-cθ}``; zero for ``c <= 1``.
+    """
+    if c < 0:
+        raise ValueError(f"mean degree must be non-negative, got {c}")
+    if c <= 1:
+        return 0.0
+    theta = 1.0
+    while True:
+        nxt = 1.0 - math.exp(-c * theta)
+        if abs(nxt - theta) < tol:
+            return nxt
+        theta = nxt
+
+
+def gnp_local_lower_bound(n: int, c: float, k: float, a: float) -> float:
+    """Return Theorem 10's bound on ``Pr[X < k]`` for local routers.
+
+    From the proof: ``Pr[X < k] < (√k/n + c²√k/n)/a = (1+c²)√k/(a·n)``,
+    where ``a ≤ Pr[u ~ v]``.  Capped at 1.  Tends to 0 for
+    ``k = o(n²)`` — hence the Ω(n²) expected complexity.
+    """
+    if n < 2 or c <= 0 or k < 0 or not 0 < a <= 1:
+        raise ValueError("need n >= 2, c > 0, k >= 0, a in (0, 1]")
+    return min(1.0, (1 + c * c) * math.sqrt(k) / (a * n))
+
+
+def gnp_oracle_lower_bound(n: int, c: float, a: float) -> float:
+    """Return Theorem 11's bound on ``Pr[comp < a·n^{3/2}]``.
+
+    ``≤ (3c/2)·a^{2/3} + 2/n`` — any oracle algorithm, not just ours.
+    """
+    if n < 2 or c <= 0 or a < 0:
+        raise ValueError("need n >= 2, c > 0, a >= 0")
+    return min(1.0, 1.5 * c * a ** (2 / 3) + 2 / n)
+
+
+def _check_hypercube_params(n: int, alpha: float, beta: float) -> None:
+    if n < 2:
+        raise ValueError(f"need n >= 2, got {n}")
+    if not 0 < alpha < 1:
+        raise ValueError(f"alpha must be in (0, 1), got {alpha}")
+    if not 0 < beta < 1:
+        raise ValueError(f"beta must be in (0, 1), got {beta}")

@@ -1,0 +1,63 @@
+"""The paper's core contribution: the routing-complexity framework.
+
+* :mod:`repro.core.probe` — the probe/query model.  Routers learn edge
+  states only through a counting oracle; the *local* oracle enforces
+  Definition 1 (probes must touch the established open cluster of the
+  source) as a hard runtime invariant.
+* :mod:`repro.core.router` — the algorithm interface; running a router
+  validates any returned path against the percolation (open edges,
+  correct endpoints), so measurements cannot be silently wrong.
+* :mod:`repro.core.result` — results, failure taxonomy, loop erasure.
+* :mod:`repro.core.complexity` — Definition 2 made executable:
+  rejection-sampled estimation of query distributions conditioned on
+  ``{u ~ v}``.
+* :mod:`repro.core.lower_bounds` — Lemma 5 as an empirical certificate:
+  estimate ``η``, ``Pr[(u~v) ∈ S]`` and ``Pr[u ~ v]`` for a concrete cut
+  and obtain a CDF bound every local router must respect.
+"""
+
+from repro.core.complexity import (
+    ComplexityMeasurement,
+    TrialRecord,
+    measure_complexity,
+)
+from repro.core.lower_bounds import (
+    Lemma5Certificate,
+    ball,
+    cut_edges,
+    estimate_certificate,
+)
+from repro.core.probe import (
+    LocalityViolation,
+    LocalProbeOracle,
+    ProbeBudgetExceeded,
+    ProbeOracle,
+)
+from repro.core.result import (
+    FailureReason,
+    InvalidPathError,
+    RoutingResult,
+    erase_loops,
+    validate_path,
+)
+from repro.core.router import Router
+
+__all__ = [
+    "ComplexityMeasurement",
+    "FailureReason",
+    "InvalidPathError",
+    "Lemma5Certificate",
+    "LocalProbeOracle",
+    "LocalityViolation",
+    "ProbeBudgetExceeded",
+    "ProbeOracle",
+    "Router",
+    "RoutingResult",
+    "TrialRecord",
+    "ball",
+    "cut_edges",
+    "erase_loops",
+    "estimate_certificate",
+    "measure_complexity",
+    "validate_path",
+]

@@ -1,0 +1,121 @@
+"""Routing results and path validation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.graphs.base import Graph, Vertex
+from repro.percolation.models import PercolationModel
+
+__all__ = [
+    "FailureReason",
+    "InvalidPathError",
+    "RoutingResult",
+    "erase_loops",
+    "validate_path",
+]
+
+
+class FailureReason(str, Enum):
+    """Why a routing attempt returned no path."""
+
+    #: The probe budget was exhausted mid-search.
+    BUDGET = "budget"
+    #: The router exhausted its search space without reaching the target
+    #: (for a complete router this certifies the target is unreachable).
+    EXHAUSTED = "exhausted"
+    #: The router hit an internal limit (e.g. segment radius) and quit.
+    GAVE_UP = "gave_up"
+
+
+class InvalidPathError(Exception):
+    """A router returned a path that is not an open source→target path."""
+
+
+@dataclass(frozen=True)
+class RoutingResult:
+    """Outcome of one routing attempt.
+
+    ``queries`` is the paper's complexity: distinct edges probed.  When
+    ``success`` is False, ``failure`` says why; ``censored`` marks budget
+    exhaustion (the true complexity is then *at least* ``queries``).
+    """
+
+    source: Vertex
+    target: Vertex
+    success: bool
+    queries: int
+    path: list[Vertex] | None = None
+    failure: FailureReason | None = None
+    router: str = ""
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def censored(self) -> bool:
+        """Whether the attempt was cut short by the probe budget."""
+        return self.failure == FailureReason.BUDGET
+
+    @property
+    def path_length(self) -> int | None:
+        """Number of edges of the found path (None on failure)."""
+        return None if self.path is None else len(self.path) - 1
+
+    def __post_init__(self) -> None:
+        if self.success and self.path is None:
+            raise ValueError("successful result must carry a path")
+        if not self.success and self.path is not None:
+            raise ValueError("failed result must not carry a path")
+        if not self.success and self.failure is None:
+            raise ValueError("failed result must carry a failure reason")
+
+
+def validate_path(
+    graph: Graph,
+    model: PercolationModel,
+    path: list[Vertex],
+    source: Vertex,
+    target: Vertex,
+) -> None:
+    """Raise :class:`InvalidPathError` unless ``path`` is a valid route.
+
+    Valid means: starts at ``source``, ends at ``target``, every hop is a
+    graph edge, every hop is open in ``model``, and no vertex repeats.
+    """
+    if not path:
+        raise InvalidPathError("empty path")
+    if path[0] != source:
+        raise InvalidPathError(f"path starts at {path[0]!r}, not {source!r}")
+    if path[-1] != target:
+        raise InvalidPathError(f"path ends at {path[-1]!r}, not {target!r}")
+    if len(set(path)) != len(path):
+        raise InvalidPathError("path revisits a vertex")
+    for a, b in zip(path, path[1:]):
+        if not graph.is_edge(a, b):
+            raise InvalidPathError(f"{a!r}-{b!r} is not an edge")
+        if not model.is_open(a, b):
+            raise InvalidPathError(f"edge {a!r}-{b!r} is closed")
+
+
+def erase_loops(path: list[Vertex]) -> list[Vertex]:
+    """Return ``path`` with cycles removed (loop erasure).
+
+    Routers that stitch segments together (waypoint routing) may revisit
+    a vertex; erasing the loop between the two visits keeps only edges
+    already present in the path, so an open walk stays an open path.
+
+    >>> erase_loops([0, 1, 2, 1, 3])
+    [0, 1, 3]
+    """
+    position: dict[Vertex, int] = {}
+    out: list[Vertex] = []
+    for v in path:
+        if v in position:
+            del_from = position[v] + 1
+            for dropped in out[del_from:]:
+                del position[dropped]
+            del out[del_from:]
+        else:
+            position[v] = len(out)
+            out.append(v)
+    return out

@@ -1,0 +1,190 @@
+"""Command-line interface: ``python -m repro`` / ``repro``.
+
+Commands::
+
+    repro list                         # index of experiments
+    repro info E7                      # claim, reference
+    repro run E7 --scale small         # run one experiment, print table
+    repro run all --scale tiny --csv results/
+
+Experiments are deterministic given ``--seed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from collections.abc import Sequence
+
+from repro.experiments.registry import all_experiments, get_experiment
+from repro.experiments.spec import SCALES
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction harness for 'Routing Complexity of Faulty "
+            "Networks' (Angel, Benjamini, Ofek, Wieder; PODC 2005)."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list all experiments")
+
+    sub.add_parser(
+        "thresholds", help="print the critical-probability registry"
+    )
+
+    info = sub.add_parser("info", help="describe one experiment")
+    info.add_argument("experiment", help="experiment id, e.g. E7")
+
+    run = sub.add_parser("run", help="run experiment(s) and print tables")
+    run.add_argument("experiment", help="experiment id, or 'all'")
+    run.add_argument(
+        "--scale", choices=SCALES, default="small", help="problem size preset"
+    )
+    run.add_argument("--seed", type=int, default=0, help="master seed")
+    run.add_argument(
+        "--csv", metavar="DIR", default=None, help="also write CSVs here"
+    )
+
+    report = sub.add_parser(
+        "report", help="run everything and write a markdown report"
+    )
+    report.add_argument(
+        "--scale", choices=SCALES, default="small", help="problem size preset"
+    )
+    report.add_argument("--seed", type=int, default=0, help="master seed")
+    report.add_argument(
+        "--out", metavar="FILE", default="EXPERIMENTS.generated.md"
+    )
+    return parser
+
+
+def _cmd_list() -> int:
+    for spec in all_experiments():
+        print(f"{spec.experiment_id:<4} {spec.title}  [{spec.reference}]")
+    return 0
+
+
+def _cmd_thresholds() -> int:
+    from repro.percolation import thresholds as th
+    from repro.util.tables import render_table
+
+    rows = [
+        {
+            "model": f"mesh Z^{d} (bond)",
+            "threshold": th.mesh_critical_probability(d),
+            "meaning": "giant component",
+        }
+        for d in sorted(th.MESH_PC)
+    ]
+    for n in (10, 16, 24):
+        rows.append(
+            {
+                "model": f"hypercube n={n}",
+                "threshold": th.hypercube_giant_threshold(n),
+                "meaning": "giant component (AKS, 1/n)",
+            }
+        )
+        rows.append(
+            {
+                "model": f"hypercube n={n}",
+                "threshold": th.hypercube_routing_threshold(n),
+                "meaning": "routing transition (this paper, n^-1/2)",
+            }
+        )
+    rows.append(
+        {
+            "model": "hypercube (any n)",
+            "threshold": th.hypercube_connectivity_threshold(),
+            "meaning": "full connectivity (Erdos-Spencer)",
+        }
+    )
+    rows.append(
+        {
+            "model": "double tree TT_n",
+            "threshold": th.double_tree_threshold(),
+            "meaning": "root connectivity (Lemma 6, 1/sqrt(2))",
+        }
+    )
+    rows.append(
+        {
+            "model": "G(n, c/n)",
+            "threshold": 1.0,
+            "meaning": "giant component at c = 1",
+        }
+    )
+    print(render_table(rows, title="Critical probabilities"))
+    return 0
+
+
+def _cmd_info(experiment_id: str) -> int:
+    spec = get_experiment(experiment_id)
+    print(f"{spec.experiment_id}: {spec.title}")
+    print(f"reference: {spec.reference}")
+    print(f"claim: {spec.claim}")
+    return 0
+
+
+def _cmd_run(experiment_id: str, scale: str, seed: int, csv_dir) -> int:
+    if experiment_id.lower() == "all":
+        specs = all_experiments()
+    else:
+        specs = [get_experiment(experiment_id)]
+    for spec in specs:
+        start = time.perf_counter()
+        table = spec(scale=scale, seed=seed)
+        elapsed = time.perf_counter() - start
+        print(table.render())
+        print(f"  ({len(table)} rows, {elapsed:.1f}s, scale={scale})")
+        print()
+        if csv_dir is not None:
+            path = table.to_csv(csv_dir)
+            print(f"  wrote {path}")
+    return 0
+
+
+def _cmd_report(scale: str, seed: int, out: str) -> int:
+    from pathlib import Path
+
+    from repro.experiments.report import render_experiments_markdown
+
+    sections = []
+    for spec in all_experiments():
+        print(f"running {spec.experiment_id} ({scale}) ...", flush=True)
+        sections.append((spec, spec(scale=scale, seed=seed)))
+    preamble = (
+        "# Experiment report (generated)\n\n"
+        f"Scale: {scale}; master seed: {seed}.  See DESIGN.md for the "
+        "experiment index and EXPERIMENTS.md for the curated record."
+    )
+    Path(out).write_text(
+        render_experiments_markdown(sections, preamble=preamble),
+        encoding="utf-8",
+    )
+    print(f"wrote {out}")
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "thresholds":
+        return _cmd_thresholds()
+    if args.command == "info":
+        return _cmd_info(args.experiment)
+    if args.command == "run":
+        return _cmd_run(args.experiment, args.scale, args.seed, args.csv)
+    if args.command == "report":
+        return _cmd_report(args.scale, args.seed, args.out)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,5 @@
+"""Experiment definitions — one module per DESIGN.md §4 index entry.
+
+Modules self-register an :class:`~repro.experiments.spec.ExperimentSpec`
+on import; the registry imports them lazily.
+"""

@@ -1,0 +1,147 @@
+"""E13 (extension) — the "middle regime" of the hypercube on one axis.
+
+The paper's punchline (Section 1.3): for ``1/n ≪ p ≪ n^{-1/2}`` the
+giant component of ``H_{n,p}`` exists and *shares structural properties
+of the hypercube* — poly(n) diameter, comparable expansion — yet "the
+ability to find short paths is lost".  This experiment lines up, for a
+sweep of α at fixed n:
+
+* the giant-component fraction (structure exists),
+* a 2-sweep lower bound on the giant's diameter (structure is *small*
+  — polynomial, not exponential, in n),
+* the conditioned routing cost of a complete local router (finding
+  paths is nevertheless expensive past α = 1/2).
+"""
+
+from __future__ import annotations
+
+from repro.core.complexity import measure_complexity
+from repro.experiments.registry import register
+from repro.experiments.results import ResultTable
+from repro.experiments.spec import ExperimentSpec, pick
+from repro.graphs.hypercube import Hypercube
+from repro.percolation.cluster import approx_cluster_diameter, largest_component
+from repro.percolation.models import TablePercolation
+from repro.routers.bfs import BidirectionalBFSRouter
+from repro.routers.waypoint import WaypointRouter
+from repro.util.rng import derive_seed
+from repro.util.stats import mean_ci
+
+COLUMNS = [
+    "n",
+    "alpha",
+    "p",
+    "giant_fraction",
+    "giant_diameter_lb",
+    "diameter_over_n",
+    "median_frac_probed",
+    "oracle_frac_probed",
+]
+
+
+def run(scale: str, seed: int) -> ResultTable:
+    n = pick(scale, tiny=7, small=10, medium=12)
+    alphas = pick(
+        scale,
+        tiny=[0.3, 0.7],
+        small=[0.3, 0.4, 0.5, 0.6, 0.7, 0.8],
+        medium=[0.3, 0.4, 0.5, 0.55, 0.6, 0.7, 0.8, 0.9],
+    )
+    trials = pick(scale, tiny=4, small=8, medium=16)
+
+    graph = Hypercube(n)
+    edges = graph.num_edges()
+    table = ResultTable(
+        "E13",
+        "Hypercube middle regime: giant exists with poly(n) diameter, "
+        "yet routing turns exhaustive past alpha = 1/2",
+        columns=COLUMNS,
+    )
+    router = WaypointRouter()
+    for alpha in alphas:
+        p = n**-alpha
+        fractions = []
+        diameters = []
+        for t in range(trials):
+            model = TablePercolation(
+                graph, p, seed=derive_seed(seed, "e13-struct", alpha, t)
+            )
+            giant = largest_component(model)
+            fractions.append(len(giant) / graph.num_vertices())
+            if len(giant) > 1:
+                anchor = next(iter(giant))
+                diameters.append(
+                    approx_cluster_diameter(model, anchor, sweeps=2)
+                )
+        m = measure_complexity(
+            graph,
+            p=p,
+            router=router,
+            trials=trials,
+            seed=derive_seed(seed, "e13-route", alpha),
+        )
+        frac_probed = (
+            m.query_summary().median / edges
+            if m.connected_trials and m.successes()
+            else float("nan")
+        )
+        # Section 6, second open question: does *oracle* access help in
+        # the middle regime?  (Conjectured: no.)
+        m_oracle = measure_complexity(
+            graph,
+            p=p,
+            router=BidirectionalBFSRouter(),
+            trials=trials,
+            seed=derive_seed(seed, "e13-route", alpha),  # same percolations
+        )
+        oracle_frac = (
+            m_oracle.query_summary().median / edges
+            if m_oracle.connected_trials and m_oracle.successes()
+            else float("nan")
+        )
+        giant_mean, _, _ = mean_ci(fractions)
+        diam_mean = (
+            mean_ci(diameters)[0] if diameters else float("nan")
+        )
+        table.add_row(
+            n=n,
+            alpha=alpha,
+            p=p,
+            giant_fraction=giant_mean,
+            giant_diameter_lb=diam_mean,
+            diameter_over_n=diam_mean / n,
+            median_frac_probed=frac_probed,
+            oracle_frac_probed=oracle_frac,
+        )
+    table.add_note(
+        "middle regime = rows with 0.5 < alpha < 1: giant_fraction stays "
+        "macroscopic, diameter_over_n stays a small polynomial factor, "
+        "but median_frac_probed approaches 1 — connectivity without "
+        "routability."
+    )
+    table.add_note(
+        "oracle_frac_probed charts Section 6's second open question "
+        "(is oracle routing also exponential for 1/n << p << n^-1/2?). "
+        "Bidirectional BFS pays the volume of two meeting balls: a large "
+        "fraction at high p (dense middle layers), a smaller fraction "
+        "deeper in the middle regime — but still far above poly(n) "
+        "probes in absolute terms. A verdict on the conjecture needs an "
+        "n-sweep at fixed alpha, not a p-sweep at fixed n."
+    )
+    return table
+
+
+register(
+    ExperimentSpec(
+        experiment_id="E13",
+        title="Hypercube middle regime (extension)",
+        claim=(
+            "For 1/n << p << n^-1/2 the giant component of H_{n,p} has "
+            "poly(n) diameter and macroscopic size, yet local routing "
+            "must probe nearly everything — structure without "
+            "searchability."
+        ),
+        reference="Section 1.3 discussion around Theorem 3 (extension)",
+        run=run,
+    )
+)

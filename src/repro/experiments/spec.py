@@ -1,0 +1,54 @@
+"""Experiment specifications and scale presets.
+
+Every experiment (see DESIGN.md §4 for the index) is a pure function
+``run(scale, seed) → ResultTable`` plus metadata tying it back to the
+paper.  Scales keep one code path for tests (``tiny``), benchmarks
+(``small``) and the EXPERIMENTS.md record (``medium``).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from repro.experiments.results import ResultTable
+
+__all__ = ["SCALES", "ExperimentSpec", "pick"]
+
+#: Recognised scale names, cheap → expensive.
+SCALES = ("tiny", "small", "medium")
+
+
+def pick(scale: str, *, tiny, small, medium):
+    """Return the per-scale parameter value, validating the scale name.
+
+    >>> pick("small", tiny=1, small=2, medium=3)
+    2
+    """
+    if scale not in SCALES:
+        raise ValueError(f"unknown scale {scale!r}; expected one of {SCALES}")
+    return {"tiny": tiny, "small": small, "medium": medium}[scale]
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """Metadata + runner for one experiment."""
+
+    experiment_id: str
+    title: str
+    claim: str  # the paper's statement being reproduced
+    reference: str  # theorem/lemma/section in the paper
+    run: Callable[[str, int], ResultTable] = field(repr=False)
+
+    def __call__(self, scale: str = "small", seed: int = 0) -> ResultTable:
+        """Run the experiment; returns its :class:`ResultTable`."""
+        if scale not in SCALES:
+            raise ValueError(
+                f"unknown scale {scale!r}; expected one of {SCALES}"
+            )
+        table = self.run(scale, seed)
+        if not isinstance(table, ResultTable):
+            raise TypeError(
+                f"experiment {self.experiment_id} returned {type(table)!r}"
+            )
+        return table

@@ -1,0 +1,49 @@
+"""Graph topologies studied by the paper.
+
+All graphs are *implicit*: adjacency is computed from vertex structure,
+so even the ``2^20``-vertex hypercube costs O(1) memory.  See
+:mod:`repro.graphs.base` for the interface and conventions.
+
+Topologies
+----------
+
+============================  =======================================
+:class:`Hypercube`            Theorem 3 (routing phase transition)
+:class:`Mesh` / :class:`Torus`  Theorem 4 (O(n) routing above p_c)
+:class:`DoubleBinaryTree`     Theorems 7 & 9 (local vs oracle gap)
+:class:`CompleteGraph`        Theorems 10 & 11 (G(n,p) substrate)
+:class:`Butterfly`            Section 6 open question
+:class:`DeBruijn`             Section 6 open question
+:class:`ShuffleExchange`      Section 6 open question
+:class:`ExplicitGraph`        user-supplied / test topologies
+============================  =======================================
+"""
+
+from repro.graphs.base import Edge, Graph, Vertex
+from repro.graphs.butterfly import Butterfly
+from repro.graphs.complete import CompleteGraph
+from repro.graphs.cycle_matching import RandomMatchingCycle
+from repro.graphs.debruijn import DeBruijn
+from repro.graphs.double_tree import DoubleBinaryTree
+from repro.graphs.explicit import ExplicitGraph, cycle_graph, path_graph
+from repro.graphs.hypercube import Hypercube
+from repro.graphs.mesh import Mesh, Torus
+from repro.graphs.shuffle_exchange import ShuffleExchange
+
+__all__ = [
+    "Butterfly",
+    "CompleteGraph",
+    "DeBruijn",
+    "DoubleBinaryTree",
+    "Edge",
+    "ExplicitGraph",
+    "Graph",
+    "Hypercube",
+    "Mesh",
+    "RandomMatchingCycle",
+    "ShuffleExchange",
+    "Torus",
+    "Vertex",
+    "cycle_graph",
+    "path_graph",
+]

@@ -1,0 +1,73 @@
+"""The butterfly network ``BF_n``.
+
+Listed in the paper's open questions (Section 6) as a constant-degree,
+logarithmic-diameter family on which the relative locations of the
+percolation and routing thresholds are unknown.  Experiment E12 scans
+both thresholds empirically.
+
+Vertices are ``(level, row)`` with ``level ∈ [0, n]`` and ``row`` an
+``n``-bit int.  Level ``l`` connects to level ``l+1`` by a *straight*
+edge (same row) and a *cross* edge (row with bit ``l`` flipped).  Degree
+is ≤ 4; the diameter is ``2n``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.graphs.base import Graph, Vertex
+
+__all__ = ["Butterfly"]
+
+
+class Butterfly(Graph):
+    """The (ordinary, non-wrapped) butterfly with ``(n+1)·2^n`` vertices.
+
+    >>> bf = Butterfly(2)
+    >>> sorted(bf.neighbors((0, 0)))
+    [(1, 0), (1, 1)]
+    """
+
+    def __init__(self, n: int) -> None:
+        if n < 1:
+            raise ValueError(f"butterfly order must be >= 1, got {n}")
+        self.n = n
+        self._rows = 1 << n
+        self.name = f"butterfly(n={n})"
+
+    def neighbors(self, v: Vertex) -> list[tuple[int, int]]:
+        self._require_vertex(v)
+        level, row = v
+        out = []
+        if level > 0:
+            out.append((level - 1, row))
+            out.append((level - 1, row ^ (1 << (level - 1))))
+        if level < self.n:
+            out.append((level + 1, row))
+            out.append((level + 1, row ^ (1 << level)))
+        return out
+
+    def has_vertex(self, v) -> bool:
+        return (
+            isinstance(v, tuple)
+            and len(v) == 2
+            and isinstance(v[0], int)
+            and isinstance(v[1], int)
+            and 0 <= v[0] <= self.n
+            and 0 <= v[1] < self._rows
+        )
+
+    def num_vertices(self) -> int:
+        return (self.n + 1) * self._rows
+
+    def vertices(self) -> Iterator[tuple[int, int]]:
+        for level in range(self.n + 1):
+            for row in range(self._rows):
+                yield (level, row)
+
+    def num_edges(self) -> int:
+        return 2 * self.n * self._rows
+
+    def canonical_pair(self) -> tuple[tuple[int, int], tuple[int, int]]:
+        """Return level-0 row 0 and level-n row ``11…1`` (max row)."""
+        return (0, 0), (self.n, self._rows - 1)

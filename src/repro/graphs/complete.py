@@ -1,0 +1,72 @@
+"""The complete graph ``K_n`` — substrate of the ``G(n, p)`` model.
+
+Section 5 of the paper treats ``G(n, p)`` as "a faulty complete graph":
+percolating ``K_n`` with retention probability ``p = c/n`` *is* the
+Erdős–Rényi graph.  Theorems 10 and 11 bound local routing by ``Ω(n²)``
+and oracle routing by ``Θ(n^{3/2})`` on this substrate.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.graphs.base import Graph, Vertex
+
+__all__ = ["CompleteGraph"]
+
+
+class CompleteGraph(Graph):
+    """``K_n`` on vertices ``0 .. n-1``.
+
+    >>> k = CompleteGraph(4)
+    >>> k.neighbors(2)
+    [0, 1, 3]
+    >>> k.num_edges()
+    6
+    """
+
+    def __init__(self, n: int) -> None:
+        if n < 2:
+            raise ValueError(f"complete graph needs >= 2 vertices, got {n}")
+        self.n = n
+        self.name = f"complete(n={n})"
+
+    def neighbors(self, v: Vertex) -> list[int]:
+        self._require_vertex(v)
+        return [w for w in range(self.n) if w != v]
+
+    def has_vertex(self, v) -> bool:
+        return isinstance(v, int) and 0 <= v < self.n
+
+    def num_vertices(self) -> int:
+        return self.n
+
+    def vertices(self) -> Iterator[int]:
+        return iter(range(self.n))
+
+    def num_edges(self) -> int:
+        return self.n * (self.n - 1) // 2
+
+    def degree(self, v: Vertex) -> int:
+        self._require_vertex(v)
+        return self.n - 1
+
+    def is_edge(self, u: Vertex, v: Vertex) -> bool:
+        return self.has_vertex(u) and self.has_vertex(v) and u != v
+
+    def distance(self, u: Vertex, v: Vertex) -> int:
+        self._require_vertex(u)
+        self._require_vertex(v)
+        return 0 if u == v else 1
+
+    def shortest_path(self, u: Vertex, v: Vertex) -> list[int]:
+        self._require_vertex(u)
+        self._require_vertex(v)
+        return [u] if u == v else [u, v]
+
+    def diameter(self) -> int:
+        return 1
+
+    def canonical_pair(self) -> tuple[int, int]:
+        """Return ``(0, n-1)`` — any pair is equivalent by symmetry."""
+        return 0, self.n - 1

@@ -1,0 +1,82 @@
+"""Cycle plus a random perfect matching (Bollobás–Chung).
+
+The paper's introduction cites this family ([6] in its references) as
+the canonical example of "short paths exist but are hard to find": an
+``n``-cycle plus a uniformly random perfect matching has diameter
+``Θ(log n)``, constant degree 3, and strong expansion.  That makes it a
+natural extra candidate for the Section 6 open question (is there a
+constant-degree, log-diameter family whose percolation and routing
+thresholds coincide?), so experiment E12 includes it alongside the
+families the paper names.
+
+The matching is sampled deterministically from a seed (our only random
+*topology*; everything else in the library randomises edge states, not
+structure).  ``n`` must be even so a perfect matching exists.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+import numpy as np
+
+from repro.graphs.base import Graph, Vertex
+from repro.util.rng import derive_seed
+
+__all__ = ["RandomMatchingCycle"]
+
+
+class RandomMatchingCycle(Graph):
+    """The ``n``-cycle plus a seeded random perfect matching.
+
+    A matching chord that happens to parallel a cycle edge collapses
+    into it, so degrees are 3 except at such coincidences (degree 2)
+    and ``num_edges() <= n + n/2``.
+
+    >>> g = RandomMatchingCycle(8, seed=0)
+    >>> n_edges = g.num_edges()
+    >>> 8 <= n_edges <= 12
+    True
+    >>> all(2 <= g.degree(v) <= 3 for v in g.vertices())
+    True
+    """
+
+    def __init__(self, n: int, seed: int) -> None:
+        if n < 4 or n % 2:
+            raise ValueError(f"need an even n >= 4, got {n}")
+        self.n = n
+        self.seed = seed
+        self.name = f"cycle_matching(n={n},seed={seed})"
+        rng = np.random.default_rng(derive_seed(seed, "cycle-matching"))
+        order = rng.permutation(n)
+        self._partner: dict[int, int] = {}
+        for i in range(0, n, 2):
+            a, b = int(order[i]), int(order[i + 1])
+            self._partner[a] = b
+            self._partner[b] = a
+
+    def neighbors(self, v: Vertex) -> list[int]:
+        self._require_vertex(v)
+        out = [(v - 1) % self.n, (v + 1) % self.n]
+        partner = self._partner[v]
+        if partner not in out:
+            out.append(partner)
+        return out
+
+    def has_vertex(self, v) -> bool:
+        return isinstance(v, int) and 0 <= v < self.n
+
+    def num_vertices(self) -> int:
+        return self.n
+
+    def vertices(self) -> Iterator[int]:
+        return iter(range(self.n))
+
+    def matching_partner(self, v: Vertex) -> int:
+        """Return the matched partner of ``v`` (the chord endpoint)."""
+        self._require_vertex(v)
+        return self._partner[v]
+
+    def canonical_pair(self) -> tuple[int, int]:
+        """Return ``(0, n/2)`` — antipodal on the underlying cycle."""
+        return 0, self.n // 2

@@ -1,0 +1,60 @@
+"""The (undirected) binary de Bruijn graph ``DB_n``.
+
+Listed in the paper's open questions (Section 6).  Vertices are ``n``-bit
+ints; the directed de Bruijn graph has arcs ``x → (2x + b) mod 2^n`` for
+``b ∈ {0, 1}``; we take the undirected underlying simple graph (dropping
+self-loops, e.g. at ``0…0`` and ``1…1``).  Degree ≤ 4, diameter ``n``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.graphs.base import Graph, Vertex
+
+__all__ = ["DeBruijn"]
+
+
+class DeBruijn(Graph):
+    """Undirected binary de Bruijn graph on ``2^n`` vertices.
+
+    >>> db = DeBruijn(3)
+    >>> sorted(db.neighbors(0b010))
+    [1, 4, 5]
+    """
+
+    def __init__(self, n: int) -> None:
+        if n < 2:
+            raise ValueError(f"de Bruijn order must be >= 2, got {n}")
+        self.n = n
+        self._size = 1 << n
+        self._mask = self._size - 1
+        self.name = f"debruijn(n={n})"
+
+    def neighbors(self, v: Vertex) -> list[int]:
+        self._require_vertex(v)
+        candidates = {
+            (v << 1) & self._mask,  # successor, append 0
+            ((v << 1) | 1) & self._mask,  # successor, append 1
+            v >> 1,  # predecessor, dropped bit 0
+            (v >> 1) | (self._size >> 1),  # predecessor, dropped bit 1
+        }
+        candidates.discard(v)  # drop self-loops (at 00…0 and 11…1)
+        return sorted(candidates)
+
+    def has_vertex(self, v) -> bool:
+        return isinstance(v, int) and 0 <= v < self._size
+
+    def num_vertices(self) -> int:
+        return self._size
+
+    def vertices(self) -> Iterator[int]:
+        return iter(range(self._size))
+
+    def diameter_upper_bound(self) -> int:
+        """Return ``n`` — the directed diameter, an upper bound here."""
+        return self.n
+
+    def canonical_pair(self) -> tuple[int, int]:
+        """Return ``(0…0, 1…1)`` — the two extreme strings."""
+        return 0, self._mask

@@ -1,0 +1,247 @@
+"""The double binary tree ``TT_n`` (Section 2.1 of the paper).
+
+``TT_n`` glues two complete binary trees of depth ``n`` at their leaves:
+take trees ``a`` and ``b``, each with ``2^n`` leaves, and identify leaf
+``j`` of ``a`` with leaf ``j`` of ``b``.  The two roots ``x = ('a', 1)``
+and ``y = ('b', 1)`` are at distance ``2n``.
+
+The paper uses ``TT_n`` twice:
+
+* **Theorem 7** — for any fixed ``1/√2 < p < 1``, every *local* router
+  between the roots makes ``≈ p^{-n}`` probes (exponential in the
+  diameter): a path must penetrate the second tree through a leaf, and
+  each leaf works with probability ``p^n``.
+* **Theorem 9** — an *oracle* router probes each tree-``a`` edge together
+  with its **mirror** edge in tree ``b``; pairs are open with probability
+  ``p² > 1/2``, so DFS on pairs is a supercritical Galton–Watson search
+  and costs ``O(n)`` on average.  :meth:`DoubleBinaryTree.mirror_edge`
+  provides the pairing.
+
+Vertex encoding: internal nodes are ``(side, k)`` with ``side ∈ {'a','b'}``
+and heap index ``k ∈ [1, 2^n)`` (root is 1, children of ``k`` are ``2k``
+and ``2k+1``); the shared bottom level is ``('leaf', j)`` with
+``j ∈ [0, 2^n)``.  Internally a leaf has *virtual heap index* ``2^n + j``,
+which makes both tree metrics ordinary heap-index arithmetic.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.graphs.base import Edge, Graph, Vertex
+
+__all__ = ["DoubleBinaryTree"]
+
+_SIDES = ("a", "b")
+
+
+def _lca(h1: int, h2: int) -> int:
+    """Return the lowest common ancestor of two heap indices."""
+    while h1.bit_length() > h2.bit_length():
+        h1 >>= 1
+    while h2.bit_length() > h1.bit_length():
+        h2 >>= 1
+    while h1 != h2:
+        h1 >>= 1
+        h2 >>= 1
+    return h1
+
+
+def _depth(h: int) -> int:
+    """Return the depth of heap index ``h`` (root = 1 has depth 0)."""
+    return h.bit_length() - 1
+
+
+class DoubleBinaryTree(Graph):
+    """Two depth-``n`` binary trees glued at their leaves.
+
+    >>> tt = DoubleBinaryTree(2)
+    >>> tt.num_vertices()
+    10
+    >>> tt.distance(('a', 1), ('b', 1))
+    4
+    """
+
+    def __init__(self, depth: int) -> None:
+        if depth < 1:
+            raise ValueError(f"tree depth must be >= 1, got {depth}")
+        self.depth = depth
+        self._leaf_base = 1 << depth  # virtual heap index of leaf 0
+        self.name = f"double_tree(depth={depth})"
+
+    # -- vertex bookkeeping -------------------------------------------------
+
+    def has_vertex(self, v) -> bool:
+        if not (isinstance(v, tuple) and len(v) == 2):
+            return False
+        kind, idx = v
+        if kind in _SIDES:
+            return isinstance(idx, int) and 1 <= idx < self._leaf_base
+        if kind == "leaf":
+            return isinstance(idx, int) and 0 <= idx < self._leaf_base
+        return False
+
+    def num_vertices(self) -> int:
+        # 2 * (2^n - 1) internal nodes + 2^n shared leaves
+        return 3 * self._leaf_base - 2
+
+    def num_edges(self) -> int:
+        # each tree contributes 2^{n+1} - 2 parent edges
+        return 2 * (2 * self._leaf_base - 2)
+
+    def vertices(self) -> Iterator[Vertex]:
+        for side in _SIDES:
+            for k in range(1, self._leaf_base):
+                yield (side, k)
+        for j in range(self._leaf_base):
+            yield ("leaf", j)
+
+    def _heap(self, v: Vertex) -> int:
+        """Return the (virtual) heap index of ``v``."""
+        kind, idx = v
+        return idx if kind in _SIDES else self._leaf_base + idx
+
+    def _from_heap(self, side: str, h: int) -> Vertex:
+        """Return the vertex for heap index ``h`` viewed from ``side``."""
+        if h >= self._leaf_base:
+            return ("leaf", h - self._leaf_base)
+        return (side, h)
+
+    def node_depth(self, v: Vertex) -> int:
+        """Return the depth of ``v`` within its tree (leaves: ``n``)."""
+        self._require_vertex(v)
+        return _depth(self._heap(v))
+
+    # -- adjacency ------------------------------------------------------------
+
+    def neighbors(self, v: Vertex) -> list[Vertex]:
+        self._require_vertex(v)
+        kind, idx = v
+        if kind == "leaf":
+            parent = (self._leaf_base + idx) >> 1
+            return [("a", parent), ("b", parent)]
+        out: list[Vertex] = []
+        if idx > 1:
+            out.append((kind, idx >> 1))
+        out.append(self._from_heap(kind, 2 * idx))
+        out.append(self._from_heap(kind, 2 * idx + 1))
+        return out
+
+    def is_edge(self, u: Vertex, v: Vertex) -> bool:
+        """O(1) adjacency via the heap parent/child relation."""
+        if not (self.has_vertex(u) and self.has_vertex(v)):
+            return False
+        parent, child = (
+            (u, v) if self._heap(u) < self._heap(v) else (v, u)
+        )
+        if self._heap(child) >> 1 != self._heap(parent):
+            return False
+        if parent[0] == "leaf":
+            return False
+        # an internal child must live in the parent's tree; a leaf child
+        # attaches to the bottom of either tree.
+        return child[0] == "leaf" or child[0] == parent[0]
+
+    # -- metric -----------------------------------------------------------------
+
+    def distance(self, u: Vertex, v: Vertex) -> int:
+        """Closed-form tree/cross-tree distance.
+
+        Same-tree pairs use the ordinary heap-LCA formula.  For a pair in
+        different trees the path crosses exactly one leaf, and the optimal
+        leaf extends the deeper vertex's root path, giving
+        ``2n - 2·depth(lca) - |depth(u) - depth(v)|``.
+        """
+        self._require_vertex(u)
+        self._require_vertex(v)
+        hu, hv = self._heap(u), self._heap(v)
+        du, dv = _depth(hu), _depth(hv)
+        if self._same_tree(u, v):
+            return du + dv - 2 * _depth(_lca(hu, hv))
+        return 2 * self.depth - 2 * _depth(_lca(hu, hv)) - abs(du - dv)
+
+    @staticmethod
+    def _same_tree(u: Vertex, v: Vertex) -> bool:
+        """Whether some single tree contains both vertices."""
+        return u[0] == v[0] or u[0] == "leaf" or v[0] == "leaf"
+
+    def _tree_path(self, side: str, h1: int, h2: int) -> list[Vertex]:
+        """Return the unique tree path between heap indices in ``side``."""
+        lca = _lca(h1, h2)
+        up = []
+        h = h1
+        while h != lca:
+            up.append(self._from_heap(side, h))
+            h >>= 1
+        down = []
+        h = h2
+        while h != lca:
+            down.append(self._from_heap(side, h))
+            h >>= 1
+        down.reverse()
+        return up + [self._from_heap(side, lca)] + down
+
+    def shortest_path(self, u: Vertex, v: Vertex) -> list[Vertex]:
+        """Return one shortest path (closed form, no search)."""
+        self._require_vertex(u)
+        self._require_vertex(v)
+        hu, hv = self._heap(u), self._heap(v)
+        if self._same_tree(u, v):
+            side = u[0] if u[0] in _SIDES else (v[0] if v[0] in _SIDES else "a")
+            return self._tree_path(side, hu, hv)
+        # Cross-tree: meet at the leftmost leaf below the deeper vertex.
+        deeper = hu if _depth(hu) >= _depth(hv) else hv
+        meet = deeper
+        while meet < self._leaf_base:
+            meet <<= 1
+        first = self._tree_path(u[0], hu, meet)
+        second = self._tree_path(v[0], meet, hv)
+        return first + second[1:]
+
+    def diameter(self) -> int:
+        """Return the diameter ``2n`` (root to root)."""
+        return 2 * self.depth
+
+    # -- paper-specific structure ---------------------------------------------
+
+    def canonical_pair(self) -> tuple[Vertex, Vertex]:
+        """Return the two roots ``x, y`` the paper routes between."""
+        return ("a", 1), ("b", 1)
+
+    def roots(self) -> tuple[Vertex, Vertex]:
+        """Alias of :meth:`canonical_pair`."""
+        return self.canonical_pair()
+
+    def leaves(self) -> Iterator[Vertex]:
+        """Iterate over the shared leaves."""
+        for j in range(self._leaf_base):
+            yield ("leaf", j)
+
+    def mirror_vertex(self, v: Vertex) -> Vertex:
+        """Return the structurally corresponding vertex in the other tree.
+
+        Leaves are shared, hence self-mirror.
+        """
+        self._require_vertex(v)
+        kind, idx = v
+        if kind == "leaf":
+            return v
+        return ("b" if kind == "a" else "a", idx)
+
+    def mirror_edge(self, edge: Edge) -> Edge:
+        """Return the mirror edge in the other tree (Theorem 9 pairing).
+
+        The mirror of an ``a``-tree edge is the ``b``-tree edge between
+        the corresponding heap positions, and vice versa; the pairing is
+        an involution.
+        """
+        u, v = edge
+        return self.edge_key(self.mirror_vertex(u), self.mirror_vertex(v))
+
+    def side_of_edge(self, edge: Edge) -> str:
+        """Return which tree (``'a'`` or ``'b'``) an edge belongs to."""
+        u, v = edge
+        for x in (u, v):
+            if x[0] in _SIDES:
+                return x[0]
+        raise ValueError(f"edge {edge!r} touches no internal vertex")

@@ -1,0 +1,75 @@
+"""Explicit (adjacency-backed) graphs.
+
+Small hand-built graphs used by tests, examples and the Lemma 5
+machinery (arbitrary cut structures).  Also the escape hatch for users
+who want to run the routing framework on their own topology.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+from repro.graphs.base import Graph, Vertex
+
+__all__ = ["ExplicitGraph", "cycle_graph", "path_graph"]
+
+
+class ExplicitGraph(Graph):
+    """A graph defined by an explicit edge list.
+
+    Vertices are inferred from the edges unless given; isolated vertices
+    must be passed explicitly.  Neighbour order is insertion order, which
+    keeps routing deterministic.
+
+    >>> g = ExplicitGraph([(0, 1), (1, 2)])
+    >>> g.neighbors(1)
+    [0, 2]
+    """
+
+    def __init__(
+        self,
+        edges: Iterable[tuple[Vertex, Vertex]],
+        vertices: Iterable[Vertex] = (),
+        name: str = "explicit",
+    ) -> None:
+        self.name = name
+        self._adj: dict[Vertex, list[Vertex]] = {}
+        for v in vertices:
+            self._adj.setdefault(v, [])
+        for u, v in edges:
+            if u == v:
+                raise ValueError(f"self-loop at {u!r} is not allowed")
+            self._adj.setdefault(u, [])
+            self._adj.setdefault(v, [])
+            if v not in self._adj[u]:
+                self._adj[u].append(v)
+                self._adj[v].append(u)
+
+    def neighbors(self, v: Vertex) -> list[Vertex]:
+        self._require_vertex(v)
+        return list(self._adj[v])
+
+    def has_vertex(self, v) -> bool:
+        return v in self._adj
+
+    def num_vertices(self) -> int:
+        return len(self._adj)
+
+    def vertices(self) -> Iterator[Vertex]:
+        return iter(self._adj)
+
+
+def path_graph(length: int) -> ExplicitGraph:
+    """Return the path ``0 - 1 - … - length`` (``length`` edges)."""
+    if length < 1:
+        raise ValueError("path length must be >= 1")
+    g = ExplicitGraph([(i, i + 1) for i in range(length)], name=f"path({length})")
+    return g
+
+
+def cycle_graph(n: int) -> ExplicitGraph:
+    """Return the ``n``-cycle."""
+    if n < 3:
+        raise ValueError("cycle needs >= 3 vertices")
+    edges = [(i, (i + 1) % n) for i in range(n)]
+    return ExplicitGraph(edges, name=f"cycle({n})")

@@ -1,0 +1,91 @@
+"""The ``n``-dimensional hypercube ``H_n``.
+
+Vertices are ints in ``[0, 2**n)``; two vertices are adjacent iff they
+differ in exactly one bit.  This is the central topology of the paper:
+Theorem 3 locates the routing-complexity phase transition of ``H_{n,p}``
+at ``p = n^{-1/2}``, strictly above the giant-component threshold
+``p ≈ 1/n``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.graphs.base import Graph, Vertex
+from repro.util.bitops import hamming_distance, hypercube_geodesic
+
+__all__ = ["Hypercube"]
+
+
+class Hypercube(Graph):
+    """The hypercube ``{0,1}^n`` with Hamming adjacency.
+
+    >>> h = Hypercube(3)
+    >>> sorted(h.neighbors(0))
+    [1, 2, 4]
+    >>> h.distance(0b000, 0b111)
+    3
+    """
+
+    def __init__(self, n: int) -> None:
+        if n < 1:
+            raise ValueError(f"hypercube dimension must be >= 1, got {n}")
+        self.n = n
+        self._size = 1 << n
+        self.name = f"hypercube(n={n})"
+
+    def neighbors(self, v: Vertex) -> list[int]:
+        self._require_vertex(v)
+        return [v ^ (1 << i) for i in range(self.n)]
+
+    def has_vertex(self, v) -> bool:
+        return isinstance(v, int) and 0 <= v < self._size
+
+    def num_vertices(self) -> int:
+        return self._size
+
+    def vertices(self) -> Iterator[int]:
+        return iter(range(self._size))
+
+    def num_edges(self) -> int:
+        return self.n * (self._size >> 1)
+
+    def degree(self, v: Vertex) -> int:
+        self._require_vertex(v)
+        return self.n
+
+    def is_edge(self, u: Vertex, v: Vertex) -> bool:
+        """O(1) adjacency: vertices differing in exactly one bit."""
+        return (
+            self.has_vertex(u)
+            and self.has_vertex(v)
+            and hamming_distance(u, v) == 1
+        )
+
+    def distance(self, u: Vertex, v: Vertex) -> int:
+        """Hamming distance — the hypercube's graph metric."""
+        self._require_vertex(u)
+        self._require_vertex(v)
+        return hamming_distance(u, v)
+
+    def shortest_path(self, u: Vertex, v: Vertex) -> list[int]:
+        """Deterministic geodesic flipping differing bits in index order.
+
+        This is the waypoint sequence used by the Theorem 3(ii) router.
+        """
+        self._require_vertex(u)
+        self._require_vertex(v)
+        return hypercube_geodesic(u, v)
+
+    def diameter(self) -> int:
+        """Return the diameter ``n``."""
+        return self.n
+
+    def canonical_pair(self) -> tuple[int, int]:
+        """Return the antipodal pair ``(0...0, 1...1)`` (distance ``n``)."""
+        return 0, self._size - 1
+
+    def antipode(self, v: Vertex) -> int:
+        """Return the vertex at distance ``n`` from ``v``."""
+        self._require_vertex(v)
+        return v ^ (self._size - 1)

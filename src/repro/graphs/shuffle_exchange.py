@@ -1,0 +1,62 @@
+"""The shuffle-exchange graph ``SE_n``.
+
+Listed in the paper's open questions (Section 6).  Vertices are ``n``-bit
+ints; edges are of two kinds:
+
+* *exchange* — flip the lowest bit (``x ↔ x ^ 1``);
+* *shuffle* — cyclic rotation by one bit (``x ↔ rot(x)``), taken
+  undirected, so both rotation directions are neighbours.
+
+Self-loops (all-zeros / all-ones rotate to themselves) are dropped.
+Degree ≤ 3, diameter ``O(n)``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.graphs.base import Graph, Vertex
+
+__all__ = ["ShuffleExchange"]
+
+
+class ShuffleExchange(Graph):
+    """Shuffle-exchange graph on ``2^n`` vertices.
+
+    >>> se = ShuffleExchange(3)
+    >>> sorted(se.neighbors(0b001))
+    [0, 2, 4]
+    """
+
+    def __init__(self, n: int) -> None:
+        if n < 2:
+            raise ValueError(f"shuffle-exchange order must be >= 2, got {n}")
+        self.n = n
+        self._size = 1 << n
+        self._mask = self._size - 1
+        self.name = f"shuffle_exchange(n={n})"
+
+    def _rotate_left(self, x: int) -> int:
+        return ((x << 1) | (x >> (self.n - 1))) & self._mask
+
+    def _rotate_right(self, x: int) -> int:
+        return (x >> 1) | ((x & 1) << (self.n - 1))
+
+    def neighbors(self, v: Vertex) -> list[int]:
+        self._require_vertex(v)
+        candidates = {v ^ 1, self._rotate_left(v), self._rotate_right(v)}
+        candidates.discard(v)
+        return sorted(candidates)
+
+    def has_vertex(self, v) -> bool:
+        return isinstance(v, int) and 0 <= v < self._size
+
+    def num_vertices(self) -> int:
+        return self._size
+
+    def vertices(self) -> Iterator[int]:
+        return iter(range(self._size))
+
+    def canonical_pair(self) -> tuple[int, int]:
+        """Return ``(0…0, 1…1)``."""
+        return 0, self._mask

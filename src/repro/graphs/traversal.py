@@ -1,0 +1,103 @@
+"""Traversal utilities over *non-faulty* graphs.
+
+These operate on the full graph (every edge present).  They serve as
+reference implementations in tests (analytic metrics are validated
+against BFS) and as helpers for experiment setup (e.g. finding vertex
+pairs at a prescribed distance).  Percolated-graph traversal lives in
+:mod:`repro.percolation.cluster`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Iterable
+
+from repro.graphs.base import Graph, Vertex
+
+__all__ = ["bfs_distances", "bfs_path", "eccentricity", "vertices_at_distance"]
+
+
+def bfs_distances(
+    graph: Graph, source: Vertex, max_depth: int | None = None
+) -> dict[Vertex, int]:
+    """Return distances from ``source`` to all vertices within ``max_depth``.
+
+    ``max_depth=None`` explores the whole component.
+    """
+    graph._require_vertex(source)
+    dist = {source: 0}
+    queue: deque[Vertex] = deque([source])
+    while queue:
+        x = queue.popleft()
+        d = dist[x]
+        if max_depth is not None and d >= max_depth:
+            continue
+        for y in graph.neighbors(x):
+            if y not in dist:
+                dist[y] = d + 1
+                queue.append(y)
+    return dist
+
+
+def bfs_path(graph: Graph, u: Vertex, v: Vertex) -> list[Vertex]:
+    """Return one shortest path via BFS (reference for analytic geodesics)."""
+    return Graph.shortest_path(graph, u, v)
+
+
+def eccentricity(graph: Graph, v: Vertex) -> int:
+    """Return ``max_u d(v, u)`` over the component of ``v``."""
+    return max(bfs_distances(graph, v).values())
+
+
+def vertices_at_distance(
+    graph: Graph, source: Vertex, distance: int, limit: int | None = None
+) -> list[Vertex]:
+    """Return vertices at exactly ``distance`` from ``source``.
+
+    ``limit`` truncates the answer (BFS order) — useful on large graphs.
+    """
+    if distance < 0:
+        raise ValueError("distance must be non-negative")
+    found: list[Vertex] = []
+    for vertex, d in bfs_distances(graph, source, max_depth=distance).items():
+        if d == distance:
+            found.append(vertex)
+            if limit is not None and len(found) >= limit:
+                break
+    return found
+
+
+def connected_components(graph: Graph) -> list[set[Vertex]]:
+    """Return the connected components of the full graph."""
+    seen: set[Vertex] = set()
+    components = []
+    for v in graph.vertices():
+        if v in seen:
+            continue
+        comp = set(bfs_distances(graph, v))
+        seen |= comp
+        components.append(comp)
+    return components
+
+
+def is_connected(graph: Graph) -> bool:
+    """Return whether the full graph is connected."""
+    it = iter(graph.vertices())
+    try:
+        start = next(it)
+    except StopIteration:
+        return True
+    return len(bfs_distances(graph, start)) == graph.num_vertices()
+
+
+def induced_edges(graph: Graph, vertices: Iterable[Vertex]) -> list[tuple]:
+    """Return canonical keys of edges with both endpoints in ``vertices``."""
+    vset = set(vertices)
+    out = []
+    for v in vset:
+        for w in graph.neighbors(v):
+            if w in vset:
+                key = graph.edge_key(v, w)
+                if key[0] == v:
+                    out.append(key)
+    return out

@@ -1,0 +1,102 @@
+"""Edge percolation: samplers, cluster analytics, and branching theory.
+
+The random object of the paper is ``G_p`` — the graph ``G`` with every
+edge kept independently with probability ``p``.  This package provides:
+
+* percolation **models** (lazy hash-based, materialised, and sparse
+  ``G(n,p)``) — :mod:`repro.percolation.models`;
+* **cluster** ground truth (components, connectivity, chemical distance)
+  — :mod:`repro.percolation.cluster`;
+* **giant-component** scans and threshold estimation —
+  :mod:`repro.percolation.giant`;
+* **Galton–Watson** closed forms for tree percolation —
+  :mod:`repro.percolation.galton_watson`;
+* the registry of known **critical probabilities** —
+  :mod:`repro.percolation.thresholds`.
+"""
+
+from repro.percolation.cluster import (
+    approx_cluster_diameter,
+    chemical_distance,
+    cluster_eccentricity,
+    component,
+    component_sizes,
+    connected,
+    largest_component,
+    largest_component_size,
+)
+from repro.percolation.coupled import (
+    edge_level,
+    giant_threshold,
+    pair_threshold,
+    threshold_sample,
+)
+from repro.percolation.galton_watson import (
+    critical_probability,
+    expected_subcritical_progeny,
+    extinction_probability,
+    level_reach_probability,
+    survival_probability,
+)
+from repro.percolation.giant import (
+    estimate_threshold,
+    full_connectivity_scan,
+    giant_fraction,
+    giant_fraction_scan,
+    pair_connectivity_scan,
+)
+from repro.percolation.models import (
+    GnpPercolation,
+    HashPercolation,
+    PercolationModel,
+    TablePercolation,
+)
+from repro.percolation.site import SitePercolation
+from repro.percolation.thresholds import (
+    MESH_PC,
+    double_tree_threshold,
+    gnp_connectivity_threshold,
+    gnp_giant_threshold,
+    hypercube_connectivity_threshold,
+    hypercube_giant_threshold,
+    hypercube_routing_threshold,
+    mesh_critical_probability,
+)
+
+__all__ = [
+    "MESH_PC",
+    "GnpPercolation",
+    "HashPercolation",
+    "PercolationModel",
+    "SitePercolation",
+    "TablePercolation",
+    "approx_cluster_diameter",
+    "chemical_distance",
+    "cluster_eccentricity",
+    "component",
+    "component_sizes",
+    "connected",
+    "critical_probability",
+    "double_tree_threshold",
+    "edge_level",
+    "estimate_threshold",
+    "expected_subcritical_progeny",
+    "extinction_probability",
+    "full_connectivity_scan",
+    "giant_fraction",
+    "giant_fraction_scan",
+    "giant_threshold",
+    "gnp_connectivity_threshold",
+    "gnp_giant_threshold",
+    "hypercube_connectivity_threshold",
+    "hypercube_giant_threshold",
+    "hypercube_routing_threshold",
+    "largest_component",
+    "largest_component_size",
+    "level_reach_probability",
+    "mesh_critical_probability",
+    "pair_connectivity_scan",
+    "pair_threshold",
+    "survival_probability",
+    "threshold_sample",
+]

@@ -1,0 +1,178 @@
+"""Cluster analysis of percolated graphs.
+
+Ground-truth connectivity — used by the complexity harness to condition
+on the event ``{u ~ v}`` (Definition 2 of the paper) *independently of
+any router*, and by the giant-component experiments.
+
+``D(x, y)`` in the paper (the *percolation* or *chemical* distance) is
+:func:`chemical_distance` here; its linear-in-``d(x,y)`` behaviour with
+exponential tails in the supercritical mesh (Antal–Pisztora, the paper's
+Lemma 8) is measured by experiment E5b.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.graphs.base import Vertex
+from repro.percolation.models import PercolationModel
+
+__all__ = [
+    "approx_cluster_diameter",
+    "chemical_distance",
+    "cluster_eccentricity",
+    "component",
+    "component_sizes",
+    "connected",
+    "largest_component",
+    "largest_component_size",
+]
+
+
+def component(
+    model: PercolationModel, v: Vertex, max_size: int | None = None
+) -> set[Vertex]:
+    """Return the open cluster of ``v``.
+
+    ``max_size`` stops the exploration early (the returned set then has
+    exactly ``max_size`` vertices); useful to test "is the cluster big"
+    without materialising a giant component.
+    """
+    model.graph._require_vertex(v)
+    seen = {v}
+    queue: deque[Vertex] = deque([v])
+    while queue:
+        x = queue.popleft()
+        for y in model.open_neighbors(x):
+            if y not in seen:
+                seen.add(y)
+                if max_size is not None and len(seen) >= max_size:
+                    return seen
+                queue.append(y)
+    return seen
+
+
+def connected(model: PercolationModel, u: Vertex, v: Vertex) -> bool:
+    """Return whether ``u ~ v`` in the percolated graph.
+
+    BFS from ``u`` with early exit on reaching ``v``.
+    """
+    model.graph._require_vertex(u)
+    model.graph._require_vertex(v)
+    if u == v:
+        return True
+    seen = {u}
+    queue: deque[Vertex] = deque([u])
+    while queue:
+        x = queue.popleft()
+        for y in model.open_neighbors(x):
+            if y == v:
+                return True
+            if y not in seen:
+                seen.add(y)
+                queue.append(y)
+    return False
+
+
+def chemical_distance(
+    model: PercolationModel, u: Vertex, v: Vertex
+) -> int | None:
+    """Return ``D(u, v)`` — distance in the percolated graph — or ``None``.
+
+    ``None`` means ``u`` and ``v`` are in different open clusters.
+    """
+    model.graph._require_vertex(u)
+    model.graph._require_vertex(v)
+    if u == v:
+        return 0
+    dist = {u: 0}
+    queue: deque[Vertex] = deque([u])
+    while queue:
+        x = queue.popleft()
+        for y in model.open_neighbors(x):
+            if y in dist:
+                continue
+            dist[y] = dist[x] + 1
+            if y == v:
+                return dist[y]
+            queue.append(y)
+    return None
+
+
+def component_sizes(model: PercolationModel) -> list[int]:
+    """Return the sizes of all open clusters (descending).
+
+    Requires the underlying graph to be enumerable.
+    """
+    seen: set[Vertex] = set()
+    sizes = []
+    for v in model.graph.vertices():
+        if v in seen:
+            continue
+        comp = component(model, v)
+        seen |= comp
+        sizes.append(len(comp))
+    sizes.sort(reverse=True)
+    return sizes
+
+
+def largest_component(model: PercolationModel) -> set[Vertex]:
+    """Return the vertex set of the largest open cluster."""
+    seen: set[Vertex] = set()
+    best: set[Vertex] = set()
+    for v in model.graph.vertices():
+        if v in seen:
+            continue
+        comp = component(model, v)
+        seen |= comp
+        if len(comp) > len(best):
+            best = comp
+    return best
+
+
+def largest_component_size(model: PercolationModel) -> int:
+    """Return the size of the largest open cluster (0 for empty graphs)."""
+    sizes = component_sizes(model)
+    return sizes[0] if sizes else 0
+
+
+def cluster_eccentricity(
+    model: PercolationModel, v: Vertex
+) -> tuple[int, Vertex]:
+    """Return ``(max_u D(v, u), argmax)`` over the open cluster of ``v``."""
+    model.graph._require_vertex(v)
+    dist = {v: 0}
+    queue: deque[Vertex] = deque([v])
+    far, far_d = v, 0
+    while queue:
+        x = queue.popleft()
+        for y in model.open_neighbors(x):
+            if y in dist:
+                continue
+            dist[y] = dist[x] + 1
+            if dist[y] > far_d:
+                far, far_d = y, dist[y]
+            queue.append(y)
+    return far_d, far
+
+
+def approx_cluster_diameter(
+    model: PercolationModel, start: Vertex, sweeps: int = 2
+) -> int:
+    """Return a lower bound on the diameter of ``start``'s open cluster.
+
+    The classic multi-sweep heuristic: BFS to the farthest vertex, then
+    BFS again from there, ``sweeps`` times.  Exact on trees; within a
+    factor 2 in general; used to verify the paper's claim that in the
+    middle regime (``1/n ≪ p ≪ n^{-1/2}``) the hypercube's giant
+    component has poly(n) diameter even though routing is hard (E13).
+    """
+    if sweeps < 1:
+        raise ValueError("need at least one sweep")
+    best = 0
+    current = start
+    for _ in range(sweeps):
+        ecc, far = cluster_eccentricity(model, current)
+        best = max(best, ecc)
+        current = far
+    return best

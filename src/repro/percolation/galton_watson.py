@@ -1,0 +1,100 @@
+"""Galton–Watson (branching-process) theory for tree percolation.
+
+Percolating a complete ``b``-ary tree with edge-retention probability
+``p`` makes the open subtree below the root a Galton–Watson process with
+offspring ``Binomial(b, p)``.  The paper uses this twice:
+
+* **Lemma 6** — ``x ~ y`` in ``TT_{n,p}`` iff some leaf has an open
+  branch to each root, which is root-to-level-``n`` survival of a binary
+  GW tree with edge probability ``p²``; the threshold is ``p² = 1/2``.
+* **Theorem 9** — DFS in a *supercritical* GW tree reaches level ``n``
+  in expected O(n) steps because failed branches have finite expected
+  size (``1/(1 - bp)`` in the subcritical phase).
+
+These closed forms are validated against Monte-Carlo in the test suite
+and power the theory overlays of experiments E6–E8.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "critical_probability",
+    "expected_subcritical_progeny",
+    "extinction_probability",
+    "level_reach_probability",
+    "survival_probability",
+]
+
+
+def _validate(b: int, p: float) -> None:
+    if b < 1:
+        raise ValueError(f"branching factor must be >= 1, got {b}")
+    if not 0.0 <= p <= 1.0:
+        raise ValueError(f"probability must be in [0, 1], got {p!r}")
+
+
+def critical_probability(b: int) -> float:
+    """Return the GW critical edge probability ``1/b``."""
+    _validate(b, 0.0)
+    return 1.0 / b
+
+
+def extinction_probability(b: int, p: float, tol: float = 1e-12) -> float:
+    """Return the extinction probability ``q`` of the open subtree.
+
+    ``q`` is the smallest fixed point of ``q = (1 - p + p·q)^b``.
+    Computed by monotone fixed-point iteration from 0 (which converges to
+    the *smallest* root).
+    """
+    _validate(b, p)
+    q = 0.0
+    while True:
+        nxt = (1.0 - p + p * q) ** b
+        if abs(nxt - q) < tol:
+            return nxt
+        q = nxt
+
+
+def survival_probability(b: int, p: float, tol: float = 1e-12) -> float:
+    """Return ``θ(p) = 1 - q`` — probability the open subtree is infinite.
+
+    Zero iff ``p <= 1/b``.  For ``b = 2`` the closed form is
+    ``θ = (2p - 1)/p²``, which the tests check.
+    """
+    return 1.0 - extinction_probability(b, p, tol)
+
+
+def level_reach_probability(b: int, p: float, depth: int) -> float:
+    """Return the probability the root reaches level ``depth``.
+
+    Recursion: ``q_0 = 1``; ``q_k = 1 - (1 - p·q_{k-1})^b``.  As
+    ``depth → ∞`` this decreases to :func:`survival_probability`.
+
+    This is **exactly** ``Pr[x ~ y]`` in ``TT_depth`` with edge
+    probability ``√(p)``... more precisely: for the double tree with edge
+    retention ``r``, ``Pr[x ~ y] = level_reach_probability(2, r², n)``
+    (Lemma 6's argument: pair each edge with its mirror).
+    """
+    _validate(b, p)
+    if depth < 0:
+        raise ValueError("depth must be non-negative")
+    q = 1.0
+    for _ in range(depth):
+        q = 1.0 - (1.0 - p * q) ** b
+    return q
+
+
+def expected_subcritical_progeny(b: int, p: float) -> float:
+    """Return the expected total size of a *subcritical* GW tree.
+
+    For mean offspring ``m = bp < 1`` the expected total progeny
+    (including the root) is ``1/(1 - m)``.  This is the expected cost of
+    exploring one failed branch in the Theorem 9 oracle router.
+    """
+    _validate(b, p)
+    m = b * p
+    if m >= 1.0:
+        raise ValueError(
+            f"expected progeny is infinite for mean offspring {m} >= 1"
+        )
+    return 1.0 / (1.0 - m)

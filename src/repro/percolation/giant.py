@@ -1,0 +1,157 @@
+"""Giant-component statistics and threshold scans.
+
+Empirical counterparts of the connectivity results the paper builds on:
+the AKS giant-component threshold of the hypercube (``p ≈ 1/n``), the
+Erdős–Spencer connectivity threshold (``p = 1/2``), mesh percolation
+thresholds, and pair-connectivity curves for the double tree (Lemma 6).
+Experiment E11 uses these scans to place the routing transition (E1) on
+the same axis as the structural transitions.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+
+from repro.graphs.base import Graph, Vertex
+from repro.percolation.cluster import (
+    component_sizes,
+    connected,
+    largest_component_size,
+)
+from repro.percolation.models import PercolationModel, TablePercolation
+from repro.util.rng import derive_seed
+from repro.util.stats import mean_ci, proportion_ci
+
+__all__ = [
+    "estimate_threshold",
+    "full_connectivity_scan",
+    "giant_fraction",
+    "giant_fraction_scan",
+    "pair_connectivity_scan",
+]
+
+ModelFactory = Callable[[Graph, float, int], PercolationModel]
+
+
+def giant_fraction(model: PercolationModel) -> float:
+    """Return |largest open cluster| / |V|."""
+    return largest_component_size(model) / model.graph.num_vertices()
+
+
+def giant_fraction_scan(
+    graph: Graph,
+    ps: Sequence[float],
+    trials: int,
+    seed: int,
+    model_factory: ModelFactory = TablePercolation,
+) -> list[dict]:
+    """Estimate the giant fraction (and second-cluster fraction) per ``p``.
+
+    Returns one row per ``p`` with mean and 95% CI over ``trials``
+    independent percolations.
+    """
+    _validate_scan(ps, trials)
+    rows = []
+    n = graph.num_vertices()
+    for p in ps:
+        fractions = []
+        seconds = []
+        for t in range(trials):
+            model = model_factory(graph, p, derive_seed(seed, "giant", p, t))
+            sizes = component_sizes(model)
+            fractions.append(sizes[0] / n if sizes else 0.0)
+            seconds.append(sizes[1] / n if len(sizes) > 1 else 0.0)
+        mean, lo, hi = mean_ci(fractions)
+        second_mean, _, _ = mean_ci(seconds)
+        rows.append(
+            {
+                "p": p,
+                "giant_fraction": mean,
+                "ci_lo": lo,
+                "ci_hi": hi,
+                "second_fraction": second_mean,
+                "trials": trials,
+            }
+        )
+    return rows
+
+
+def pair_connectivity_scan(
+    graph: Graph,
+    ps: Sequence[float],
+    trials: int,
+    seed: int,
+    pair: tuple[Vertex, Vertex] | None = None,
+    model_factory: ModelFactory = TablePercolation,
+) -> list[dict]:
+    """Estimate ``Pr[u ~ v]`` per ``p`` (defaults to the canonical pair)."""
+    _validate_scan(ps, trials)
+    u, v = pair if pair is not None else graph.canonical_pair()
+    rows = []
+    for p in ps:
+        hits = 0
+        for t in range(trials):
+            model = model_factory(graph, p, derive_seed(seed, "pair", p, t))
+            if connected(model, u, v):
+                hits += 1
+        rate, lo, hi = proportion_ci(hits, trials)
+        rows.append(
+            {"p": p, "pr_connected": rate, "ci_lo": lo, "ci_hi": hi, "trials": trials}
+        )
+    return rows
+
+
+def full_connectivity_scan(
+    graph: Graph,
+    ps: Sequence[float],
+    trials: int,
+    seed: int,
+    model_factory: ModelFactory = TablePercolation,
+) -> list[dict]:
+    """Estimate ``Pr[G_p connected]`` per ``p``.
+
+    Used for the hypercube's ``p = 1/2`` connectivity threshold
+    (Erdős–Spencer), shown alongside the giant and routing transitions.
+    """
+    _validate_scan(ps, trials)
+    n = graph.num_vertices()
+    rows = []
+    for p in ps:
+        hits = 0
+        for t in range(trials):
+            model = model_factory(graph, p, derive_seed(seed, "conn", p, t))
+            if largest_component_size(model) == n:
+                hits += 1
+        rate, lo, hi = proportion_ci(hits, trials)
+        rows.append(
+            {"p": p, "pr_connected": rate, "ci_lo": lo, "ci_hi": hi, "trials": trials}
+        )
+    return rows
+
+
+def estimate_threshold(
+    rows: Sequence[dict], column: str, target: float = 0.5
+) -> float:
+    """Return the ``p`` where ``column`` first crosses ``target``.
+
+    Linear interpolation between the bracketing scan points.  Rows must
+    be sorted by ``p`` and the column monotone-ish; raises if the curve
+    never crosses.
+    """
+    prev = None
+    for row in rows:
+        value = row[column]
+        if prev is not None:
+            p0, y0 = prev
+            p1, y1 = row["p"], value
+            if (y0 - target) * (y1 - target) <= 0 and y0 != y1:
+                return p0 + (target - y0) * (p1 - p0) / (y1 - y0)
+        prev = (row["p"], value)
+    raise ValueError(f"column {column!r} never crosses {target}")
+
+
+def _validate_scan(ps: Sequence[float], trials: int) -> None:
+    if not ps:
+        raise ValueError("scan needs at least one probability")
+    if trials < 1:
+        raise ValueError("scan needs at least one trial")

@@ -1,0 +1,100 @@
+"""Known critical probabilities used throughout the paper.
+
+These are constants of the substrate: the paper's theorems are phrased
+relative to them ("for every ``p > p_c(d)``", "``p = n^{-α}`` with
+``α ≷ 1/2``").  Sources:
+
+* ``p_c(ℤ²) = 1/2`` — Kesten's theorem (exact).
+* ``p_c(ℤ^d)`` for ``d ≥ 3`` — high-precision numerical estimates
+  (Grimmett, *Percolation*; Lorenz & Ziff for d=3); asymptotically
+  ``(1 + o(1))/(2d)``.
+* Hypercube giant component at ``p ≈ 1/n`` — Ajtai–Komlós–Szemerédi.
+* Hypercube connectivity at ``p = 1/2`` — Erdős–Spencer.
+* Hypercube **routing** transition at ``p = n^{-1/2}`` — *this paper*
+  (Theorem 3).
+* Double binary tree at ``p = 1/√2`` — Lemma 6.
+* ``G(n, c/n)`` giant component at ``c = 1``, connectivity at
+  ``p = ln n / n`` — Erdős–Rényi.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "MESH_PC",
+    "double_tree_threshold",
+    "gnp_connectivity_threshold",
+    "gnp_giant_threshold",
+    "hypercube_connectivity_threshold",
+    "hypercube_giant_threshold",
+    "hypercube_routing_threshold",
+    "mesh_critical_probability",
+]
+
+#: Bond-percolation critical probabilities of ℤ^d (d=2 exact, d>=3 numeric).
+MESH_PC: dict[int, float] = {
+    1: 1.0,
+    2: 0.5,
+    3: 0.2488126,
+    4: 0.1601314,
+    5: 0.1181718,
+    6: 0.0942019,
+    7: 0.0786752,
+}
+
+
+def mesh_critical_probability(d: int) -> float:
+    """Return ``p_c(ℤ^d)`` (known value, or the ``1/(2d-1)``-style estimate).
+
+    For ``d`` beyond the tabulated range, returns the mean-field style
+    approximation ``1/(2d - 1)``, which is accurate to a few percent in
+    high dimension (the true value is ``(1 + o(1))/(2d)``).
+    """
+    if d < 1:
+        raise ValueError(f"dimension must be >= 1, got {d}")
+    if d in MESH_PC:
+        return MESH_PC[d]
+    return 1.0 / (2 * d - 1)
+
+
+def hypercube_giant_threshold(n: int) -> float:
+    """Return ``1/n`` — the AKS giant-component threshold of ``H_{n,p}``."""
+    if n < 1:
+        raise ValueError(f"dimension must be >= 1, got {n}")
+    return 1.0 / n
+
+
+def hypercube_connectivity_threshold() -> float:
+    """Return ``1/2`` — the Erdős–Spencer connectivity threshold."""
+    return 0.5
+
+
+def hypercube_routing_threshold(n: int) -> float:
+    """Return ``n^{-1/2}`` — the paper's routing-complexity transition.
+
+    Below this (``p = n^{-α}``, ``α > 1/2``) every local router needs
+    ``2^{Ω(n^β)}`` probes; above it (``α < 1/2``) poly(n) suffices.
+    """
+    if n < 1:
+        raise ValueError(f"dimension must be >= 1, got {n}")
+    return n**-0.5
+
+
+def double_tree_threshold() -> float:
+    """Return ``1/√2`` — the ``TT_n`` root-connectivity threshold."""
+    return math.sqrt(0.5)
+
+
+def gnp_giant_threshold(n: int) -> float:
+    """Return ``1/n`` — ``G(n, c/n)`` has a giant component iff ``c > 1``."""
+    if n < 2:
+        raise ValueError(f"need n >= 2, got {n}")
+    return 1.0 / n
+
+
+def gnp_connectivity_threshold(n: int) -> float:
+    """Return ``ln(n)/n`` — the ``G(n, p)`` connectivity threshold."""
+    if n < 2:
+        raise ValueError(f"need n >= 2, got {n}")
+    return math.log(n) / n

@@ -1,0 +1,68 @@
+"""Routing algorithms: everything the paper defines, plus baselines.
+
+=============================  =========  ==========  =====================
+Router                         model      complete?   paper reference
+=============================  =========  ==========  =====================
+:class:`LocalBFSRouter`        local      yes         "probe the entire graph"
+:class:`DirectedDFSRouter`     local      yes         natural local strategy
+:class:`GreedyRouter`          local      no          remark after Thm 3(ii)
+:class:`WaypointRouter`        local      if r=∞      shared engine
+:class:`HypercubeWaypointRouter`  local   if r=∞      Theorem 3(ii)
+:class:`MeshWaypointRouter`    local      if r=∞      Theorem 4
+:class:`BidirectionalBFSRouter`  oracle   yes         oracle baseline
+:class:`MirrorPairOracleRouter`  oracle   no          Theorem 9
+:class:`GnpLocalRouter`        local      yes         Theorem 10
+:class:`GnpBidirectionalRouter`  oracle   yes         Theorem 11
+:class:`GnpUnidirectionalRouter` oracle   yes         ablation A3
+=============================  =========  ==========  =====================
+
+``local_router_suite`` bundles the complete local routers used to
+exhibit "any local algorithm" lower bounds empirically.
+"""
+
+from repro.routers.bestfirst import BestFirstRouter
+from repro.routers.bfs import BidirectionalBFSRouter, LocalBFSRouter
+from repro.routers.dfs import DirectedDFSRouter, GreedyRouter
+from repro.routers.gnp import (
+    GnpBidirectionalRouter,
+    GnpLocalRouter,
+    GnpUnidirectionalRouter,
+)
+from repro.routers.hybrid import HybridGreedyRouter
+from repro.routers.tree import MirrorPairOracleRouter
+from repro.routers.waypoint import (
+    HypercubeWaypointRouter,
+    MeshWaypointRouter,
+    WaypointRouter,
+)
+
+__all__ = [
+    "BestFirstRouter",
+    "BidirectionalBFSRouter",
+    "DirectedDFSRouter",
+    "GnpBidirectionalRouter",
+    "GnpLocalRouter",
+    "GnpUnidirectionalRouter",
+    "GreedyRouter",
+    "HybridGreedyRouter",
+    "HypercubeWaypointRouter",
+    "LocalBFSRouter",
+    "MeshWaypointRouter",
+    "MirrorPairOracleRouter",
+    "WaypointRouter",
+    "local_router_suite",
+]
+
+
+def local_router_suite() -> list:
+    """The complete local routers representing "any local algorithm".
+
+    Used by lower-bound experiments (E2, E7, E9): each member's measured
+    complexity must respect the Lemma 5 certificate.
+    """
+    return [
+        LocalBFSRouter(),
+        DirectedDFSRouter(),
+        BestFirstRouter(),
+        WaypointRouter(),
+    ]

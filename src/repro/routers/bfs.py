@@ -1,0 +1,127 @@
+"""Breadth-first routers — the completeness baselines.
+
+:class:`LocalBFSRouter` is the paper's "simple upper bound": probing the
+whole reachable cluster (tantamount to probing the entire graph) always
+finds a path if one exists.  Every other local algorithm is measured
+against it.
+
+:class:`BidirectionalBFSRouter` is the analogous oracle-model baseline:
+it alternates BFS layers from both endpoints, which is legal only
+because oracle routing may probe around the *target* before having
+reached it.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.core.probe import ProbeOracle
+from repro.core.router import Router
+from repro.graphs.base import Vertex
+
+__all__ = ["BidirectionalBFSRouter", "LocalBFSRouter"]
+
+
+def _backtrack(parent: dict, v: Vertex) -> list[Vertex]:
+    path = [v]
+    while parent[path[-1]] is not None:
+        path.append(parent[path[-1]])
+    path.reverse()
+    return path
+
+
+class LocalBFSRouter(Router):
+    """Exhaustive local BFS: probe every edge adjacent to the reached set.
+
+    Complete: if it returns ``None`` (and no budget interfered), the
+    source's open cluster was fully explored and does not contain the
+    target.
+    """
+
+    name = "local-bfs"
+    is_local = True
+    is_complete = True
+
+    def _route(
+        self, oracle: ProbeOracle, source: Vertex, target: Vertex
+    ) -> list[Vertex] | None:
+        if source == target:
+            return [source]
+        graph = oracle.graph
+        parent: dict[Vertex, Vertex | None] = {source: None}
+        queue: deque[Vertex] = deque([source])
+        while queue:
+            x = queue.popleft()
+            for y in graph.neighbors(x):
+                if not oracle.probe(x, y):
+                    continue
+                if y in parent:
+                    continue
+                parent[y] = x
+                if y == target:
+                    return _backtrack(parent, y)
+                queue.append(y)
+        return None
+
+
+class BidirectionalBFSRouter(Router):
+    """Oracle-model BFS growing simultaneously from source and target.
+
+    Alternates expanding the smaller frontier; stops when the two trees
+    meet.  Complete, like the local version, but typically explores the
+    square root of the volume on graphs with exponential growth.
+    """
+
+    name = "bidirectional-bfs"
+    is_local = False
+    is_complete = True
+
+    def _route(
+        self, oracle: ProbeOracle, source: Vertex, target: Vertex
+    ) -> list[Vertex] | None:
+        if source == target:
+            return [source]
+        graph = oracle.graph
+        parent_s: dict[Vertex, Vertex | None] = {source: None}
+        parent_t: dict[Vertex, Vertex | None] = {target: None}
+        queue_s: deque[Vertex] = deque([source])
+        queue_t: deque[Vertex] = deque([target])
+        while queue_s and queue_t:
+            # expand the smaller live frontier
+            if len(queue_s) <= len(queue_t):
+                meet = self._expand(oracle, queue_s, parent_s, parent_t)
+            else:
+                meet = self._expand(oracle, queue_t, parent_t, parent_s)
+            if meet is not None:
+                return self._join(parent_s, parent_t, meet, source)
+        return None
+
+    @staticmethod
+    def _expand(
+        oracle: ProbeOracle,
+        queue: deque,
+        own: dict,
+        other: dict,
+    ) -> Vertex | None:
+        """Expand one vertex; return a meeting vertex if trees touch."""
+        x = queue.popleft()
+        for y in oracle.graph.neighbors(x):
+            if not oracle.probe(x, y):
+                continue
+            if y not in own:
+                own[y] = x
+                queue.append(y)
+            if y in other:
+                return y
+        return None
+
+    @staticmethod
+    def _join(
+        parent_s: dict, parent_t: dict, meet: Vertex, source: Vertex
+    ) -> list[Vertex]:
+        left = _backtrack(parent_s, meet)  # source … meet
+        right = _backtrack(parent_t, meet)  # target … meet
+        right.reverse()  # meet … target
+        if left[0] != source:  # pragma: no cover - defensive
+            raise AssertionError("source tree backtrack broken")
+        return left + right[1:]

@@ -1,0 +1,112 @@
+"""Double-binary-tree routers (Theorems 7 and 9).
+
+The local side needs no special code — :class:`DirectedDFSRouter` *is*
+the natural local strategy on ``TT_n`` (dive to a leaf, climb while
+open, backtrack), and Theorem 7 says every local strategy pays
+``≈ p^{-n}`` anyway.  What does need special code is the paper's oracle
+trick:
+
+:class:`MirrorPairOracleRouter` (Theorem 9) probes each tree-``a`` edge
+**together with its mirror** in tree ``b``.  A pair is "open" iff both
+edges are; pairs are independent with probability ``p²``, so the open
+pairs below the root form a Galton–Watson tree that is supercritical
+exactly when ``p > 1/√2`` (Lemma 6's threshold).  A DFS over open pairs
+reaching a leaf ``w`` certifies simultaneously the branch ``x → w`` in
+tree ``a`` and the mirrored branch ``w → y`` in tree ``b``; the expected
+number of pairs probed is O(n) because failed branches are subcritical
+GW trees of finite expected size.
+"""
+
+from __future__ import annotations
+
+from repro.core.probe import ProbeOracle
+from repro.core.router import Router
+from repro.graphs.base import Vertex
+from repro.graphs.double_tree import DoubleBinaryTree
+
+__all__ = ["MirrorPairOracleRouter"]
+
+
+class MirrorPairOracleRouter(Router):
+    """Theorem 9's oracle router between the roots of ``TT_n``.
+
+    Only routes root-to-root on a :class:`DoubleBinaryTree` (the paper's
+    setting); anything else raises :class:`ValueError`.  Incomplete by
+    design: it only finds *mirror-symmetric* paths, which exist with
+    probability bounded away from 0 iff ``p > 1/√2`` — when the roots
+    are connected but no mirror path exists, it returns ``None``.
+    """
+
+    name = "mirror-pair-oracle"
+    is_local = False
+    is_complete = False
+
+    def _route(
+        self, oracle: ProbeOracle, source: Vertex, target: Vertex
+    ) -> list[Vertex] | None:
+        graph = oracle.graph
+        if not isinstance(graph, DoubleBinaryTree):
+            raise ValueError(
+                "MirrorPairOracleRouter only runs on DoubleBinaryTree, "
+                f"got {graph.name}"
+            )
+        roots = set(graph.roots())
+        if {source, target} != roots:
+            raise ValueError(
+                "MirrorPairOracleRouter routes between the two roots; got "
+                f"{source!r} → {target!r}"
+            )
+        # DFS from the source root over mirror-open edge pairs.  We walk
+        # tree `source_side` explicitly; every probe also queries the
+        # mirrored edge of the other tree.
+        source_side = source[0]
+        leaf = self._pair_dfs(oracle, graph, source_side)
+        if leaf is None:
+            return None
+        # Certified open: source-side branch to `leaf` and its mirror.
+        down = graph.shortest_path(source, leaf)
+        up = graph.shortest_path(leaf, target)
+        return down + up[1:]
+
+    def _pair_dfs(
+        self,
+        oracle: ProbeOracle,
+        graph: DoubleBinaryTree,
+        side: str,
+    ) -> Vertex | None:
+        """Return a leaf reachable from the ``side`` root via open pairs."""
+        root = (side, 1)
+        stack: list[Vertex] = [root]
+        while stack:
+            node = stack.pop()
+            if node[0] == "leaf":
+                return node
+            for child in self._children(graph, node):
+                if self._pair_open(oracle, graph, node, child):
+                    stack.append(child)
+        return None
+
+    @staticmethod
+    def _children(graph: DoubleBinaryTree, node: Vertex) -> list[Vertex]:
+        """The two downward neighbours of an internal node."""
+        side, k = node
+        return [
+            graph._from_heap(side, 2 * k),
+            graph._from_heap(side, 2 * k + 1),
+        ]
+
+    @staticmethod
+    def _pair_open(
+        oracle: ProbeOracle,
+        graph: DoubleBinaryTree,
+        parent: Vertex,
+        child: Vertex,
+    ) -> bool:
+        """Probe an edge together with its mirror (two queries)."""
+        edge = graph.edge_key(parent, child)
+        mirror = graph.mirror_edge(edge)
+        # Probe both unconditionally: the paper's pair-probing costs two
+        # queries per pair; short-circuiting would only flatter us.
+        first = oracle.probe(*edge)
+        second = oracle.probe(*mirror)
+        return first and second

@@ -1,0 +1,160 @@
+"""Waypoint routing — the shared engine behind Theorems 3(ii) and 4.
+
+Both upper-bound algorithms in the paper have the same shape:
+
+1. Fix a geodesic ``u = u_0, u_1, …, u_m = v`` of the *non-faulty*
+   graph (hypercube: flip differing bits in order; mesh: adjust
+   coordinates — both provided by ``graph.shortest_path``).
+2. From the current waypoint, run a breadth-first search **in the
+   percolated graph** (probing as it goes) until it stumbles on *any*
+   later waypoint ``u_j`` (``j > i``); hop there and repeat.
+
+On the mesh (Theorem 4), for any ``p > p_c`` the next giant-component
+waypoint is O(1) hops along the geodesic and O(1) chemical distance
+away, so each segment costs O(1) expected probes and the total is
+O(n).  On the hypercube with ``p = n^{-α}``, ``α < 1/2`` (Theorem
+3(ii)), consecutive waypoints are "good" vertices w.h.p. and their
+percolation distance is bounded by ``l(α) = O((1-2α)^{-1})``, giving
+``poly(n)`` total probes with probability ``1 - exp(-c n^{1-α})``.
+
+``max_radius`` caps the per-segment search depth.  With ``None`` the
+search may exhaust the whole open cluster, which makes the router
+*complete* (the last waypoint is the target itself); a finite cap
+trades completeness for the paper's poly(n) guarantee and is what the
+A2 ablation varies.
+"""
+
+from __future__ import annotations
+
+from repro.core.probe import ProbeOracle
+from repro.core.router import Router
+from repro.graphs.base import Vertex
+
+__all__ = ["HypercubeWaypointRouter", "MeshWaypointRouter", "WaypointRouter"]
+
+
+class WaypointRouter(Router):
+    """Geodesic-waypoint router with bounded per-segment BFS."""
+
+    is_local = True
+
+    def __init__(
+        self, max_radius: int | None = None, name: str | None = None
+    ) -> None:
+        if max_radius is not None and max_radius < 1:
+            raise ValueError(f"max_radius must be >= 1, got {max_radius}")
+        self.max_radius = max_radius
+        # Unbounded segment search explores the full open cluster before
+        # giving up, and the target is itself a waypoint => complete.
+        self.is_complete = max_radius is None
+        self.name = name or (
+            "waypoint" if max_radius is None else f"waypoint(r<={max_radius})"
+        )
+
+    def _route(
+        self, oracle: ProbeOracle, source: Vertex, target: Vertex
+    ) -> list[Vertex] | None:
+        if source == target:
+            return [source]
+        waypoints = oracle.graph.shortest_path(source, target)
+        index = {w: j for j, w in enumerate(waypoints)}
+        path = [source]
+        current = source
+        position = 0
+        while current != target:
+            segment = self._segment_search(oracle, current, index, position)
+            if segment is None:
+                return None
+            path.extend(segment[1:])
+            current = segment[-1]
+            position = index[current]
+        return path
+
+    def _segment_search(
+        self,
+        oracle: ProbeOracle,
+        start: Vertex,
+        index: dict[Vertex, int],
+        position: int,
+    ) -> list[Vertex] | None:
+        """BFS in the percolated graph until a waypoint past ``position``.
+
+        Returns the open path from ``start`` to the discovered waypoint,
+        or ``None`` if the (radius-capped) search exhausts.
+        """
+        graph = oracle.graph
+        parent: dict[Vertex, Vertex | None] = {start: None}
+        frontier = [start]
+        depth = 0
+        while frontier:
+            depth += 1
+            if self.max_radius is not None and depth > self.max_radius:
+                return None
+            next_frontier: list[Vertex] = []
+            for x in frontier:
+                for y in graph.neighbors(x):
+                    if y in parent:
+                        continue
+                    if not oracle.probe(x, y):
+                        continue
+                    parent[y] = x
+                    if index.get(y, -1) > position:
+                        out = [y]
+                        while parent[out[-1]] is not None:
+                            out.append(parent[out[-1]])
+                        out.reverse()
+                        return out
+                    next_frontier.append(y)
+            frontier = next_frontier
+        return None
+
+
+class HypercubeWaypointRouter(WaypointRouter):
+    """Theorem 3(ii): waypoints along a bit-flip geodesic.
+
+    The default radius cap follows the paper's ``l(α) = O((1-2α)^{-1})``
+    percolation-distance bound between consecutive good vertices; pass
+    ``alpha`` to set it, or ``max_radius`` explicitly.
+    """
+
+    def __init__(
+        self,
+        alpha: float | None = None,
+        max_radius: int | None = None,
+        slack: int = 2,
+    ) -> None:
+        if alpha is not None:
+            if not 0 <= alpha < 0.5:
+                raise ValueError(
+                    f"theorem 3(ii) requires alpha in [0, 1/2), got {alpha}"
+                )
+            if max_radius is not None:
+                raise ValueError("pass either alpha or max_radius, not both")
+            max_radius = max(3, round(slack / (1 - 2 * alpha)))
+        super().__init__(
+            max_radius=max_radius,
+            name=(
+                "hypercube-waypoint"
+                if max_radius is None
+                else f"hypercube-waypoint(r<={max_radius})"
+            ),
+        )
+
+
+class MeshWaypointRouter(WaypointRouter):
+    """Theorem 4: waypoints along a lattice geodesic, unbounded search.
+
+    Unbounded per-segment BFS keeps the router complete; above ``p_c``
+    the expected per-segment work is O(1) anyway (Antal–Pisztora), which
+    is exactly what experiment E4 measures.
+    """
+
+    def __init__(self, max_radius: int | None = None) -> None:
+        super().__init__(
+            max_radius=max_radius,
+            name=(
+                "mesh-waypoint"
+                if max_radius is None
+                else f"mesh-waypoint(r<={max_radius})"
+            ),
+        )

@@ -1,0 +1,106 @@
+"""Terminal-friendly plots: bars and scatter charts with log axes.
+
+Examples and benchmark logs need shape-at-a-glance output without a
+plotting dependency.  Everything renders to plain strings.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+__all__ = ["bar_chart", "scatter_plot", "sparkline"]
+
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """Render values as a one-line unicode sparkline.
+
+    >>> sparkline([0, 1, 2, 3])
+    '▁▃▅█'
+    """
+    if not values:
+        raise ValueError("nothing to plot")
+    lo = min(values)
+    hi = max(values)
+    span = hi - lo
+    if span == 0:
+        return _SPARK_LEVELS[0] * len(values)
+    out = []
+    for v in values:
+        idx = int((v - lo) / span * (len(_SPARK_LEVELS) - 1))
+        out.append(_SPARK_LEVELS[idx])
+    return "".join(out)
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 40,
+    fill: str = "#",
+) -> str:
+    """Render labelled horizontal bars scaled to the maximum value."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have equal length")
+    if not values:
+        raise ValueError("nothing to plot")
+    if any(v < 0 for v in values):
+        raise ValueError("bar chart needs non-negative values")
+    peak = max(values) or 1.0
+    label_width = max(len(str(lab)) for lab in labels)
+    lines = []
+    for lab, v in zip(labels, values):
+        bar = fill * round(v / peak * width)
+        lines.append(f"{str(lab).rjust(label_width)} |{bar} {v:g}")
+    return "\n".join(lines)
+
+
+def scatter_plot(
+    xs: Sequence[float],
+    ys: Sequence[float],
+    width: int = 60,
+    height: int = 18,
+    logx: bool = False,
+    logy: bool = False,
+    marker: str = "*",
+) -> str:
+    """Render an (x, y) scatter as a character grid with axis ranges.
+
+    ``logx``/``logy`` plot in log10 space (all data must be positive).
+    """
+    if len(xs) != len(ys):
+        raise ValueError("xs and ys must have equal length")
+    if not xs:
+        raise ValueError("nothing to plot")
+    if width < 2 or height < 2:
+        raise ValueError("plot must be at least 2x2")
+
+    def transform(values, log):
+        if not log:
+            return [float(v) for v in values]
+        if any(v <= 0 for v in values):
+            raise ValueError("log axis requires positive values")
+        return [math.log10(v) for v in values]
+
+    tx = transform(xs, logx)
+    ty = transform(ys, logy)
+    x_lo, x_hi = min(tx), max(tx)
+    y_lo, y_hi = min(ty), max(ty)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for x, y in zip(tx, ty):
+        col = round((x - x_lo) / x_span * (width - 1))
+        row = round((y - y_lo) / y_span * (height - 1))
+        grid[height - 1 - row][col] = marker
+
+    def fmt(v, log):
+        return f"1e{v:.2g}" if log else f"{v:g}"
+
+    lines = [f"y: {fmt(y_lo, logy)} .. {fmt(y_hi, logy)}"]
+    lines += ["|" + "".join(row) for row in grid]
+    lines.append("+" + "-" * width)
+    lines.append(f"x: {fmt(x_lo, logx)} .. {fmt(x_hi, logx)}")
+    return "\n".join(lines)

@@ -1,0 +1,151 @@
+"""Bit-level helpers for hypercube vertices and pair indexing.
+
+Hypercube vertices are represented as Python ints in ``[0, 2**n)``; the
+``i``-th bit is the ``i``-th coordinate.  ``G(n, p)`` percolation samples
+vertex *pairs* by a flat triangular index, so the conversions between
+``(i, j)`` pairs and indices live here too.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+__all__ = [
+    "bit_indices",
+    "flip_bit",
+    "gray_code",
+    "hamming_distance",
+    "hypercube_geodesic",
+    "pair_from_index",
+    "pair_index",
+    "popcount",
+]
+
+
+def popcount(x: int) -> int:
+    """Return the number of set bits of a non-negative int.
+
+    >>> popcount(0b1011)
+    3
+    """
+    if x < 0:
+        raise ValueError("popcount is defined for non-negative ints")
+    return x.bit_count()
+
+
+def hamming_distance(x: int, y: int) -> int:
+    """Return the Hamming distance between two bit vectors.
+
+    This is the graph distance between vertices ``x`` and ``y`` of the
+    hypercube.
+
+    >>> hamming_distance(0b0000, 0b0110)
+    2
+    """
+    return popcount(x ^ y)
+
+
+def flip_bit(x: int, i: int) -> int:
+    """Return ``x`` with bit ``i`` flipped (a hypercube neighbour).
+
+    >>> flip_bit(0b100, 0)
+    5
+    """
+    if i < 0:
+        raise ValueError("bit index must be non-negative")
+    return x ^ (1 << i)
+
+
+def bit_indices(x: int) -> list[int]:
+    """Return the sorted indices of set bits of ``x``.
+
+    >>> bit_indices(0b10110)
+    [1, 2, 4]
+    """
+    if x < 0:
+        raise ValueError("bit_indices is defined for non-negative ints")
+    out = []
+    i = 0
+    while x:
+        if x & 1:
+            out.append(i)
+        x >>= 1
+        i += 1
+    return out
+
+
+def hypercube_geodesic(u: int, v: int) -> list[int]:
+    """Return one shortest path from ``u`` to ``v`` in the hypercube.
+
+    The path flips the differing coordinates in increasing index order,
+    so it is deterministic.  The returned list includes both endpoints and
+    has length ``hamming_distance(u, v) + 1``.
+
+    >>> hypercube_geodesic(0b00, 0b11)
+    [0, 1, 3]
+    """
+    path = [u]
+    x = u
+    for i in bit_indices(u ^ v):
+        x = flip_bit(x, i)
+        path.append(x)
+    return path
+
+
+def gray_code(k: int) -> int:
+    """Return the ``k``-th Gray code word.
+
+    Consecutive Gray codes are hypercube neighbours, which makes this a
+    convenient Hamiltonian-path generator for tests.
+
+    >>> [gray_code(k) for k in range(4)]
+    [0, 1, 3, 2]
+    """
+    if k < 0:
+        raise ValueError("gray_code index must be non-negative")
+    return k ^ (k >> 1)
+
+
+def pair_index(i: int, j: int) -> int:
+    """Return the triangular index of the unordered pair ``{i, j}``.
+
+    Pairs with ``0 <= i < j`` are numbered ``0, 1, 2, ...`` in
+    lexicographic order of ``(j, i)``: pair ``{0,1}`` is 0, ``{0,2}`` is 1,
+    ``{1,2}`` is 2, and in general ``index = j*(j-1)//2 + i``.
+
+    >>> pair_index(0, 1), pair_index(0, 2), pair_index(1, 2)
+    (0, 1, 2)
+    """
+    if i == j:
+        raise ValueError("pairs are between distinct vertices")
+    if i > j:
+        i, j = j, i
+    if i < 0:
+        raise ValueError("vertex ids must be non-negative")
+    return j * (j - 1) // 2 + i
+
+
+def pair_from_index(index: int) -> tuple[int, int]:
+    """Invert :func:`pair_index`.
+
+    >>> pair_from_index(pair_index(3, 7))
+    (3, 7)
+    """
+    if index < 0:
+        raise ValueError("pair index must be non-negative")
+    # j is the largest integer with j*(j-1)/2 <= index.
+    j = int(((8 * index + 1) ** 0.5 + 1) / 2)
+    # Float sqrt can be off by one near perfect squares; correct it.
+    while j * (j - 1) // 2 > index:
+        j -= 1
+    while (j + 1) * j // 2 <= index:
+        j += 1
+    i = index - j * (j - 1) // 2
+    return i, j
+
+
+def iter_pairs(n: int) -> Iterator[tuple[int, int]]:
+    """Yield all unordered pairs over ``range(n)`` in triangular order."""
+    for j in range(n):
+        for i in range(j):
+            yield i, j

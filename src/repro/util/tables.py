@@ -1,0 +1,105 @@
+"""Plain-text and CSV rendering of result tables.
+
+The benchmark harness prints paper-style tables to stdout and optionally
+persists them as CSV.  Kept dependency-free on purpose: the tables must
+render identically in CI logs and in a terminal.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from collections.abc import Mapping, Sequence
+from pathlib import Path
+
+__all__ = ["format_value", "render_csv", "render_table", "write_csv"]
+
+
+def format_value(value: object, precision: int = 4) -> str:
+    """Format one cell: floats compactly, everything else via ``str``.
+
+    Large/small floats switch to scientific notation so exponential
+    blow-ups (e.g. double-tree local routing) stay readable.
+    """
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if value == 0:
+            return "0"
+        if abs(value) >= 1e6 or abs(value) < 1e-4:
+            return f"{value:.{precision}g}"
+        text = f"{value:.{precision}f}"
+        return text.rstrip("0").rstrip(".") if "." in text else text
+    return str(value)
+
+
+def _normalise(
+    rows: Sequence[Mapping[str, object]],
+    columns: Sequence[str] | None,
+) -> tuple[list[str], list[list[str]]]:
+    if columns is None:
+        columns = []
+        seen = set()
+        for row in rows:
+            for key in row:
+                if key not in seen:
+                    seen.add(key)
+                    columns.append(key)
+    body = [[format_value(row.get(col, "")) for col in columns] for row in rows]
+    return list(columns), body
+
+
+def render_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Sequence[str] | None = None,
+    title: str | None = None,
+) -> str:
+    """Render rows of dicts as a fixed-width text table.
+
+    Column order follows ``columns`` if given, otherwise first-seen order
+    across rows.  Missing cells render empty.
+    """
+    columns, body = _normalise(rows, columns)
+    if not columns:
+        return (title + "\n") if title else ""
+    widths = [
+        max(len(col), *(len(r[i]) for r in body)) if body else len(col)
+        for i, col in enumerate(columns)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = " | ".join(col.ljust(w) for col, w in zip(columns, widths))
+    rule = "-+-".join("-" * w for w in widths)
+    lines.append(header)
+    lines.append(rule)
+    for row in body:
+        lines.append(" | ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_csv(
+    rows: Sequence[Mapping[str, object]],
+    columns: Sequence[str] | None = None,
+) -> str:
+    """Render rows as CSV text (header + one line per row)."""
+    columns, body = _normalise(rows, columns)
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(columns)
+    writer.writerows(body)
+    return buffer.getvalue()
+
+
+def write_csv(
+    path: str | Path,
+    rows: Sequence[Mapping[str, object]],
+    columns: Sequence[str] | None = None,
+) -> Path:
+    """Write rows as CSV to ``path`` (parents created) and return it."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(render_csv(rows, columns), encoding="utf-8")
+    return path

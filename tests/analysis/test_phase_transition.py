@@ -1,0 +1,91 @@
+"""Tests for repro.analysis.phase_transition."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.phase_transition import (
+    crossing_point,
+    exponential_tail_rate,
+    scaling_exponent,
+    sharpest_rise,
+)
+
+
+class TestCrossingPoint:
+    def test_linear_interpolation(self):
+        assert crossing_point([0, 1], [0, 1], 0.25) == pytest.approx(0.25)
+
+    def test_first_crossing_wins(self):
+        xs = [0, 1, 2, 3]
+        ys = [0, 1, 0, 1]
+        assert crossing_point(xs, ys, 0.5) == pytest.approx(0.5)
+
+    def test_never_crosses(self):
+        with pytest.raises(ValueError):
+            crossing_point([0, 1], [0.8, 0.9], 0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            crossing_point([0], [1], 0.5)
+
+
+class TestSharpestRise:
+    def test_sigmoid_center(self):
+        xs = list(np.linspace(-3, 3, 61))
+        ys = [1 / (1 + math.exp(-4 * x)) for x in xs]
+        assert abs(sharpest_rise(xs, ys)) < 0.2
+
+    def test_step_function(self):
+        xs = [0, 1, 2, 3]
+        ys = [0, 0, 1, 1]
+        assert sharpest_rise(xs, ys) == pytest.approx(1.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            sharpest_rise([1], [1])
+
+
+class TestScalingExponent:
+    def test_recovers_power_law(self):
+        ns = [16, 32, 64, 128, 256]
+        qs = [7.0 * n**1.5 for n in ns]
+        fit = scaling_exponent(ns, qs)
+        assert fit["exponent"] == pytest.approx(1.5, abs=1e-9)
+        assert fit["r2"] == pytest.approx(1.0)
+
+    def test_ci_contains_truth_with_noise(self):
+        rng = np.random.default_rng(0)
+        ns = [2**k for k in range(4, 11)]
+        qs = [n**2.0 * math.exp(rng.normal(0, 0.05)) for n in ns]
+        fit = scaling_exponent(ns, qs, seed=1)
+        assert fit["ci_lo"] <= 2.0 <= fit["ci_hi"] + 0.2
+
+    def test_deterministic(self):
+        ns = [10, 20, 40]
+        qs = [5, 12, 22]
+        assert scaling_exponent(ns, qs, seed=4) == scaling_exponent(
+            ns, qs, seed=4
+        )
+
+
+class TestExponentialTailRate:
+    def test_recovers_rate(self):
+        rng = np.random.default_rng(2)
+        lam = 0.5
+        sample = rng.exponential(1 / lam, size=4000)
+        rate = exponential_tail_rate(sample, tail_from=1.0)
+        assert rate == pytest.approx(lam, rel=0.25)
+
+    def test_heavier_tail_has_smaller_rate(self):
+        rng = np.random.default_rng(3)
+        light = rng.exponential(1.0, size=3000)
+        heavy = rng.exponential(3.0, size=3000)
+        assert exponential_tail_rate(heavy, 1.0) < exponential_tail_rate(
+            light, 1.0
+        )
+
+    def test_needs_tail_points(self):
+        with pytest.raises(ValueError):
+            exponential_tail_rate([1.0, 1.0], tail_from=5.0)

@@ -1,0 +1,164 @@
+"""Tests for repro.analysis.theory."""
+
+import math
+
+import pytest
+
+from repro.analysis.theory import (
+    double_tree_connection_probability,
+    gnp_giant_fraction,
+    gnp_local_lower_bound,
+    gnp_oracle_lower_bound,
+    hypercube_eta_series_ratio,
+    log10_ak_bound,
+    log10_hypercube_eta,
+    log10_hypercube_lower_bound_queries,
+    theorem3ii_success_probability,
+    theorem7_bound,
+)
+
+
+class TestHypercubeBounds:
+    def test_series_ratio_formula(self):
+        assert hypercube_eta_series_ratio(16, 0.75, 0.2) == pytest.approx(
+            16 ** (1 + 0.4 - 1.5)
+        )
+
+    def test_series_converges_iff_beta_small(self):
+        assert hypercube_eta_series_ratio(100, 0.8, 0.25) < 1
+        assert hypercube_eta_series_ratio(100, 0.8, 0.35) > 1
+
+    def test_eta_decreases_with_alpha(self):
+        etas = [log10_hypercube_eta(64, a, 0.1) for a in (0.7, 0.8, 0.9)]
+        assert etas == sorted(etas, reverse=True)
+
+    def test_eta_diverging_series_raises(self):
+        with pytest.raises(ValueError):
+            log10_hypercube_eta(64, 0.6, 0.4)
+
+    def test_eta_is_tiny(self):
+        # l = n^β = 2^6 = 64 flips of weight n^{β-α} each
+        assert log10_hypercube_eta(2**20, 0.85, 0.3) < -50
+
+    def test_lower_bound_queries_grow_with_n(self):
+        qs = [
+            log10_hypercube_lower_bound_queries(n, 0.8, 0.2)
+            for n in (64, 256, 1024)
+        ]
+        assert qs == sorted(qs)
+
+    def test_lower_bound_superpolynomial(self):
+        # 2^{Ω(n^β)}: at n = 2^24, β = 0.3 the bound exceeds n^20
+        n = 2**24
+        lb = log10_hypercube_lower_bound_queries(n, 0.85, 0.3)
+        assert lb > 20 * math.log10(n)
+
+    def test_ak_bound_log_matches_exact(self):
+        from repro.analysis.path_counting import ak_bound
+
+        n, l, k = 8, 4, 3
+        assert log10_ak_bound(n, l, k) == pytest.approx(
+            math.log10(ak_bound(n, l, k))
+        )
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            log10_hypercube_eta(1, 0.8, 0.2)
+        with pytest.raises(ValueError):
+            log10_hypercube_lower_bound_queries(64, 1.5, 0.2)
+
+
+class TestTheorem3ii:
+    def test_probability_increases_with_n(self):
+        ps = [theorem3ii_success_probability(n, 0.3) for n in (4, 16, 64)]
+        assert ps == sorted(ps)
+
+    def test_tends_to_one(self):
+        assert theorem3ii_success_probability(10**4, 0.4) > 0.999
+
+    def test_rejects_alpha_beyond_half(self):
+        with pytest.raises(ValueError):
+            theorem3ii_success_probability(16, 0.6)
+
+
+class TestDoubleTree:
+    def test_depth_zero(self):
+        assert double_tree_connection_probability(0.9, 0) == 1.0
+
+    def test_monotone_in_p(self):
+        values = [
+            double_tree_connection_probability(p, 6)
+            for p in (0.5, 0.7, 0.8, 0.95)
+        ]
+        assert values == sorted(values)
+
+    def test_subcritical_vanishes(self):
+        # p = 0.6 < 1/√2: deep trees disconnect
+        assert double_tree_connection_probability(0.6, 60) < 1e-3
+
+    def test_supercritical_persists(self):
+        # p = 0.85 > 1/√2: limit is positive
+        deep = double_tree_connection_probability(0.85, 200)
+        deeper = double_tree_connection_probability(0.85, 400)
+        assert deep > 0.2
+        assert deep == pytest.approx(deeper, abs=1e-6)
+
+    def test_theorem7_bound_linear_in_t(self):
+        b1 = theorem7_bound(0.8, 20, 10)
+        b2 = theorem7_bound(0.8, 20, 20)
+        assert b2 == pytest.approx(2 * b1)
+
+    def test_theorem7_bound_capped(self):
+        assert theorem7_bound(0.8, 4, 10**9) == 1.0
+
+    def test_theorem7_exponential_query_requirement(self):
+        # to reach bound 1/2 one needs t ≈ c(p)/(2 p^n): grows like p^-n
+        p = 0.8
+        t_needed = []
+        for depth in (6, 12, 18):
+            c = double_tree_connection_probability(p, depth)
+            t_needed.append(0.5 * c / p**depth)
+        # each +6 depth multiplies the requirement by ≈ p^-6 ≈ 3.8
+        assert t_needed[1] / t_needed[0] > 3
+        assert t_needed[2] / t_needed[1] > 3
+
+
+class TestGnp:
+    def test_giant_fraction_zero_subcritical(self):
+        assert gnp_giant_fraction(0.8) == 0.0
+        assert gnp_giant_fraction(1.0) == 0.0
+
+    def test_giant_fraction_known_value(self):
+        # c = 2: θ solves θ = 1 - e^{-2θ} ⇒ θ ≈ 0.79681
+        assert gnp_giant_fraction(2.0) == pytest.approx(0.79681, abs=1e-4)
+
+    def test_giant_fraction_monotone(self):
+        values = [gnp_giant_fraction(c) for c in (1.2, 2.0, 4.0, 8.0)]
+        assert values == sorted(values)
+
+    def test_local_lower_bound_shape(self):
+        # quadrupling k doubles the bound (√k scaling)
+        b1 = gnp_local_lower_bound(10**5, 2.0, 10_000, a=0.5)
+        b2 = gnp_local_lower_bound(10**5, 2.0, 40_000, a=0.5)
+        assert b2 == pytest.approx(2 * b1)
+
+    def test_local_lower_bound_small_for_subquadratic_k(self):
+        n = 10**5
+        assert gnp_local_lower_bound(n, 2.0, n, a=0.5) < 0.1
+
+    def test_oracle_lower_bound_shape(self):
+        n = 10**4
+        b_small = gnp_oracle_lower_bound(n, 1.0, 0.001)
+        b_large = gnp_oracle_lower_bound(n, 1.0, 0.5)
+        assert b_small < b_large
+
+    def test_oracle_lower_bound_caps(self):
+        assert gnp_oracle_lower_bound(100, 3.0, 10.0) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            gnp_giant_fraction(-1)
+        with pytest.raises(ValueError):
+            gnp_local_lower_bound(1, 2.0, 1, 0.5)
+        with pytest.raises(ValueError):
+            gnp_oracle_lower_bound(100, 0.0, 0.1)

@@ -1,0 +1,165 @@
+"""Tests for repro.core.lower_bounds — the Lemma 5 certificate."""
+
+import math
+
+import pytest
+
+from repro.core.complexity import measure_complexity
+from repro.core.lower_bounds import (
+    Lemma5Certificate,
+    ball,
+    cut_edges,
+    estimate_certificate,
+)
+from repro.graphs.double_tree import DoubleBinaryTree
+from repro.graphs.explicit import ExplicitGraph, path_graph
+from repro.graphs.hypercube import Hypercube
+from repro.routers.bfs import LocalBFSRouter
+from repro.routers.dfs import DirectedDFSRouter
+
+
+class TestBallAndCut:
+    def test_ball_radius_zero(self):
+        g = Hypercube(3)
+        assert ball(g, 0, 0) == {0}
+
+    def test_ball_radius_one(self):
+        g = Hypercube(3)
+        assert ball(g, 0, 1) == {0, 1, 2, 4}
+
+    def test_ball_rejects_negative(self):
+        with pytest.raises(ValueError):
+            ball(Hypercube(3), 0, -1)
+
+    def test_cut_edges_of_ball(self):
+        g = path_graph(5)
+        s = {0, 1, 2}
+        assert cut_edges(g, s) == [(2, 3)]
+
+    def test_cut_edges_count_hypercube(self):
+        g = Hypercube(4)
+        s = ball(g, 0, 1)  # center + 4 neighbours
+        # each neighbour has 3 edges leaving the ball (one goes to 0,
+        # none to sibling neighbours since those are at distance 2)
+        assert len(cut_edges(g, s)) == 12
+
+
+class TestCertificateMath:
+    def test_bound_formula(self):
+        cert = Lemma5Certificate(
+            eta_max=0.01,
+            eta_mean=0.005,
+            pr_uv_in_s=0.1,
+            pr_uv=0.8,
+            trials=100,
+            cut_size=10,
+        )
+        assert cert.bound(10) == pytest.approx((10 * 0.01 + 0.1) / 0.8)
+
+    def test_bound_capped_at_one(self):
+        cert = Lemma5Certificate(1.0, 1.0, 0.0, 0.5, 10, 2)
+        assert cert.bound(100) == 1.0
+
+    def test_bound_with_explicit_eta(self):
+        cert = Lemma5Certificate(0.5, 0.4, 0.0, 1.0, 10, 2)
+        assert cert.bound(1, eta=0.1) == pytest.approx(0.1)
+
+    def test_min_queries_inversion(self):
+        cert = Lemma5Certificate(0.001, 0.001, 0.0, 1.0, 10, 2)
+        t = cert.min_queries_for(0.5)
+        assert cert.bound(t) == pytest.approx(0.5)
+
+    def test_zero_pr_uv_raises(self):
+        cert = Lemma5Certificate(0.1, 0.1, 0.0, 0.0, 10, 2)
+        with pytest.raises(ValueError):
+            cert.bound(1)
+
+
+class TestEstimation:
+    def test_path_graph_exact_values(self):
+        # Path 0-1-2-3-4, S = {2,3,4}, v=4, u=0.  Cut edge (1,2); the
+        # S-endpoint is 2; Pr[4 ~ 2 in S] = p² exactly.
+        g = path_graph(4)
+        p = 0.6
+        cert = estimate_certificate(
+            g, p, s={2, 3, 4}, source=0, target=4, trials=3000, seed=0
+        )
+        assert cert.cut_size == 1
+        se = math.sqrt(p**2 * (1 - p**2) / 3000)
+        assert abs(cert.eta_max - p * p) < 5 * se
+        # u outside S ⇒ Pr[(u~v) ∈ S] = 0
+        assert cert.pr_uv_in_s == 0.0
+        # Pr[u ~ v] = p^4
+        assert abs(cert.pr_uv - p**4) < 0.05
+
+    def test_requires_target_in_s(self):
+        g = path_graph(3)
+        with pytest.raises(ValueError):
+            estimate_certificate(g, 0.5, s={0, 1}, source=0, target=3, trials=5)
+
+    def test_rejects_empty_cut(self):
+        g = ExplicitGraph([(0, 1), (2, 3)])
+        with pytest.raises(ValueError):
+            estimate_certificate(
+                g, 0.5, s={2, 3}, source=0, target=3, trials=5
+            )
+
+    def test_rejects_non_cut_edge_input(self):
+        g = path_graph(3)
+        with pytest.raises(ValueError):
+            estimate_certificate(
+                g,
+                0.5,
+                s={2, 3},
+                source=0,
+                target=3,
+                trials=5,
+                cut=[(2, 3)],  # both endpoints inside S
+            )
+
+    def test_eta_mean_le_max(self):
+        g = Hypercube(4)
+        s = ball(g, 15, 1)
+        cert = estimate_certificate(
+            g, 0.3, s=s, source=0, target=15, trials=300, seed=1
+        )
+        assert cert.eta_mean <= cert.eta_max + 1e-12
+
+
+class TestBoundHoldsEmpirically:
+    """The Lemma's inequality must hold for actual local routers."""
+
+    @pytest.mark.parametrize("router", [LocalBFSRouter(), DirectedDFSRouter()])
+    def test_double_tree_certificate_dominates_router_cdf(self, router):
+        depth, p = 5, 0.8
+        g = DoubleBinaryTree(depth)
+        x, y = g.roots()
+        # S = second tree + shared leaves (the paper's choice).
+        s = {v for v in g.vertices() if v[0] in ("b", "leaf")}
+        cert = estimate_certificate(
+            g, p, s=s, source=x, target=y, trials=500, seed=2
+        )
+        measurement = measure_complexity(
+            g, p=p, router=router, pair=(x, y), trials=120, seed=3
+        )
+        if not measurement.connected_trials:
+            pytest.skip("no connected trials at this seed")
+        thresholds = [2, 8, 32, 128]
+        cdf = measurement.empirical_cdf(thresholds)
+        for t, observed in zip(thresholds, cdf):
+            bound = cert.bound(t)
+            slack = 0.15  # Monte-Carlo noise on both sides
+            assert observed <= bound + slack, (t, observed, bound)
+
+    def test_eta_for_double_tree_matches_theory(self):
+        # Pr[y ~ leaf within S] = p^depth exactly (unique path).
+        depth, p = 4, 0.8
+        g = DoubleBinaryTree(depth)
+        _, y = g.roots()
+        s = {v for v in g.vertices() if v[0] in ("b", "leaf")}
+        cert = estimate_certificate(
+            g, p, s=s, source=("a", 1), target=y, trials=4000, seed=4
+        )
+        exact = p**depth
+        se = math.sqrt(exact * (1 - exact) / 4000)
+        assert abs(cert.eta_max - exact) < 6 * se + 0.01

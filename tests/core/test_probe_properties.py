@@ -1,0 +1,133 @@
+"""Property-based tests of the probe-counting model."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.probe import (
+    LocalityViolation,
+    LocalProbeOracle,
+    ProbeOracle,
+)
+from repro.graphs.explicit import cycle_graph
+from repro.graphs.hypercube import Hypercube
+from repro.percolation.models import HashPercolation
+
+
+@st.composite
+def probe_script(draw):
+    """A random sequence of probes on a fixed cycle, plus model params."""
+    n = 10
+    probes = draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=n - 1),
+                st.booleans(),  # orientation flip
+            ),
+            max_size=40,
+        )
+    )
+    p = draw(st.floats(min_value=0.0, max_value=1.0))
+    seed = draw(st.integers(min_value=0, max_value=2**32))
+    return probes, p, seed
+
+
+class TestCountingProperties:
+    @given(probe_script())
+    @settings(max_examples=80, deadline=None)
+    def test_queries_equal_distinct_edges(self, script):
+        probes, p, seed = script
+        g = cycle_graph(10)
+        oracle = ProbeOracle(HashPercolation(g, p, seed))
+        seen = set()
+        for i, flip in probes:
+            u, v = i, (i + 1) % 10
+            if flip:
+                u, v = v, u
+            oracle.probe(u, v)
+            seen.add(g.edge_key(u, v))
+        assert oracle.queries == len(seen)
+
+    @given(probe_script())
+    @settings(max_examples=60, deadline=None)
+    def test_answers_stable_across_reprobes(self, script):
+        probes, p, seed = script
+        g = cycle_graph(10)
+        oracle = ProbeOracle(HashPercolation(g, p, seed))
+        answers = {}
+        for i, flip in probes:
+            u, v = i, (i + 1) % 10
+            if flip:
+                u, v = v, u
+            key = g.edge_key(u, v)
+            result = oracle.probe(u, v)
+            if key in answers:
+                assert answers[key] == result
+            answers[key] = result
+
+    @given(st.integers(min_value=0, max_value=2**32), st.floats(0, 1))
+    @settings(max_examples=40, deadline=None)
+    def test_oracle_agrees_with_model(self, seed, p):
+        g = Hypercube(4)
+        model = HashPercolation(g, p, seed)
+        oracle = ProbeOracle(model)
+        for e in g.edges():
+            assert oracle.probe(*e) == model.is_open(*e)
+
+
+class TestLocalityProperties:
+    @given(st.integers(min_value=0, max_value=2**32))
+    @settings(max_examples=40, deadline=None)
+    def test_reached_set_is_exactly_open_cluster_after_full_sweep(self, seed):
+        """Probing BFS-style from the source reaches exactly the open
+        cluster of the source (cross-check vs percolation.cluster)."""
+        from collections import deque
+
+        from repro.percolation.cluster import component
+
+        g = Hypercube(4)
+        model = HashPercolation(g, 0.5, seed)
+        oracle = LocalProbeOracle(model, source=0)
+        queue = deque([0])
+        visited = {0}
+        while queue:
+            x = queue.popleft()
+            for y in g.neighbors(x):
+                if oracle.probe(x, y) and y not in visited:
+                    visited.add(y)
+                    queue.append(y)
+        assert oracle.reached == frozenset(component(model, 0))
+
+    @given(st.integers(min_value=0, max_value=2**32))
+    @settings(max_examples=40, deadline=None)
+    def test_unreached_probe_always_raises(self, seed):
+        g = cycle_graph(12)
+        model = HashPercolation(g, 1.0, seed)
+        oracle = LocalProbeOracle(model, source=0)
+        oracle.probe(0, 1)
+        # vertex 6-7 cannot be reached yet regardless of seed
+        try:
+            oracle.probe(6, 7)
+            raise AssertionError("locality violation not raised")
+        except LocalityViolation:
+            pass
+
+    @given(st.integers(min_value=0, max_value=2**32), st.floats(0, 1))
+    @settings(max_examples=40, deadline=None)
+    def test_reached_only_grows(self, seed, p):
+        g = cycle_graph(8)
+        model = HashPercolation(g, p, seed)
+        oracle = LocalProbeOracle(model, source=0)
+        snapshots = [oracle.reached]
+        frontier = [0]
+        for _ in range(8):
+            new_frontier = []
+            for x in frontier:
+                for y in g.neighbors(x):
+                    if oracle.is_reached(x):
+                        oracle.probe(x, y)
+                        if oracle.is_reached(y):
+                            new_frontier.append(y)
+            snapshots.append(oracle.reached)
+            frontier = new_frontier or frontier
+        for a, b in zip(snapshots, snapshots[1:]):
+            assert a <= b

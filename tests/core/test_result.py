@@ -1,0 +1,133 @@
+"""Tests for repro.core.result."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.result import (
+    FailureReason,
+    InvalidPathError,
+    RoutingResult,
+    erase_loops,
+    validate_path,
+)
+from repro.graphs.explicit import cycle_graph, path_graph
+from repro.percolation.models import TablePercolation
+
+
+class TestRoutingResult:
+    def test_successful_result(self):
+        r = RoutingResult(
+            source=0, target=2, success=True, queries=5, path=[0, 1, 2]
+        )
+        assert r.path_length == 2
+        assert not r.censored
+
+    def test_budget_failure_is_censored(self):
+        r = RoutingResult(
+            source=0,
+            target=2,
+            success=False,
+            queries=10,
+            failure=FailureReason.BUDGET,
+        )
+        assert r.censored
+        assert r.path_length is None
+
+    def test_success_requires_path(self):
+        with pytest.raises(ValueError):
+            RoutingResult(source=0, target=1, success=True, queries=1)
+
+    def test_failure_requires_reason(self):
+        with pytest.raises(ValueError):
+            RoutingResult(source=0, target=1, success=False, queries=1)
+
+    def test_failure_forbids_path(self):
+        with pytest.raises(ValueError):
+            RoutingResult(
+                source=0,
+                target=1,
+                success=False,
+                queries=1,
+                path=[0, 1],
+                failure=FailureReason.GAVE_UP,
+            )
+
+
+class TestValidatePath:
+    def test_accepts_valid(self):
+        g = path_graph(3)
+        model = TablePercolation(g, 1.0, seed=0)
+        validate_path(g, model, [0, 1, 2, 3], 0, 3)
+
+    def test_rejects_wrong_endpoints(self):
+        g = path_graph(3)
+        model = TablePercolation(g, 1.0, seed=0)
+        with pytest.raises(InvalidPathError):
+            validate_path(g, model, [1, 2], 0, 2)
+        with pytest.raises(InvalidPathError):
+            validate_path(g, model, [0, 1], 0, 2)
+
+    def test_rejects_non_edges(self):
+        g = path_graph(3)
+        model = TablePercolation(g, 1.0, seed=0)
+        with pytest.raises(InvalidPathError):
+            validate_path(g, model, [0, 2], 0, 2)
+
+    def test_rejects_closed_edges(self):
+        g = path_graph(3)
+        model = TablePercolation(g, 0.0, seed=0)
+        with pytest.raises(InvalidPathError):
+            validate_path(g, model, [0, 1], 0, 1)
+
+    def test_rejects_empty(self):
+        g = path_graph(2)
+        model = TablePercolation(g, 1.0, seed=0)
+        with pytest.raises(InvalidPathError):
+            validate_path(g, model, [], 0, 1)
+
+    def test_rejects_revisits(self):
+        g = cycle_graph(4)
+        model = TablePercolation(g, 1.0, seed=0)
+        with pytest.raises(InvalidPathError):
+            validate_path(g, model, [0, 1, 0, 3], 0, 3)
+
+    def test_single_vertex_path(self):
+        g = path_graph(2)
+        model = TablePercolation(g, 1.0, seed=0)
+        validate_path(g, model, [0], 0, 0)
+
+
+class TestEraseLoops:
+    def test_no_loops_untouched(self):
+        assert erase_loops([0, 1, 2]) == [0, 1, 2]
+
+    def test_simple_loop(self):
+        assert erase_loops([0, 1, 2, 1, 3]) == [0, 1, 3]
+
+    def test_loop_back_to_source(self):
+        assert erase_loops([0, 1, 2, 0, 3]) == [0, 3]
+
+    def test_nested_loops(self):
+        assert erase_loops([0, 1, 2, 3, 1, 4, 2, 5]) == [0, 1, 4, 2, 5]
+
+    def test_single_vertex(self):
+        assert erase_loops([7]) == [7]
+
+    @given(st.lists(st.integers(min_value=0, max_value=8), min_size=1, max_size=30))
+    def test_output_is_simple(self, walk):
+        out = erase_loops(walk)
+        assert len(set(out)) == len(out)
+
+    @given(st.lists(st.integers(min_value=0, max_value=8), min_size=1, max_size=30))
+    def test_endpoints_preserved(self, walk):
+        out = erase_loops(walk)
+        assert out[0] == walk[0]
+        assert out[-1] == walk[-1]
+
+    @given(st.lists(st.integers(min_value=0, max_value=8), min_size=2, max_size=30))
+    def test_edges_come_from_walk(self, walk):
+        walk_edges = {frozenset(e) for e in zip(walk, walk[1:])}
+        out = erase_loops(walk)
+        for e in zip(out, out[1:]):
+            assert frozenset(e) in walk_edges

@@ -1,0 +1,143 @@
+"""Contract tests for the Router base class.
+
+A router implementation is untrusted: `route()` must catch bad outputs
+(closed edges, wrong endpoints), erase transient loops, classify
+failures by completeness, and build the right oracle for the router's
+locality class.
+"""
+
+import pytest
+
+from repro.core.probe import LocalProbeOracle, ProbeOracle
+from repro.core.result import FailureReason, InvalidPathError
+from repro.core.router import Router
+from repro.graphs.explicit import cycle_graph, path_graph
+from repro.percolation.models import TablePercolation
+
+
+class _ScriptedRouter(Router):
+    """Returns a pre-scripted path without probing (for contract tests)."""
+
+    name = "scripted"
+    is_local = False
+    is_complete = False
+
+    def __init__(self, path):
+        self._path = path
+
+    def _route(self, oracle, source, target):
+        return self._path
+
+
+class _ProbingScriptedRouter(_ScriptedRouter):
+    """Probes the scripted path's edges before returning it."""
+
+    def _route(self, oracle, source, target):
+        if self._path:
+            for a, b in zip(self._path, self._path[1:]):
+                oracle.probe(a, b)
+        return self._path
+
+
+class TestPathPolicing:
+    def test_wrong_endpoints_rejected(self):
+        g = path_graph(3)
+        model = TablePercolation(g, 1.0, seed=0)
+        with pytest.raises(InvalidPathError):
+            _ScriptedRouter([1, 2]).route(model, 0, 2)
+
+    def test_closed_edge_rejected(self):
+        g = path_graph(2)
+        model = TablePercolation(g, 0.0, seed=0)
+        with pytest.raises(InvalidPathError):
+            _ScriptedRouter([0, 1, 2]).route(model, 0, 2)
+
+    def test_non_edge_rejected(self):
+        g = path_graph(3)
+        model = TablePercolation(g, 1.0, seed=0)
+        with pytest.raises(InvalidPathError):
+            _ScriptedRouter([0, 2, 3]).route(model, 0, 3)
+
+    def test_transient_loops_are_erased(self):
+        g = cycle_graph(6)
+        model = TablePercolation(g, 1.0, seed=0)
+        result = _ScriptedRouter([0, 1, 2, 1, 0, 5]).route(model, 0, 5)
+        assert result.success
+        assert result.path == [0, 5]
+
+    def test_unknown_vertices_rejected_before_routing(self):
+        g = path_graph(2)
+        model = TablePercolation(g, 1.0, seed=0)
+        with pytest.raises(ValueError):
+            _ScriptedRouter([0, 1]).route(model, 0, 99)
+
+
+class TestFailureTaxonomy:
+    def test_incomplete_failure_is_gave_up(self):
+        g = path_graph(2)
+        model = TablePercolation(g, 1.0, seed=0)
+        router = _ScriptedRouter(None)
+        result = router.route(model, 0, 2)
+        assert result.failure == FailureReason.GAVE_UP
+
+    def test_complete_failure_is_exhausted(self):
+        g = path_graph(2)
+        model = TablePercolation(g, 1.0, seed=0)
+
+        class CompleteNone(_ScriptedRouter):
+            is_complete = True
+
+        result = CompleteNone(None).route(model, 0, 2)
+        assert result.failure == FailureReason.EXHAUSTED
+
+    def test_budget_exception_becomes_censored_result(self):
+        g = cycle_graph(8)
+        model = TablePercolation(g, 1.0, seed=0)
+        router = _ProbingScriptedRouter(list(range(8)) + [0])
+        # path needs 8 probes; budget of 2 must censor, not crash
+        result = router.route(model, 0, 0 if False else 7, budget=2)
+        assert not result.success
+        assert result.failure == FailureReason.BUDGET
+        assert result.queries == 2
+
+
+class TestOracleSelection:
+    def test_local_router_gets_local_oracle(self):
+        class LocalScripted(_ScriptedRouter):
+            is_local = True
+
+        g = path_graph(2)
+        model = TablePercolation(g, 1.0, seed=0)
+        oracle = LocalScripted(None).make_oracle(model, 0)
+        assert isinstance(oracle, LocalProbeOracle)
+        assert oracle.source == 0
+
+    def test_oracle_router_gets_plain_oracle(self):
+        g = path_graph(2)
+        model = TablePercolation(g, 1.0, seed=0)
+        oracle = _ScriptedRouter(None).make_oracle(model, 0)
+        assert type(oracle) is ProbeOracle
+
+    def test_queries_counted_through_route(self):
+        g = path_graph(4)
+        model = TablePercolation(g, 1.0, seed=0)
+        router = _ProbingScriptedRouter([0, 1, 2, 3, 4])
+        result = router.route(model, 0, 4)
+        assert result.success
+        assert result.queries == 4
+
+
+class TestWaypointOnBfsGeodesics:
+    def test_waypoint_works_without_analytic_metric(self):
+        # Butterfly has no closed-form shortest_path; the base-class BFS
+        # geodesic must suffice.
+        from repro.graphs.butterfly import Butterfly
+        from repro.routers.waypoint import WaypointRouter
+
+        g = Butterfly(3)
+        model = TablePercolation(g, 0.9, seed=1)
+        u, v = g.canonical_pair()
+        result = WaypointRouter().route(model, u, v)
+        from repro.percolation.cluster import connected
+
+        assert result.success == connected(model, u, v)

@@ -1,0 +1,172 @@
+"""Tests for the experiment framework (results, spec, registry, CLI)."""
+
+import pytest
+
+from repro.experiments.registry import all_experiments, get_experiment, register
+from repro.experiments.results import ResultTable
+from repro.experiments.spec import SCALES, ExperimentSpec, pick
+
+
+class TestResultTable:
+    def test_add_and_render(self):
+        t = ResultTable("X1", "demo", columns=["a", "b"])
+        t.add_row(a=1, b=2)
+        t.add_note("a note")
+        out = t.render()
+        assert "[X1] demo" in out
+        assert "* a note" in out
+        assert len(t) == 1
+
+    def test_schema_enforced(self):
+        t = ResultTable("X1", "demo", columns=["a"])
+        with pytest.raises(ValueError):
+            t.add_row(a=1, z=9)
+
+    def test_free_schema_when_no_columns(self):
+        t = ResultTable("X1", "demo")
+        t.add_row(anything=1)
+        assert t.rows == [{"anything": 1}]
+
+    def test_column_extraction(self):
+        t = ResultTable("X1", "demo")
+        t.add_row(a=1)
+        t.add_row(a=2, b=5)
+        assert t.column("a") == [1, 2]
+        assert t.column("b") == [5]
+
+    def test_filtered(self):
+        t = ResultTable("X1", "demo")
+        t.add_row(kind="x", v=1)
+        t.add_row(kind="y", v=2)
+        assert t.filtered(kind="y") == [{"kind": "y", "v": 2}]
+
+    def test_to_csv(self, tmp_path):
+        t = ResultTable("X1", "demo", columns=["a"])
+        t.add_row(a=3)
+        path = t.to_csv(tmp_path)
+        assert path.name == "x1.csv"
+        assert path.read_text() == "a\n3\n"
+
+
+class TestSpec:
+    def test_pick_validates_scale(self):
+        with pytest.raises(ValueError):
+            pick("huge", tiny=1, small=2, medium=3)
+
+    def test_pick_selects(self):
+        assert pick("medium", tiny=1, small=2, medium=3) == 3
+
+    def test_spec_call_validates_scale(self):
+        spec = ExperimentSpec(
+            experiment_id="X9",
+            title="t",
+            claim="c",
+            reference="r",
+            run=lambda scale, seed: ResultTable("X9", "t"),
+        )
+        with pytest.raises(ValueError):
+            spec(scale="gigantic")
+
+    def test_spec_call_type_checks_result(self):
+        spec = ExperimentSpec(
+            experiment_id="X9",
+            title="t",
+            claim="c",
+            reference="r",
+            run=lambda scale, seed: 42,
+        )
+        with pytest.raises(TypeError):
+            spec(scale="tiny")
+
+
+class TestRegistry:
+    def test_all_experiments_complete(self):
+        ids = [s.experiment_id for s in all_experiments()]
+        assert ids == [
+            "E1",
+            "E2",
+            "E3",
+            "E4",
+            "E5",
+            "E6",
+            "E7",
+            "E8",
+            "E9",
+            "E10",
+            "E11",
+            "E12",
+            "E13",
+            "E14",
+            "A1",
+            "A2",
+            "A3",
+            "A4",
+        ]
+
+    def test_get_case_insensitive(self):
+        assert get_experiment("e7").experiment_id == "E7"
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(KeyError):
+            get_experiment("E99")
+
+    def test_register_conflict_raises(self):
+        spec = ExperimentSpec(
+            experiment_id="E1",
+            title="imposter",
+            claim="",
+            reference="",
+            run=lambda scale, seed: ResultTable("E1", "x"),
+        )
+        with pytest.raises(ValueError):
+            register(spec)
+
+    def test_every_spec_has_metadata(self):
+        for spec in all_experiments():
+            assert spec.title
+            assert spec.claim
+            assert spec.reference
+            assert spec.experiment_id[0] in "EA"
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        from repro.experiments.cli import main
+
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "E1" in out and "A3" in out
+
+    def test_info(self, capsys):
+        from repro.experiments.cli import main
+
+        assert main(["info", "E7"]) == 0
+        out = capsys.readouterr().out
+        assert "Theorem 7" in out
+
+    def test_run_single(self, capsys, tmp_path):
+        from repro.experiments.cli import main
+
+        assert main(
+            ["run", "A1", "--scale", "tiny", "--csv", str(tmp_path)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "[A1]" in out
+        assert (tmp_path / "a1.csv").exists()
+
+    def test_scale_choice_enforced(self):
+        from repro.experiments.cli import main
+
+        with pytest.raises(SystemExit):
+            main(["run", "A1", "--scale", "galactic"])
+
+    def test_thresholds_command(self, capsys):
+        from repro.experiments.cli import main
+
+        assert main(["thresholds"]) == 0
+        out = capsys.readouterr().out
+        assert "routing transition" in out
+        assert "0.5" in out
+
+    def test_scales_constant(self):
+        assert SCALES == ("tiny", "small", "medium")

@@ -1,0 +1,74 @@
+"""Tests for repro.experiments.report (markdown generation)."""
+
+from repro.experiments.report import (
+    render_experiment_section,
+    render_experiments_markdown,
+)
+from repro.experiments.results import ResultTable
+from repro.experiments.spec import ExperimentSpec
+
+
+def _spec_and_table():
+    spec = ExperimentSpec(
+        experiment_id="X1",
+        title="demo experiment",
+        claim="things scale linearly",
+        reference="Theorem 0",
+        run=lambda scale, seed: ResultTable("X1", "demo"),
+    )
+    table = ResultTable("X1", "demo", columns=["n", "q"])
+    table.add_row(n=1, q=10)
+    table.add_note("fitted slope 1.0")
+    return spec, table
+
+
+class TestSection:
+    def test_contains_all_parts(self):
+        spec, table = _spec_and_table()
+        text = render_experiment_section(spec, table, conclusion="holds")
+        assert "## X1 — demo experiment" in text
+        assert "Theorem 0" in text
+        assert "things scale linearly" in text
+        assert "fitted slope 1.0" in text
+        assert "**Verdict.** holds" in text
+
+    def test_conclusion_optional(self):
+        spec, table = _spec_and_table()
+        text = render_experiment_section(spec, table)
+        assert "Verdict" not in text
+
+    def test_table_in_code_fence(self):
+        spec, table = _spec_and_table()
+        text = render_experiment_section(spec, table)
+        fence_open = text.index("```")
+        assert text.index("[X1] demo") > fence_open
+
+
+class TestFullReport:
+    def test_multiple_sections_and_preamble(self):
+        spec, table = _spec_and_table()
+        text = render_experiments_markdown(
+            [(spec, table), (spec, table)],
+            preamble="# Title",
+            conclusions={"X1": "confirmed"},
+        )
+        assert text.startswith("# Title")
+        assert text.count("## X1") == 2
+        assert text.count("confirmed") == 2
+
+    def test_no_preamble(self):
+        spec, table = _spec_and_table()
+        text = render_experiments_markdown([(spec, table)])
+        assert text.startswith("## X1")
+
+    def test_cli_report_command(self, tmp_path, monkeypatch, capsys):
+        # run the report at tiny scale through the CLI end to end
+        from repro.experiments.cli import main
+
+        out = tmp_path / "report.md"
+        assert (
+            main(["report", "--scale", "tiny", "--out", str(out)]) == 0
+        )
+        text = out.read_text()
+        assert "## E1" in text
+        assert "## A4" in text

@@ -1,0 +1,47 @@
+"""Shared helpers for graph-topology tests."""
+
+import itertools
+
+import pytest
+
+from repro.graphs.traversal import bfs_distances
+
+
+def assert_graph_axioms(graph):
+    """Check the structural invariants every Graph must satisfy."""
+    vertices = list(graph.vertices())
+    assert len(vertices) == graph.num_vertices()
+    assert len(set(vertices)) == len(vertices), "duplicate vertices"
+    for v in itertools.islice(vertices, 200):
+        neigh = graph.neighbors(v)
+        assert len(set(neigh)) == len(neigh), f"duplicate neighbours at {v!r}"
+        assert v not in neigh, f"self-loop at {v!r}"
+        for w in neigh:
+            assert graph.has_vertex(w)
+            assert v in graph.neighbors(w), f"asymmetric edge {v!r}-{w!r}"
+            key = graph.edge_key(v, w)
+            assert key == graph.edge_key(w, v)
+            assert set(key) == {v, w}
+
+
+def assert_metric_matches_bfs(graph, sample_pairs):
+    """Check the analytic metric and geodesics against BFS ground truth."""
+    for u, v in sample_pairs:
+        reference = bfs_distances(graph, u)[v]
+        assert graph.distance(u, v) == reference, (u, v)
+        path = graph.shortest_path(u, v)
+        assert path[0] == u and path[-1] == v
+        assert len(path) == reference + 1
+        for a, b in zip(path, path[1:]):
+            assert b in graph.neighbors(a), f"non-edge {a!r}-{b!r} in geodesic"
+        assert len(set(path)) == len(path), "geodesic revisits a vertex"
+
+
+@pytest.fixture
+def axioms():
+    return assert_graph_axioms
+
+
+@pytest.fixture
+def metric_check():
+    return assert_metric_matches_bfs

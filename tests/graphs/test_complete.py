@@ -1,0 +1,46 @@
+"""Tests for repro.graphs.complete."""
+
+import pytest
+
+from repro.graphs.complete import CompleteGraph
+from tests.graphs.conftest import assert_graph_axioms
+
+
+class TestCompleteGraph:
+    def test_counts(self):
+        k = CompleteGraph(5)
+        assert k.num_vertices() == 5
+        assert k.num_edges() == 10
+        assert len(list(k.edges())) == 10
+
+    def test_axioms(self):
+        assert_graph_axioms(CompleteGraph(6))
+
+    def test_degree(self):
+        assert CompleteGraph(7).degree(3) == 6
+
+    def test_is_edge(self):
+        k = CompleteGraph(4)
+        assert k.is_edge(0, 3)
+        assert not k.is_edge(2, 2)
+        assert not k.is_edge(0, 4)
+
+    def test_distance(self):
+        k = CompleteGraph(4)
+        assert k.distance(1, 1) == 0
+        assert k.distance(1, 2) == 1
+
+    def test_shortest_path(self):
+        k = CompleteGraph(4)
+        assert k.shortest_path(0, 3) == [0, 3]
+        assert k.shortest_path(2, 2) == [2]
+
+    def test_canonical_pair(self):
+        assert CompleteGraph(9).canonical_pair() == (0, 8)
+
+    def test_rejects_tiny(self):
+        with pytest.raises(ValueError):
+            CompleteGraph(1)
+
+    def test_diameter(self):
+        assert CompleteGraph(3).diameter() == 1

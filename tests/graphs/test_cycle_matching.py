@@ -1,0 +1,74 @@
+"""Tests for repro.graphs.cycle_matching."""
+
+import math
+
+import pytest
+
+from repro.graphs.cycle_matching import RandomMatchingCycle
+from repro.graphs.traversal import bfs_distances, is_connected
+from tests.graphs.conftest import assert_graph_axioms
+
+
+class TestRandomMatchingCycle:
+    def test_axioms(self):
+        assert_graph_axioms(RandomMatchingCycle(16, seed=0))
+
+    def test_counts(self):
+        g = RandomMatchingCycle(20, seed=1)
+        assert g.num_vertices() == 20
+        assert 20 <= g.num_edges() <= 30
+
+    def test_degrees_bounded(self):
+        g = RandomMatchingCycle(32, seed=2)
+        assert all(2 <= g.degree(v) <= 3 for v in g.vertices())
+
+    def test_matching_is_involution(self):
+        g = RandomMatchingCycle(24, seed=3)
+        for v in g.vertices():
+            partner = g.matching_partner(v)
+            assert partner != v
+            assert g.matching_partner(partner) == v
+
+    def test_matching_edges_exist(self):
+        g = RandomMatchingCycle(24, seed=4)
+        for v in g.vertices():
+            assert g.matching_partner(v) in g.neighbors(v)
+
+    def test_connected(self):
+        assert is_connected(RandomMatchingCycle(64, seed=5))
+
+    def test_deterministic_per_seed(self):
+        g1 = RandomMatchingCycle(16, seed=6)
+        g2 = RandomMatchingCycle(16, seed=6)
+        assert all(g1.neighbors(v) == g2.neighbors(v) for v in g1.vertices())
+
+    def test_seed_changes_matching(self):
+        g1 = RandomMatchingCycle(64, seed=0)
+        g2 = RandomMatchingCycle(64, seed=1)
+        assert any(
+            g1.matching_partner(v) != g2.matching_partner(v)
+            for v in g1.vertices()
+        )
+
+    def test_diameter_logarithmic(self):
+        # Bollobás–Chung: diameter ~ log2(n); allow a generous constant.
+        n = 256
+        g = RandomMatchingCycle(n, seed=7)
+        ecc = max(bfs_distances(g, 0).values())
+        assert ecc <= 6 * math.log2(n)
+
+    def test_diameter_beats_plain_cycle(self):
+        n = 256
+        g = RandomMatchingCycle(n, seed=8)
+        ecc = max(bfs_distances(g, 0).values())
+        assert ecc < n // 4  # plain cycle eccentricity is n/2
+
+    def test_rejects_odd_or_tiny(self):
+        with pytest.raises(ValueError):
+            RandomMatchingCycle(7, seed=0)
+        with pytest.raises(ValueError):
+            RandomMatchingCycle(2, seed=0)
+
+    def test_canonical_pair(self):
+        g = RandomMatchingCycle(10, seed=0)
+        assert g.canonical_pair() == (0, 5)

@@ -1,0 +1,137 @@
+"""Tests for repro.graphs.double_tree."""
+
+import itertools
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.graphs.double_tree import DoubleBinaryTree
+from tests.graphs.conftest import assert_graph_axioms, assert_metric_matches_bfs
+
+
+class TestStructure:
+    @pytest.mark.parametrize("depth", [1, 2, 3, 4])
+    def test_counts(self, depth):
+        tt = DoubleBinaryTree(depth)
+        assert tt.num_vertices() == 3 * 2**depth - 2
+        assert tt.num_edges() == 2 * (2 ** (depth + 1) - 2)
+        assert len(list(tt.vertices())) == tt.num_vertices()
+        assert len(list(tt.edges())) == tt.num_edges()
+
+    def test_axioms(self):
+        assert_graph_axioms(DoubleBinaryTree(3))
+
+    def test_root_degree(self):
+        tt = DoubleBinaryTree(3)
+        assert tt.degree(("a", 1)) == 2
+        assert tt.degree(("b", 1)) == 2
+
+    def test_leaf_degree(self):
+        tt = DoubleBinaryTree(3)
+        for leaf in tt.leaves():
+            assert tt.degree(leaf) == 2
+
+    def test_internal_degree(self):
+        tt = DoubleBinaryTree(3)
+        assert tt.degree(("a", 2)) == 3
+
+    def test_leaf_connects_both_trees(self):
+        tt = DoubleBinaryTree(2)
+        sides = {v[0] for v in tt.neighbors(("leaf", 0))}
+        assert sides == {"a", "b"}
+
+    def test_depth_one_is_four_cycle_plus(self):
+        tt = DoubleBinaryTree(1)
+        assert tt.num_vertices() == 4
+        assert tt.num_edges() == 4
+
+    def test_node_depth(self):
+        tt = DoubleBinaryTree(3)
+        assert tt.node_depth(("a", 1)) == 0
+        assert tt.node_depth(("a", 5)) == 2
+        assert tt.node_depth(("leaf", 0)) == 3
+
+    def test_rejects_bad_depth(self):
+        with pytest.raises(ValueError):
+            DoubleBinaryTree(0)
+
+    def test_has_vertex(self):
+        tt = DoubleBinaryTree(2)
+        assert tt.has_vertex(("a", 3))
+        assert not tt.has_vertex(("a", 4))  # depth-2 internal max heap is 3
+        assert tt.has_vertex(("leaf", 3))
+        assert not tt.has_vertex(("leaf", 4))
+        assert not tt.has_vertex(("c", 1))
+        assert not tt.has_vertex("a")
+
+
+class TestMetric:
+    def test_roots_at_distance_2n(self):
+        for depth in (1, 2, 3, 5):
+            tt = DoubleBinaryTree(depth)
+            x, y = tt.canonical_pair()
+            assert tt.distance(x, y) == 2 * depth
+
+    def test_metric_matches_bfs_exhaustive_depth3(self):
+        tt = DoubleBinaryTree(3)
+        vertices = list(tt.vertices())
+        pairs = list(itertools.product(vertices[::3], vertices[::4]))
+        assert_metric_matches_bfs(tt, pairs)
+
+    def test_metric_matches_bfs_depth4_sample(self):
+        tt = DoubleBinaryTree(4)
+        pairs = [
+            (("a", 1), ("b", 1)),
+            (("a", 5), ("b", 13)),
+            (("a", 9), ("leaf", 15)),
+            (("leaf", 0), ("leaf", 15)),
+            (("a", 3), ("a", 9)),
+            (("b", 2), ("b", 3)),
+            (("a", 2), ("b", 2)),
+            (("a", 15), ("b", 8)),
+        ]
+        assert_metric_matches_bfs(tt, pairs)
+
+    def test_diameter(self):
+        assert DoubleBinaryTree(4).diameter() == 8
+
+    @given(st.integers(min_value=1, max_value=15), st.integers(min_value=1, max_value=15))
+    def test_cross_tree_distance_symmetric(self, k1, k2):
+        tt = DoubleBinaryTree(4)
+        u, v = ("a", k1), ("b", k2)
+        assert tt.distance(u, v) == tt.distance(v, u)
+
+
+class TestMirror:
+    def test_mirror_vertex_involution(self):
+        tt = DoubleBinaryTree(3)
+        for v in tt.vertices():
+            assert tt.mirror_vertex(tt.mirror_vertex(v)) == v
+
+    def test_mirror_leaf_is_identity(self):
+        tt = DoubleBinaryTree(3)
+        assert tt.mirror_vertex(("leaf", 5)) == ("leaf", 5)
+
+    def test_mirror_edge_is_edge(self):
+        tt = DoubleBinaryTree(3)
+        for edge in tt.edges():
+            mirrored = tt.mirror_edge(edge)
+            u, v = mirrored
+            assert v in tt.neighbors(u)
+
+    def test_mirror_edge_involution(self):
+        tt = DoubleBinaryTree(3)
+        for edge in tt.edges():
+            assert tt.mirror_edge(tt.mirror_edge(edge)) == edge
+
+    def test_mirror_edge_swaps_sides(self):
+        tt = DoubleBinaryTree(3)
+        for edge in tt.edges():
+            assert tt.side_of_edge(tt.mirror_edge(edge)) != tt.side_of_edge(edge)
+
+    def test_mirror_pairing_is_perfect_matching(self):
+        tt = DoubleBinaryTree(3)
+        a_edges = [e for e in tt.edges() if tt.side_of_edge(e) == "a"]
+        b_edges = {e for e in tt.edges() if tt.side_of_edge(e) == "b"}
+        assert {tt.mirror_edge(e) for e in a_edges} == b_edges

@@ -1,0 +1,116 @@
+"""Tests for repro.graphs.explicit and repro.graphs.traversal."""
+
+import pytest
+
+from repro.graphs.explicit import ExplicitGraph, cycle_graph, path_graph
+from repro.graphs.traversal import (
+    bfs_distances,
+    bfs_path,
+    connected_components,
+    eccentricity,
+    induced_edges,
+    is_connected,
+    vertices_at_distance,
+)
+from tests.graphs.conftest import assert_graph_axioms
+
+
+class TestExplicitGraph:
+    def test_basic(self):
+        g = ExplicitGraph([(0, 1), (1, 2)])
+        assert g.num_vertices() == 3
+        assert g.num_edges() == 2
+        assert g.neighbors(1) == [0, 2]
+
+    def test_axioms(self):
+        assert_graph_axioms(ExplicitGraph([(0, 1), (1, 2), (2, 0), (2, 3)]))
+
+    def test_duplicate_edges_collapse(self):
+        g = ExplicitGraph([(0, 1), (1, 0), (0, 1)])
+        assert g.num_edges() == 1
+
+    def test_isolated_vertices(self):
+        g = ExplicitGraph([(0, 1)], vertices=[5])
+        assert g.has_vertex(5)
+        assert g.neighbors(5) == []
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(ValueError):
+            ExplicitGraph([(1, 1)])
+
+    def test_default_shortest_path(self):
+        g = ExplicitGraph([(0, 1), (1, 2), (0, 3), (3, 2)])
+        path = g.shortest_path(0, 2)
+        assert len(path) == 3
+
+    def test_disconnected_shortest_path_raises(self):
+        g = ExplicitGraph([(0, 1), (2, 3)])
+        with pytest.raises(ValueError):
+            g.shortest_path(0, 3)
+
+    def test_path_graph(self):
+        g = path_graph(4)
+        assert g.num_vertices() == 5
+        assert g.distance(0, 4) == 4
+
+    def test_cycle_graph(self):
+        g = cycle_graph(6)
+        assert g.num_edges() == 6
+        assert g.distance(0, 3) == 3
+        assert g.distance(0, 5) == 1
+
+    def test_factories_reject_bad_sizes(self):
+        with pytest.raises(ValueError):
+            path_graph(0)
+        with pytest.raises(ValueError):
+            cycle_graph(2)
+
+
+class TestTraversal:
+    def test_bfs_distances(self):
+        g = path_graph(4)
+        assert bfs_distances(g, 0) == {0: 0, 1: 1, 2: 2, 3: 3, 4: 4}
+
+    def test_bfs_distances_max_depth(self):
+        g = path_graph(6)
+        d = bfs_distances(g, 0, max_depth=2)
+        assert set(d) == {0, 1, 2}
+
+    def test_bfs_path(self):
+        g = cycle_graph(8)
+        path = bfs_path(g, 0, 4)
+        assert len(path) == 5
+
+    def test_eccentricity(self):
+        assert eccentricity(path_graph(5), 0) == 5
+        assert eccentricity(path_graph(4), 2) == 2
+
+    def test_vertices_at_distance(self):
+        g = cycle_graph(8)
+        assert sorted(vertices_at_distance(g, 0, 2)) == [2, 6]
+
+    def test_vertices_at_distance_limit(self):
+        g = cycle_graph(8)
+        assert len(vertices_at_distance(g, 0, 2, limit=1)) == 1
+
+    def test_vertices_at_distance_rejects_negative(self):
+        with pytest.raises(ValueError):
+            vertices_at_distance(cycle_graph(4), 0, -1)
+
+    def test_connected_components(self):
+        g = ExplicitGraph([(0, 1), (2, 3)], vertices=[9])
+        comps = sorted(connected_components(g), key=min)
+        assert comps == [{0, 1}, {2, 3}, {9}]
+
+    def test_is_connected(self):
+        assert is_connected(cycle_graph(5))
+        assert not is_connected(ExplicitGraph([(0, 1), (2, 3)]))
+
+    def test_induced_edges(self):
+        g = cycle_graph(6)
+        inside = induced_edges(g, {0, 1, 2})
+        assert sorted(inside) == [(0, 1), (1, 2)]
+
+    def test_canonical_pair_default(self):
+        g = path_graph(3)
+        assert g.canonical_pair() == (0, 3)

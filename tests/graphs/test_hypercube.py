@@ -1,0 +1,80 @@
+"""Tests for repro.graphs.hypercube."""
+
+import itertools
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.graphs.hypercube import Hypercube
+from tests.graphs.conftest import assert_graph_axioms, assert_metric_matches_bfs
+
+
+class TestStructure:
+    def test_counts(self):
+        h = Hypercube(4)
+        assert h.num_vertices() == 16
+        assert h.num_edges() == 32
+        assert h.degree(0) == 4
+
+    def test_edges_enumeration_matches_count(self):
+        h = Hypercube(4)
+        edges = list(h.edges())
+        assert len(edges) == h.num_edges()
+        assert len(set(edges)) == len(edges)
+
+    def test_axioms(self):
+        assert_graph_axioms(Hypercube(4))
+
+    def test_has_vertex(self):
+        h = Hypercube(3)
+        assert h.has_vertex(7)
+        assert not h.has_vertex(8)
+        assert not h.has_vertex(-1)
+        assert not h.has_vertex("0")
+
+    def test_rejects_bad_dimension(self):
+        with pytest.raises(ValueError):
+            Hypercube(0)
+
+    def test_neighbors_outside_raises(self):
+        with pytest.raises(ValueError):
+            Hypercube(3).neighbors(9)
+
+
+class TestMetric:
+    def test_matches_bfs_small(self):
+        h = Hypercube(4)
+        pairs = list(itertools.product([0, 5, 9], [0, 3, 15]))
+        assert_metric_matches_bfs(h, pairs)
+
+    def test_diameter(self):
+        assert Hypercube(6).diameter() == 6
+
+    def test_canonical_pair_is_antipodal(self):
+        h = Hypercube(5)
+        u, v = h.canonical_pair()
+        assert h.distance(u, v) == 5
+
+    def test_antipode(self):
+        h = Hypercube(4)
+        assert h.antipode(0b0110) == 0b1001
+        assert h.distance(3, h.antipode(3)) == 4
+
+    @given(st.integers(min_value=0, max_value=255), st.integers(min_value=0, max_value=255))
+    def test_geodesic_length_equals_distance(self, u, v):
+        h = Hypercube(8)
+        path = h.shortest_path(u, v)
+        assert len(path) - 1 == h.distance(u, v)
+
+    @given(st.integers(min_value=0, max_value=255))
+    def test_neighbors_at_distance_one(self, v):
+        h = Hypercube(8)
+        for w in h.neighbors(v):
+            assert h.distance(v, w) == 1
+
+    def test_large_instance_is_lazy(self):
+        # Constructing a 2^30-vertex hypercube must be O(1).
+        h = Hypercube(30)
+        assert h.num_vertices() == 2**30
+        assert len(h.neighbors(12345)) == 30

@@ -1,0 +1,135 @@
+"""Tests for repro.graphs.mesh (Mesh and Torus)."""
+
+import itertools
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.graphs.mesh import Mesh, Torus
+from tests.graphs.conftest import assert_graph_axioms, assert_metric_matches_bfs
+
+COORD = st.integers(min_value=0, max_value=4)
+
+
+class TestMeshStructure:
+    def test_counts_2d(self):
+        m = Mesh(d=2, side=3)
+        assert m.num_vertices() == 9
+        assert m.num_edges() == 12
+
+    def test_counts_3d(self):
+        m = Mesh(d=3, side=3)
+        assert m.num_vertices() == 27
+        assert m.num_edges() == 3 * 2 * 9
+
+    def test_edges_enumeration_matches_count(self):
+        m = Mesh(d=2, side=4)
+        edges = list(m.edges())
+        assert len(edges) == m.num_edges()
+        assert len(set(edges)) == len(edges)
+
+    def test_axioms(self):
+        assert_graph_axioms(Mesh(d=2, side=4))
+        assert_graph_axioms(Mesh(d=3, side=3))
+
+    def test_corner_and_interior_degrees(self):
+        m = Mesh(d=2, side=3)
+        assert m.degree((0, 0)) == 2
+        assert m.degree((1, 1)) == 4
+        assert m.degree((1, 0)) == 3
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            Mesh(d=0, side=3)
+        with pytest.raises(ValueError):
+            Mesh(d=2, side=1)
+
+    def test_has_vertex(self):
+        m = Mesh(d=2, side=3)
+        assert m.has_vertex((2, 2))
+        assert not m.has_vertex((3, 0))
+        assert not m.has_vertex((0,))
+        assert not m.has_vertex(5)
+
+
+class TestMeshMetric:
+    def test_matches_bfs(self):
+        m = Mesh(d=2, side=4)
+        pairs = [((0, 0), (3, 3)), ((1, 2), (2, 0)), ((3, 0), (0, 3))]
+        assert_metric_matches_bfs(m, pairs)
+
+    def test_matches_bfs_3d(self):
+        m = Mesh(d=3, side=3)
+        pairs = [((0, 0, 0), (2, 2, 2)), ((1, 0, 2), (0, 2, 1))]
+        assert_metric_matches_bfs(m, pairs)
+
+    def test_diameter(self):
+        assert Mesh(d=2, side=5).diameter() == 8
+
+    def test_canonical_pair_spans_diameter(self):
+        m = Mesh(d=3, side=4)
+        u, v = m.canonical_pair()
+        assert m.distance(u, v) == m.diameter()
+
+    @given(st.tuples(COORD, COORD), st.tuples(COORD, COORD))
+    def test_l1_metric(self, u, v):
+        m = Mesh(d=2, side=5)
+        assert m.distance(u, v) == abs(u[0] - v[0]) + abs(u[1] - v[1])
+
+
+class TestCenteredPair:
+    @pytest.mark.parametrize("n", [0, 1, 5, 10, 16])
+    def test_distance_is_exact(self, n):
+        m = Mesh(d=2, side=20)
+        u, v = m.centered_pair_at_distance(n)
+        assert m.distance(u, v) == n
+
+    def test_pair_is_centred(self):
+        m = Mesh(d=2, side=21)
+        u, v = m.centered_pair_at_distance(6)
+        for coord_u, coord_v in zip(u, v):
+            # both endpoints stay within the middle of the cube
+            assert 5 <= coord_u <= 15
+            assert 5 <= coord_v <= 15
+
+    def test_rejects_unreachable_distance(self):
+        with pytest.raises(ValueError):
+            Mesh(d=2, side=3).centered_pair_at_distance(10)
+
+    @pytest.mark.parametrize("d", [1, 2, 3])
+    def test_all_dimensions(self, d):
+        m = Mesh(d=d, side=9)
+        u, v = m.centered_pair_at_distance(d * 2)
+        assert m.distance(u, v) == d * 2
+
+
+class TestTorus:
+    def test_counts(self):
+        t = Torus(d=2, side=4)
+        assert t.num_vertices() == 16
+        assert t.num_edges() == 32
+        assert len(list(t.edges())) == 32
+
+    def test_axioms(self):
+        assert_graph_axioms(Torus(d=2, side=4))
+
+    def test_all_degrees_equal(self):
+        t = Torus(d=2, side=5)
+        assert all(t.degree(v) == 4 for v in t.vertices())
+
+    def test_wraparound_distance(self):
+        t = Torus(d=1, side=10)
+        assert t.distance((1,), (9,)) == 2
+
+    def test_metric_matches_bfs(self):
+        t = Torus(d=2, side=5)
+        pairs = list(itertools.product([(0, 0), (4, 1)], [(2, 2), (4, 4), (0, 3)]))
+        assert_metric_matches_bfs(t, pairs)
+
+    def test_rejects_small_side(self):
+        with pytest.raises(ValueError):
+            Torus(d=2, side=2)
+
+    def test_diameter(self):
+        assert Torus(d=2, side=6).diameter() == 6

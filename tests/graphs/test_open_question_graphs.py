@@ -1,0 +1,113 @@
+"""Tests for the Section-6 open-question topologies.
+
+Butterfly, de Bruijn and shuffle-exchange are constant-degree,
+logarithmic-diameter families; experiment E12 scans their percolation vs
+routing thresholds.
+"""
+
+import pytest
+
+from repro.graphs.butterfly import Butterfly
+from repro.graphs.debruijn import DeBruijn
+from repro.graphs.shuffle_exchange import ShuffleExchange
+from repro.graphs.traversal import bfs_distances, is_connected
+from tests.graphs.conftest import assert_graph_axioms
+
+
+class TestButterfly:
+    def test_counts(self):
+        bf = Butterfly(3)
+        assert bf.num_vertices() == 4 * 8
+        assert bf.num_edges() == 2 * 3 * 8
+        assert len(list(bf.edges())) == bf.num_edges()
+
+    def test_axioms(self):
+        assert_graph_axioms(Butterfly(3))
+
+    def test_degrees(self):
+        bf = Butterfly(3)
+        assert bf.degree((0, 0)) == 2  # boundary level
+        assert bf.degree((1, 0)) == 4  # interior level
+        assert bf.degree((3, 5)) == 2
+
+    def test_connected(self):
+        assert is_connected(Butterfly(3))
+
+    def test_canonical_pair_reachable(self):
+        bf = Butterfly(3)
+        u, v = bf.canonical_pair()
+        assert v in bfs_distances(bf, u)
+
+    def test_levels_are_layered(self):
+        bf = Butterfly(3)
+        for w in bf.neighbors((2, 3)):
+            assert abs(w[0] - 2) == 1
+
+    def test_rejects_bad_order(self):
+        with pytest.raises(ValueError):
+            Butterfly(0)
+
+
+class TestDeBruijn:
+    def test_counts(self):
+        db = DeBruijn(4)
+        assert db.num_vertices() == 16
+
+    def test_axioms(self):
+        assert_graph_axioms(DeBruijn(4))
+
+    def test_constant_degree_bound(self):
+        db = DeBruijn(5)
+        assert all(db.degree(v) <= 4 for v in db.vertices())
+
+    def test_no_self_loops_at_extremes(self):
+        db = DeBruijn(4)
+        assert 0 not in db.neighbors(0)
+        assert 15 not in db.neighbors(15)
+
+    def test_connected(self):
+        assert is_connected(DeBruijn(5))
+
+    def test_diameter_at_most_n(self):
+        db = DeBruijn(4)
+        ecc = max(bfs_distances(db, 0).values())
+        assert ecc <= db.n
+
+    def test_shift_adjacency(self):
+        db = DeBruijn(4)
+        x = 0b0110
+        assert ((x << 1) & 0xF) in db.neighbors(x)
+        assert (x >> 1) in db.neighbors(x)
+
+    def test_rejects_bad_order(self):
+        with pytest.raises(ValueError):
+            DeBruijn(1)
+
+
+class TestShuffleExchange:
+    def test_counts(self):
+        se = ShuffleExchange(4)
+        assert se.num_vertices() == 16
+
+    def test_axioms(self):
+        assert_graph_axioms(ShuffleExchange(4))
+
+    def test_constant_degree_bound(self):
+        se = ShuffleExchange(5)
+        assert all(se.degree(v) <= 3 for v in se.vertices())
+
+    def test_exchange_edge(self):
+        se = ShuffleExchange(4)
+        assert (0b0101 ^ 1) in se.neighbors(0b0101)
+
+    def test_shuffle_edge_is_rotation(self):
+        se = ShuffleExchange(3)
+        assert 0b011 in se.neighbors(0b110)  # rotate right
+        assert 0b101 in se.neighbors(0b110)  # rotate left
+
+    def test_connected(self):
+        assert is_connected(ShuffleExchange(5))
+
+    def test_rejects_bad_order(self):
+        with pytest.raises(ValueError):
+            ShuffleExchange(1)

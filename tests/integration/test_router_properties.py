@@ -1,0 +1,144 @@
+"""Property-based metamorphic tests over the whole router fleet.
+
+Hypothesis generates random topologies, retention probabilities and
+seeds; every applicable router must satisfy the framework invariants:
+
+* any returned path is an open, simple, correctly-terminated path
+  (``route`` itself validates; these tests re-derive the checks);
+* local routers never trip the locality enforcement;
+* complete routers agree exactly with ground-truth connectivity;
+* the query count is bounded by the edge count and at least the path
+  length (every path edge must have been probed);
+* budgets are never exceeded.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.result import validate_path
+from repro.graphs.explicit import ExplicitGraph
+from repro.graphs.hypercube import Hypercube
+from repro.graphs.mesh import Mesh
+from repro.percolation.cluster import connected
+from repro.percolation.models import TablePercolation
+from repro.routers import local_router_suite
+from repro.routers.bfs import BidirectionalBFSRouter, LocalBFSRouter
+from repro.routers.dfs import GreedyRouter
+
+COMPLETE_ROUTERS = [
+    *local_router_suite(),
+    BidirectionalBFSRouter(),
+]
+ALL_ROUTERS = COMPLETE_ROUTERS + [GreedyRouter()]
+
+
+@st.composite
+def random_graph_case(draw):
+    """A random connected-ish explicit graph with a vertex pair."""
+    n = draw(st.integers(min_value=2, max_value=14))
+    extra_edges = draw(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=n - 1),
+                st.integers(min_value=0, max_value=n - 1),
+            ),
+            max_size=25,
+        )
+    )
+    # spanning path so distances exist for metric-based routers
+    edges = [(i, i + 1) for i in range(n - 1)]
+    edges += [(a, b) for a, b in extra_edges if a != b]
+    graph = ExplicitGraph(edges, name="random")
+    u = draw(st.integers(min_value=0, max_value=n - 1))
+    v = draw(st.integers(min_value=0, max_value=n - 1))
+    p = draw(st.floats(min_value=0.0, max_value=1.0))
+    seed = draw(st.integers(min_value=0, max_value=2**32))
+    return graph, u, v, p, seed
+
+
+class TestFrameworkInvariants:
+    @given(random_graph_case())
+    @settings(max_examples=60, suppress_health_check=[HealthCheck.too_slow], deadline=None)
+    def test_complete_routers_match_ground_truth(self, case):
+        graph, u, v, p, seed = case
+        model = TablePercolation(graph, p, seed=seed)
+        truth = connected(model, u, v)
+        for router in COMPLETE_ROUTERS:
+            result = router.route(model, u, v)
+            assert result.success == truth, router.name
+
+    @given(random_graph_case())
+    @settings(max_examples=60, suppress_health_check=[HealthCheck.too_slow], deadline=None)
+    def test_paths_are_valid_and_probed(self, case):
+        graph, u, v, p, seed = case
+        model = TablePercolation(graph, p, seed=seed)
+        for router in ALL_ROUTERS:
+            result = router.route(model, u, v)
+            assert result.queries <= graph.num_edges()
+            if result.success:
+                validate_path(graph, model, result.path, u, v)
+                assert result.queries >= result.path_length
+
+    @given(random_graph_case(), st.integers(min_value=1, max_value=10))
+    @settings(max_examples=40, suppress_health_check=[HealthCheck.too_slow], deadline=None)
+    def test_budgets_respected(self, case, budget):
+        graph, u, v, p, seed = case
+        model = TablePercolation(graph, p, seed=seed)
+        for router in ALL_ROUTERS:
+            result = router.route(model, u, v, budget=budget)
+            assert result.queries <= budget or (
+                u == v and result.queries == 0
+            ), router.name
+
+    @given(random_graph_case())
+    @settings(max_examples=40, suppress_health_check=[HealthCheck.too_slow], deadline=None)
+    def test_success_only_when_connected(self, case):
+        # even incomplete routers must never "succeed" across a cut
+        graph, u, v, p, seed = case
+        model = TablePercolation(graph, p, seed=seed)
+        truth = connected(model, u, v)
+        for router in ALL_ROUTERS:
+            result = router.route(model, u, v)
+            if result.success:
+                assert truth, router.name
+
+
+class TestStructuredTopologies:
+    """Same invariants on the paper's actual topologies."""
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_hypercube_fleet(self, seed):
+        graph = Hypercube(5)
+        model = TablePercolation(graph, 0.5, seed=seed)
+        u, v = graph.canonical_pair()
+        truth = connected(model, u, v)
+        for router in COMPLETE_ROUTERS:
+            result = router.route(model, u, v)
+            assert result.success == truth, (router.name, seed)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_mesh_fleet(self, seed):
+        graph = Mesh(2, 6)
+        model = TablePercolation(graph, 0.6, seed=seed)
+        u, v = graph.canonical_pair()
+        truth = connected(model, u, v)
+        for router in COMPLETE_ROUTERS:
+            result = router.route(model, u, v)
+            assert result.success == truth, (router.name, seed)
+
+    def test_query_ordering_bfs_is_most_expensive(self):
+        # On supercritical instances the exhaustive baseline should pay
+        # at least as much as every smarter complete local router.
+        graph = Hypercube(7)
+        totals = {r.name: 0 for r in COMPLETE_ROUTERS}
+        for seed in range(8):
+            model = TablePercolation(graph, 0.7, seed=seed)
+            u, v = graph.canonical_pair()
+            if not connected(model, u, v):
+                continue
+            for router in COMPLETE_ROUTERS:
+                totals[router.name] += router.route(model, u, v).queries
+        for name, total in totals.items():
+            if name not in ("local-bfs",):
+                assert total <= totals["local-bfs"] * 1.05, (name, totals)

@@ -1,0 +1,141 @@
+"""Tests for repro.percolation.cluster, cross-checked against networkx."""
+
+import networkx as nx
+import pytest
+
+from repro.graphs.explicit import ExplicitGraph, cycle_graph, path_graph
+from repro.graphs.hypercube import Hypercube
+from repro.graphs.mesh import Mesh
+from repro.percolation.cluster import (
+    chemical_distance,
+    component,
+    component_sizes,
+    connected,
+    largest_component,
+    largest_component_size,
+)
+from repro.percolation.models import HashPercolation, TablePercolation
+
+
+def _as_networkx(model):
+    """Build the open subgraph in networkx as an independent oracle."""
+    g = nx.Graph()
+    g.add_nodes_from(model.graph.vertices())
+    for e in model.graph.edges():
+        if model.is_open(*e):
+            g.add_edge(*e)
+    return g
+
+
+class TestAgainstNetworkx:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_component_sizes_match(self, seed):
+        model = TablePercolation(Mesh(2, 8), 0.5, seed=seed)
+        ours = component_sizes(model)
+        theirs = sorted(
+            (len(c) for c in nx.connected_components(_as_networkx(model))),
+            reverse=True,
+        )
+        assert ours == theirs
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_connectivity_matches(self, seed):
+        model = TablePercolation(Hypercube(5), 0.4, seed=seed)
+        oracle = _as_networkx(model)
+        vertices = list(model.graph.vertices())
+        for u in vertices[::5]:
+            for v in vertices[::7]:
+                assert connected(model, u, v) == nx.has_path(oracle, u, v)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_chemical_distance_matches(self, seed):
+        model = TablePercolation(Mesh(2, 7), 0.7, seed=seed)
+        oracle = _as_networkx(model)
+        u = (0, 0)
+        lengths = nx.single_source_shortest_path_length(oracle, u)
+        for v in model.graph.vertices():
+            ours = chemical_distance(model, u, v)
+            theirs = lengths.get(v)
+            assert ours == theirs
+
+
+class TestComponent:
+    def test_isolated_vertex(self):
+        model = TablePercolation(path_graph(3), 0.0, seed=0)
+        assert component(model, 1) == {1}
+
+    def test_full_graph(self):
+        model = TablePercolation(cycle_graph(7), 1.0, seed=0)
+        assert component(model, 0) == set(range(7))
+
+    def test_max_size_truncates(self):
+        model = TablePercolation(path_graph(20), 1.0, seed=0)
+        comp = component(model, 0, max_size=5)
+        assert len(comp) == 5
+
+    def test_unknown_vertex_raises(self):
+        model = TablePercolation(path_graph(3), 1.0, seed=0)
+        with pytest.raises(ValueError):
+            component(model, 99)
+
+
+class TestConnected:
+    def test_self_connected(self):
+        model = TablePercolation(path_graph(3), 0.0, seed=0)
+        assert connected(model, 1, 1)
+
+    def test_direct_edge(self):
+        g = ExplicitGraph([(0, 1)])
+        model = TablePercolation(g, 1.0, seed=0)
+        assert connected(model, 0, 1)
+
+    def test_blocked(self):
+        model = TablePercolation(path_graph(2), 0.0, seed=0)
+        assert not connected(model, 0, 2)
+
+    def test_hash_model_works_too(self):
+        model = HashPercolation(Hypercube(4), 1.0, seed=0)
+        assert connected(model, 0, 15)
+
+
+class TestChemicalDistance:
+    def test_zero_for_same_vertex(self):
+        model = TablePercolation(path_graph(4), 0.5, seed=0)
+        assert chemical_distance(model, 2, 2) == 0
+
+    def test_equals_graph_distance_at_p1(self):
+        g = Mesh(2, 5)
+        model = TablePercolation(g, 1.0, seed=0)
+        assert chemical_distance(model, (0, 0), (4, 4)) == 8
+
+    def test_none_when_disconnected(self):
+        model = TablePercolation(path_graph(2), 0.0, seed=0)
+        assert chemical_distance(model, 0, 2) is None
+
+    def test_at_least_graph_distance(self):
+        g = Mesh(2, 8)
+        model = TablePercolation(g, 0.7, seed=1)
+        for v in [(3, 3), (7, 7), (0, 5)]:
+            d = chemical_distance(model, (0, 0), v)
+            if d is not None:
+                assert d >= g.distance((0, 0), v)
+
+
+class TestLargestComponent:
+    def test_everything_at_p1(self):
+        model = TablePercolation(cycle_graph(9), 1.0, seed=0)
+        assert largest_component_size(model) == 9
+        assert largest_component(model) == set(range(9))
+
+    def test_singletons_at_p0(self):
+        model = TablePercolation(cycle_graph(9), 0.0, seed=0)
+        assert largest_component_size(model) == 1
+
+    def test_sizes_sum_to_n(self):
+        model = TablePercolation(Mesh(2, 6), 0.5, seed=5)
+        assert sum(component_sizes(model)) == 36
+
+    def test_sizes_sorted_descending(self):
+        model = TablePercolation(Mesh(2, 6), 0.4, seed=2)
+        sizes = component_sizes(model)
+        assert sizes == sorted(sizes, reverse=True)

@@ -1,0 +1,148 @@
+"""Tests for repro.percolation.coupled — exact coupled thresholds."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs.explicit import ExplicitGraph, cycle_graph, path_graph
+from repro.graphs.hypercube import Hypercube
+from repro.graphs.mesh import Mesh
+from repro.percolation.cluster import connected
+from repro.percolation.coupled import (
+    edge_level,
+    giant_threshold,
+    pair_threshold,
+    threshold_sample,
+)
+from repro.percolation.models import HashPercolation
+
+
+class TestEdgeLevel:
+    def test_matches_hash_model(self):
+        g = Hypercube(5)
+        seed = 3
+        for e in list(g.edges())[:40]:
+            level = edge_level(g, seed, *e)
+            below = HashPercolation(g, max(0.0, level - 1e-9), seed)
+            above = HashPercolation(g, min(1.0, level + 1e-9), seed)
+            assert not below.is_open(*e)
+            assert above.is_open(*e)
+
+    def test_orientation_independent(self):
+        g = cycle_graph(6)
+        assert edge_level(g, 0, 0, 1) == edge_level(g, 0, 1, 0)
+
+
+class TestPairThreshold:
+    def test_path_graph_is_max_of_levels(self):
+        g = path_graph(5)
+        seed = 7
+        levels = [edge_level(g, seed, i, i + 1) for i in range(5)]
+        assert pair_threshold(g, seed, 0, 5) == pytest.approx(max(levels))
+
+    def test_cycle_is_minimax(self):
+        # two disjoint routes: threshold = min over routes of max level
+        g = cycle_graph(6)
+        seed = 11
+        cw = [edge_level(g, seed, i, (i + 1) % 6) for i in range(3)]
+        ccw = [edge_level(g, seed, (i + 3) % 6, (i + 4) % 6) for i in range(3)]
+        expected = min(max(cw), max(ccw))
+        assert pair_threshold(g, seed, 0, 3) == pytest.approx(expected)
+
+    def test_same_vertex(self):
+        assert pair_threshold(path_graph(2), 0, 1, 1) == 0.0
+
+    def test_disconnected_graph_infinite(self):
+        g = ExplicitGraph([(0, 1), (2, 3)])
+        assert pair_threshold(g, 0, 0, 3) == math.inf
+
+    @given(st.integers(min_value=0, max_value=2**32))
+    @settings(max_examples=20)
+    def test_consistent_with_hash_percolation(self, seed):
+        """p > threshold ⇔ connected under HashPercolation(p, seed)."""
+        g = Mesh(2, 4)
+        u, v = g.canonical_pair()
+        threshold = pair_threshold(g, seed, u, v)
+        for delta in (-0.05, 0.05):
+            p = threshold + delta
+            if not 0.0 <= p <= 1.0:
+                continue
+            model = HashPercolation(g, p, seed)
+            assert connected(model, u, v) == (delta > 0)
+
+    def test_threshold_distribution_on_hypercube(self):
+        # the median pair threshold sits between the giant (1/n) and
+        # connectivity (1/2 at the corner: needs an open incident edge)
+        g = Hypercube(6)
+        u, v = g.canonical_pair()
+        samples = [pair_threshold(g, s, u, v) for s in range(60)]
+        samples.sort()
+        median = samples[len(samples) // 2]
+        assert 1 / 6 < median < 0.6
+
+
+class TestGiantThreshold:
+    def test_full_fraction_on_path_is_max(self):
+        g = path_graph(4)
+        seed = 5
+        levels = [edge_level(g, seed, i, i + 1) for i in range(4)]
+        assert giant_threshold(g, seed, 1.0) == pytest.approx(max(levels))
+
+    def test_small_fraction_trivial(self):
+        g = path_graph(4)
+        assert giant_threshold(g, 0, fraction=0.1) == 0.0
+
+    def test_monotone_in_fraction(self):
+        g = Mesh(2, 6)
+        t_half = giant_threshold(g, 1, 0.5)
+        t_full = giant_threshold(g, 1, 1.0)
+        assert t_half <= t_full
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ValueError):
+            giant_threshold(path_graph(2), 0, 0.0)
+
+    def test_consistency_with_largest_component(self):
+        from repro.percolation.cluster import largest_component_size
+
+        g = Mesh(2, 5)
+        seed = 9
+        threshold = giant_threshold(g, seed, 0.6)
+        target = 0.6 * g.num_vertices()
+        just_below = HashPercolation(g, threshold - 1e-9, seed)
+        just_above = HashPercolation(g, threshold + 1e-9, seed)
+        assert largest_component_size(just_below) < target
+        assert largest_component_size(just_above) >= target
+
+
+class TestThresholdSample:
+    def test_rows_and_determinism(self):
+        g = Mesh(2, 5)
+        rows1 = threshold_sample(g, trials=5, seed=1, giant_fraction=0.5)
+        rows2 = threshold_sample(g, trials=5, seed=1, giant_fraction=0.5)
+        assert rows1 == rows2
+        assert all("giant_threshold" in r for r in rows1)
+
+    def test_cdf_matches_direct_scan(self):
+        # empirical CDF of pair thresholds == pair-connectivity curve
+        g = cycle_graph(8)
+        u, v = 0, 4
+        trials = 300
+        rows = threshold_sample(g, trials=trials, seed=2, pair=(u, v))
+        thresholds = sorted(r["pair_threshold"] for r in rows)
+        p = 0.7
+        cdf_at_p = sum(1 for t in thresholds if t < p) / trials
+        # direct MC with the same model family
+        hits = 0
+        from repro.util.rng import derive_seed
+
+        for t in range(trials):
+            model = HashPercolation(g, p, derive_seed(2, "coupled", t))
+            hits += connected(model, u, v)
+        assert cdf_at_p == pytest.approx(hits / trials)
+
+    def test_validates_trials(self):
+        with pytest.raises(ValueError):
+            threshold_sample(path_graph(2), trials=0, seed=0)

@@ -1,0 +1,130 @@
+"""Tests for repro.percolation.galton_watson.
+
+Closed forms are checked against exact algebra (b=2 admits a quadratic)
+and against Monte-Carlo simulation of the branching process.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.percolation.galton_watson import (
+    critical_probability,
+    expected_subcritical_progeny,
+    extinction_probability,
+    level_reach_probability,
+    survival_probability,
+)
+
+
+def _simulate_reach(b, p, depth, trials, seed):
+    """Monte-Carlo estimate of root-to-level-`depth` survival."""
+    rng = random.Random(seed)
+    hits = 0
+    for _ in range(trials):
+        generation = 1
+        for _level in range(depth):
+            # each individual has Binomial(b, p) children; we only need
+            # whether the next generation is nonempty, but tracking counts
+            # (capped) keeps the estimate exact.
+            nxt = 0
+            for _ in range(min(generation, 500)):
+                for _ in range(b):
+                    if rng.random() < p:
+                        nxt += 1
+            generation = nxt
+            if generation == 0:
+                break
+        if generation > 0:
+            hits += 1
+    return hits / trials
+
+
+class TestCriticalProbability:
+    def test_binary(self):
+        assert critical_probability(2) == 0.5
+
+    def test_rejects_bad_b(self):
+        with pytest.raises(ValueError):
+            critical_probability(0)
+
+
+class TestSurvival:
+    def test_zero_below_critical(self):
+        assert survival_probability(2, 0.3) == pytest.approx(0.0, abs=1e-9)
+        assert survival_probability(2, 0.5) == pytest.approx(0.0, abs=1e-5)
+
+    def test_closed_form_binary(self):
+        # For b=2, θ solves θ = 1-(1-pθ)²  ⇒  θ = (2p-1)/p² for p > 1/2.
+        for p in [0.6, 0.75, 0.9, 1.0]:
+            expected = (2 * p - 1) / (p * p)
+            assert survival_probability(2, p) == pytest.approx(expected, abs=1e-9)
+
+    def test_one_at_p_one_binary(self):
+        assert survival_probability(2, 1.0) == pytest.approx(1.0)
+
+    def test_extinction_complements_survival(self):
+        for p in [0.2, 0.5, 0.8]:
+            assert extinction_probability(3, p) + survival_probability(
+                3, p
+            ) == pytest.approx(1.0)
+
+    def test_monotone_in_p(self):
+        values = [survival_probability(2, p) for p in [0.5, 0.6, 0.7, 0.8, 0.9]]
+        assert values == sorted(values)
+
+    def test_rejects_bad_probability(self):
+        with pytest.raises(ValueError):
+            survival_probability(2, 1.2)
+
+
+class TestLevelReach:
+    def test_depth_zero_is_certain(self):
+        assert level_reach_probability(2, 0.1, 0) == 1.0
+
+    def test_depth_one_binary(self):
+        # reach level 1 iff at least one of 2 edges open: 1-(1-p)^2
+        p = 0.4
+        assert level_reach_probability(2, p, 1) == pytest.approx(
+            1 - (1 - p) ** 2
+        )
+
+    def test_decreasing_in_depth(self):
+        probs = [level_reach_probability(2, 0.55, d) for d in range(8)]
+        assert all(a >= b for a, b in zip(probs, probs[1:]))
+
+    def test_converges_to_survival(self):
+        p = 0.7
+        deep = level_reach_probability(2, p, 300)
+        assert deep == pytest.approx(survival_probability(2, p), abs=1e-6)
+
+    def test_subcritical_decays_like_mean_power(self):
+        # below criticality Pr[reach n] ≈ C (bp)^n
+        b, p = 2, 0.3
+        q10 = level_reach_probability(b, p, 10)
+        q11 = level_reach_probability(b, p, 11)
+        assert q11 / q10 == pytest.approx(b * p, rel=0.1)
+
+    def test_matches_monte_carlo(self):
+        b, p, depth = 2, 0.6, 6
+        exact = level_reach_probability(b, p, depth)
+        estimate = _simulate_reach(b, p, depth, trials=4000, seed=0)
+        assert abs(exact - estimate) < 5 * math.sqrt(exact * (1 - exact) / 4000)
+
+    def test_rejects_negative_depth(self):
+        with pytest.raises(ValueError):
+            level_reach_probability(2, 0.5, -1)
+
+
+class TestSubcriticalProgeny:
+    def test_closed_form(self):
+        assert expected_subcritical_progeny(2, 0.25) == pytest.approx(2.0)
+
+    def test_blows_up_at_critical(self):
+        with pytest.raises(ValueError):
+            expected_subcritical_progeny(2, 0.5)
+
+    def test_grows_towards_critical(self):
+        values = [expected_subcritical_progeny(2, p) for p in [0.1, 0.3, 0.45]]
+        assert values == sorted(values)

@@ -1,0 +1,157 @@
+"""Tests for repro.percolation.giant and repro.percolation.thresholds."""
+
+import math
+
+import pytest
+
+from repro.graphs.double_tree import DoubleBinaryTree
+from repro.graphs.explicit import cycle_graph
+from repro.graphs.hypercube import Hypercube
+from repro.graphs.mesh import Mesh
+from repro.percolation.galton_watson import level_reach_probability
+from repro.percolation.giant import (
+    estimate_threshold,
+    full_connectivity_scan,
+    giant_fraction,
+    giant_fraction_scan,
+    pair_connectivity_scan,
+)
+from repro.percolation.models import TablePercolation
+from repro.percolation.thresholds import (
+    MESH_PC,
+    double_tree_threshold,
+    gnp_connectivity_threshold,
+    gnp_giant_threshold,
+    hypercube_connectivity_threshold,
+    hypercube_giant_threshold,
+    hypercube_routing_threshold,
+    mesh_critical_probability,
+)
+
+
+class TestThresholdRegistry:
+    def test_kesten_exact(self):
+        assert mesh_critical_probability(2) == 0.5
+
+    def test_tabulated_values_decreasing(self):
+        values = [mesh_critical_probability(d) for d in sorted(MESH_PC)]
+        assert values == sorted(values, reverse=True)
+
+    def test_high_dimension_fallback(self):
+        pc = mesh_critical_probability(12)
+        assert 0.0 < pc < MESH_PC[7]
+        assert pc == pytest.approx(1 / 23)
+
+    def test_rejects_bad_dimension(self):
+        with pytest.raises(ValueError):
+            mesh_critical_probability(0)
+
+    def test_hypercube_thresholds_ordered(self):
+        # giant (1/n)  <  routing (n^-1/2)  <  connectivity (1/2) for n > 4
+        n = 16
+        assert (
+            hypercube_giant_threshold(n)
+            < hypercube_routing_threshold(n)
+            < hypercube_connectivity_threshold()
+        )
+
+    def test_double_tree_threshold(self):
+        assert double_tree_threshold() == pytest.approx(1 / math.sqrt(2))
+
+    def test_gnp_thresholds(self):
+        assert gnp_giant_threshold(100) == 0.01
+        assert gnp_connectivity_threshold(100) == pytest.approx(
+            math.log(100) / 100
+        )
+        assert gnp_giant_threshold(100) < gnp_connectivity_threshold(100)
+
+
+class TestGiantFraction:
+    def test_full_graph(self):
+        model = TablePercolation(cycle_graph(10), 1.0, seed=0)
+        assert giant_fraction(model) == 1.0
+
+    def test_empty_graph(self):
+        model = TablePercolation(cycle_graph(10), 0.0, seed=0)
+        assert giant_fraction(model) == pytest.approx(0.1)
+
+
+class TestScans:
+    def test_giant_scan_monotone_far_from_threshold(self):
+        g = Mesh(2, 12)
+        rows = giant_fraction_scan(g, ps=[0.1, 0.5, 0.9], trials=5, seed=1)
+        fracs = [r["giant_fraction"] for r in rows]
+        assert fracs[0] < fracs[2]
+        assert fracs[2] > 0.9
+
+    def test_giant_scan_row_schema(self):
+        rows = giant_fraction_scan(Mesh(2, 6), ps=[0.5], trials=3, seed=0)
+        assert set(rows[0]) == {
+            "p",
+            "giant_fraction",
+            "ci_lo",
+            "ci_hi",
+            "second_fraction",
+            "trials",
+        }
+
+    def test_second_cluster_small_when_supercritical(self):
+        rows = giant_fraction_scan(Mesh(2, 15), ps=[0.8], trials=5, seed=2)
+        assert rows[0]["second_fraction"] < 0.05
+
+    def test_pair_connectivity_increases(self):
+        g = DoubleBinaryTree(4)
+        rows = pair_connectivity_scan(g, ps=[0.4, 0.95], trials=30, seed=3)
+        assert rows[0]["pr_connected"] < rows[1]["pr_connected"]
+
+    def test_pair_connectivity_matches_gw_recursion(self):
+        # Lemma 6: Pr[x ~ y] in TT_n equals binary-GW level-n reach with p².
+        depth, p = 4, 0.85
+        g = DoubleBinaryTree(depth)
+        rows = pair_connectivity_scan(g, ps=[p], trials=400, seed=4)
+        exact = level_reach_probability(2, p * p, depth)
+        estimate = rows[0]["pr_connected"]
+        tolerance = 5 * math.sqrt(exact * (1 - exact) / 400)
+        assert abs(estimate - exact) < tolerance
+
+    def test_full_connectivity_scan_hypercube(self):
+        g = Hypercube(4)
+        rows = full_connectivity_scan(g, ps=[0.2, 0.95], trials=20, seed=5)
+        assert rows[0]["pr_connected"] < rows[1]["pr_connected"]
+        assert rows[1]["pr_connected"] > 0.8
+
+    def test_scan_validation(self):
+        with pytest.raises(ValueError):
+            giant_fraction_scan(Mesh(2, 4), ps=[], trials=3, seed=0)
+        with pytest.raises(ValueError):
+            giant_fraction_scan(Mesh(2, 4), ps=[0.5], trials=0, seed=0)
+
+
+class TestEstimateThreshold:
+    def test_interpolates_crossing(self):
+        rows = [
+            {"p": 0.2, "y": 0.1},
+            {"p": 0.4, "y": 0.3},
+            {"p": 0.6, "y": 0.7},
+        ]
+        est = estimate_threshold(rows, "y", target=0.5)
+        assert est == pytest.approx(0.5)
+
+    def test_exact_hit(self):
+        rows = [{"p": 0.1, "y": 0.0}, {"p": 0.3, "y": 0.5}, {"p": 0.5, "y": 1.0}]
+        assert estimate_threshold(rows, "y", 0.5) == pytest.approx(0.3)
+
+    def test_raises_without_crossing(self):
+        rows = [{"p": 0.1, "y": 0.6}, {"p": 0.2, "y": 0.9}]
+        with pytest.raises(ValueError):
+            estimate_threshold(rows, "y", 0.5)
+
+    def test_mesh_threshold_scan_near_half(self):
+        # End-to-end sanity: p_c(ℤ²) = 1/2 should emerge from a coarse scan
+        # on a finite box (finite-size effects allowed).
+        g = Mesh(2, 16)
+        rows = giant_fraction_scan(
+            g, ps=[0.3, 0.4, 0.5, 0.6, 0.7], trials=8, seed=6
+        )
+        est = estimate_threshold(rows, "giant_fraction", target=0.4)
+        assert 0.35 < est < 0.65

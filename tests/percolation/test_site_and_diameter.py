@@ -1,0 +1,135 @@
+"""Tests for site percolation and cluster-diameter estimation."""
+
+import math
+
+import pytest
+
+from repro.graphs.explicit import cycle_graph, path_graph
+from repro.graphs.hypercube import Hypercube
+from repro.graphs.mesh import Mesh
+from repro.percolation.cluster import (
+    approx_cluster_diameter,
+    cluster_eccentricity,
+    component,
+    connected,
+)
+from repro.percolation.models import TablePercolation
+from repro.percolation.site import SitePercolation
+
+
+class TestSitePercolation:
+    def test_p1_everything_open(self):
+        g = Hypercube(4)
+        model = SitePercolation(g, 1.0, seed=0)
+        assert all(model.is_open(*e) for e in g.edges())
+
+    def test_p0_everything_closed_except_pinned(self):
+        g = path_graph(3)
+        model = SitePercolation(g, 0.0, seed=0, pinned=(0, 1))
+        assert model.is_open(0, 1)
+        assert not model.is_open(1, 2)
+
+    def test_deterministic(self):
+        g = Mesh(2, 5)
+        m1 = SitePercolation(g, 0.6, seed=4)
+        m2 = SitePercolation(g, 0.6, seed=4)
+        assert all(m1.is_open(*e) == m2.is_open(*e) for e in g.edges())
+
+    def test_dead_vertex_kills_all_incident_edges(self):
+        g = Hypercube(5)
+        model = SitePercolation(g, 0.5, seed=1)
+        for v in range(16):
+            if not model.is_up(v):
+                assert model.open_neighbors(v) == []
+                for w in g.neighbors(v):
+                    assert not model.is_open(v, w)
+
+    def test_up_fraction_matches_p(self):
+        g = Hypercube(10)
+        p = 0.35
+        model = SitePercolation(g, p, seed=2)
+        ups = sum(model.is_up(v) for v in g.vertices())
+        n = g.num_vertices()
+        assert abs(ups / n - p) < 5 * math.sqrt(p * (1 - p) / n)
+
+    def test_pinned_vertices_validated(self):
+        with pytest.raises(ValueError):
+            SitePercolation(path_graph(2), 0.5, seed=0, pinned=(99,))
+
+    def test_open_neighbors_consistent_with_is_open(self):
+        g = Mesh(2, 5)
+        model = SitePercolation(g, 0.7, seed=3)
+        for v in g.vertices():
+            expected = [w for w in g.neighbors(v) if model.is_open(v, w)]
+            assert model.open_neighbors(v) == expected
+
+    def test_site_harsher_than_bond_at_same_p(self):
+        # Pr[edge open] = p^2 under site vs p under bond: cluster of a
+        # pinned source is stochastically smaller.  Check on averages.
+        g = Mesh(2, 8)
+        p = 0.7
+        site_sizes = []
+        bond_sizes = []
+        for seed in range(20):
+            site = SitePercolation(g, p, seed=seed, pinned=((0, 0),))
+            bond = TablePercolation(g, p, seed=seed)
+            site_sizes.append(len(component(site, (0, 0))))
+            bond_sizes.append(len(component(bond, (0, 0))))
+        assert sum(site_sizes) < sum(bond_sizes)
+
+    def test_routers_work_unchanged(self):
+        from repro.routers.bfs import LocalBFSRouter
+
+        g = Hypercube(5)
+        u, v = g.canonical_pair()
+        model = SitePercolation(g, 0.8, seed=5, pinned=(u, v))
+        result = LocalBFSRouter().route(model, u, v)
+        assert result.success == connected(model, u, v)
+
+
+class TestClusterDiameter:
+    def test_eccentricity_full_cycle(self):
+        g = cycle_graph(10)
+        model = TablePercolation(g, 1.0, seed=0)
+        ecc, far = cluster_eccentricity(model, 0)
+        assert ecc == 5
+        assert far == 5
+
+    def test_eccentricity_isolated(self):
+        g = path_graph(3)
+        model = TablePercolation(g, 0.0, seed=0)
+        assert cluster_eccentricity(model, 1) == (0, 1)
+
+    def test_two_sweep_exact_on_path(self):
+        g = path_graph(9)
+        model = TablePercolation(g, 1.0, seed=0)
+        # starting mid-path, one sweep reaches an end, second spans it
+        assert approx_cluster_diameter(model, 4, sweeps=2) == 9
+
+    def test_lower_bound_property(self):
+        g = Mesh(2, 7)
+        model = TablePercolation(g, 0.7, seed=1)
+        estimate = approx_cluster_diameter(model, (3, 3), sweeps=2)
+        comp = component(model, (3, 3))
+        # exact diameter of the cluster via all-pairs BFS
+        from repro.percolation.cluster import chemical_distance
+
+        exact = max(
+            chemical_distance(model, a, b) for a in comp for b in comp
+        )
+        assert estimate <= exact
+        assert estimate >= exact / 2  # two-sweep guarantee
+
+    def test_rejects_zero_sweeps(self):
+        g = path_graph(2)
+        model = TablePercolation(g, 1.0, seed=0)
+        with pytest.raises(ValueError):
+            approx_cluster_diameter(model, 0, sweeps=0)
+
+    def test_percolated_diameter_at_least_full_graph_distance(self):
+        g = Mesh(2, 8)
+        model = TablePercolation(g, 0.85, seed=2)
+        comp = component(model, (0, 0))
+        if len(comp) > 30:
+            estimate = approx_cluster_diameter(model, (0, 0))
+            assert estimate >= 7  # spans most of the box, detours only add

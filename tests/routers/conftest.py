@@ -1,0 +1,16 @@
+"""Shared fixtures and helpers for router tests."""
+
+from repro.core.result import validate_path
+from repro.percolation.models import TablePercolation
+
+
+def route_and_check(router, graph, p, seed, pair=None, budget=None):
+    """Run one routing attempt; validate any returned path; return result."""
+    source, target = pair if pair is not None else graph.canonical_pair()
+    model = TablePercolation(graph, p, seed=seed)
+    result = router.route(model, source, target, budget=budget)
+    if result.success:
+        # route() already validates, but re-check here so a regression in
+        # route()'s own validation cannot mask router bugs.
+        validate_path(graph, model, result.path, source, target)
+    return result, model

@@ -1,0 +1,86 @@
+"""Tests for repro.routers.bestfirst."""
+
+import pytest
+
+from repro.graphs.double_tree import DoubleBinaryTree
+from repro.graphs.hypercube import Hypercube
+from repro.graphs.mesh import Mesh
+from repro.percolation.cluster import connected
+from repro.percolation.models import TablePercolation
+from repro.routers.bestfirst import BestFirstRouter
+from repro.routers.bfs import LocalBFSRouter
+from tests.routers.conftest import route_and_check
+
+
+class TestBestFirstRouter:
+    def test_straight_line_at_p1(self):
+        result, _ = route_and_check(BestFirstRouter(), Hypercube(6), 1.0, 0)
+        assert result.success
+        assert result.path_length == 6
+        assert result.queries == 6  # never probes a non-improving edge
+
+    def test_source_equals_target(self):
+        g = Mesh(2, 4)
+        model = TablePercolation(g, 1.0, seed=0)
+        result = BestFirstRouter().route(model, (2, 2), (2, 2))
+        assert result.success and result.queries == 0
+
+    def test_complete(self):
+        g = Mesh(2, 6)
+        router = BestFirstRouter()
+        for seed in range(15):
+            model = TablePercolation(g, 0.55, seed=seed)
+            u, v = g.canonical_pair()
+            result = router.route(model, u, v)
+            assert result.success == connected(model, u, v), seed
+
+    def test_complete_on_double_tree(self):
+        g = DoubleBinaryTree(4)
+        router = BestFirstRouter()
+        for seed in range(10):
+            model = TablePercolation(g, 0.8, seed=seed)
+            x, y = g.roots()
+            result = router.route(model, x, y)
+            assert result.success == connected(model, x, y), seed
+
+    def test_cheaper_than_bfs_on_supercritical_hypercube(self):
+        g = Hypercube(8)
+        total_best = total_bfs = 0
+        hits = 0
+        for seed in range(10):
+            model = TablePercolation(g, 0.7, seed=seed)
+            u, v = g.canonical_pair()
+            best = BestFirstRouter().route(model, u, v)
+            bfs = LocalBFSRouter().route(model, u, v)
+            if best.success and bfs.success:
+                total_best += best.queries
+                total_bfs += bfs.queries
+                hits += 1
+        assert hits >= 8
+        assert total_best < total_bfs / 2
+
+    def test_budget_respected(self):
+        result, _ = route_and_check(
+            BestFirstRouter(), Hypercube(7), p=0.5, seed=3, budget=5
+        )
+        assert result.queries <= 5
+
+    def test_deterministic(self):
+        g = Hypercube(6)
+        model = TablePercolation(g, 0.6, seed=9)
+        u, v = g.canonical_pair()
+        r1 = BestFirstRouter().route(model, u, v)
+        r2 = BestFirstRouter().route(model, u, v)
+        assert r1.queries == r2.queries
+        assert r1.path == r2.path
+
+    def test_is_local_and_complete_flags(self):
+        router = BestFirstRouter()
+        assert router.is_local
+        assert router.is_complete
+
+    def test_suite_contains_it(self):
+        from repro.routers import local_router_suite
+
+        names = {r.name for r in local_router_suite()}
+        assert "best-first" in names

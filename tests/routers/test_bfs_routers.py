@@ -1,0 +1,79 @@
+"""Tests for repro.routers.bfs (local and bidirectional BFS)."""
+
+import pytest
+
+from repro.graphs.explicit import cycle_graph, path_graph
+from repro.graphs.hypercube import Hypercube
+from repro.graphs.mesh import Mesh
+from repro.percolation.cluster import connected
+from repro.percolation.models import TablePercolation
+from repro.routers.bfs import BidirectionalBFSRouter, LocalBFSRouter
+from tests.routers.conftest import route_and_check
+
+ROUTERS = [LocalBFSRouter(), BidirectionalBFSRouter()]
+
+
+@pytest.mark.parametrize("router", ROUTERS, ids=lambda r: r.name)
+class TestBothBFSRouters:
+    def test_finds_path_at_p1(self, router):
+        result, _ = route_and_check(router, Hypercube(5), p=1.0, seed=0)
+        assert result.success
+        assert result.path_length == 5  # BFS paths are shortest
+
+    def test_source_equals_target(self, router):
+        g = path_graph(3)
+        model = TablePercolation(g, 1.0, seed=0)
+        result = router.route(model, 1, 1)
+        assert result.success
+        assert result.path == [1]
+        assert result.queries == 0
+
+    def test_fails_cleanly_when_disconnected(self, router):
+        g = path_graph(3)
+        model = TablePercolation(g, 0.0, seed=0)
+        result = router.route(model, 0, 3)
+        assert not result.success
+        assert result.failure is not None
+
+    def test_completeness_matches_ground_truth(self, router):
+        g = Mesh(2, 6)
+        for seed in range(15):
+            model = TablePercolation(g, 0.5, seed=seed)
+            u, v = g.canonical_pair()
+            result = router.route(model, u, v)
+            assert result.success == connected(model, u, v), seed
+
+    def test_path_always_valid_over_seeds(self, router):
+        for seed in range(10):
+            result, _ = route_and_check(
+                router, Hypercube(5), p=0.7, seed=seed
+            )
+            # validation happens inside route_and_check
+
+    def test_budget_failure_reported(self, router):
+        result, _ = route_and_check(
+            router, Hypercube(6), p=1.0, seed=0, budget=2
+        )
+        assert not result.success
+        assert result.censored
+        assert result.queries <= 2
+
+
+class TestComplexityComparison:
+    def test_bidirectional_beats_local_on_hypercube(self):
+        # On an exponential-growth graph bidirectional search explores
+        # ~sqrt the volume; with p=1 this is deterministic.
+        g = Hypercube(9)
+        local, _ = route_and_check(LocalBFSRouter(), g, p=1.0, seed=0)
+        bidi, _ = route_and_check(BidirectionalBFSRouter(), g, p=1.0, seed=0)
+        assert bidi.queries < local.queries
+
+    def test_local_bfs_probes_component_when_failing(self):
+        # On a cycle with two closed edges BFS must probe everything
+        # reachable before giving up.
+        g = cycle_graph(10)
+        model = TablePercolation(g, 0.0, seed=0)
+        router = LocalBFSRouter()
+        result = router.route(model, 0, 5)
+        assert not result.success
+        assert result.queries == 2  # both edges at the source, then stuck

@@ -1,0 +1,94 @@
+"""Tests for repro.routers.tree (Theorem 9's mirror-pair oracle router)."""
+
+import math
+
+import pytest
+
+from repro.graphs.double_tree import DoubleBinaryTree
+from repro.graphs.hypercube import Hypercube
+from repro.percolation.cluster import connected
+from repro.percolation.models import TablePercolation
+from repro.routers.tree import MirrorPairOracleRouter
+from tests.routers.conftest import route_and_check
+
+
+class TestMirrorPairRouter:
+    def test_routes_at_p1(self):
+        g = DoubleBinaryTree(4)
+        result, _ = route_and_check(MirrorPairOracleRouter(), g, 1.0, 0)
+        assert result.success
+        assert result.path_length == 8  # root → leaf → root
+
+    def test_path_is_mirror_symmetric(self):
+        g = DoubleBinaryTree(4)
+        result, _ = route_and_check(MirrorPairOracleRouter(), g, 1.0, 1)
+        path = result.path
+        # midpoint is a leaf; second half mirrors the first
+        mid = len(path) // 2
+        assert path[mid][0] == "leaf"
+        for i in range(mid):
+            assert g.mirror_vertex(path[i]) == path[-1 - i]
+
+    def test_only_accepts_double_tree(self):
+        g = Hypercube(3)
+        model = TablePercolation(g, 1.0, seed=0)
+        with pytest.raises(ValueError):
+            MirrorPairOracleRouter().route(model, 0, 7)
+
+    def test_only_accepts_roots(self):
+        g = DoubleBinaryTree(3)
+        model = TablePercolation(g, 1.0, seed=0)
+        with pytest.raises(ValueError):
+            MirrorPairOracleRouter().route(model, ("a", 1), ("b", 2))
+
+    def test_fails_gracefully_when_no_mirror_path(self):
+        g = DoubleBinaryTree(3)
+        failures = successes = 0
+        for seed in range(60):
+            model = TablePercolation(g, 0.75, seed=seed)
+            x, y = g.roots()
+            result = MirrorPairOracleRouter().route(model, x, y)
+            if result.success:
+                successes += 1
+            else:
+                failures += 1
+        # p = 0.75 > 1/√2: success with probability bounded away from 0,
+        # but failures must also occur at finite depth
+        assert successes > 5
+        assert failures > 5
+
+    def test_success_implies_connected(self):
+        g = DoubleBinaryTree(4)
+        for seed in range(20):
+            model = TablePercolation(g, 0.8, seed=seed)
+            x, y = g.roots()
+            result = MirrorPairOracleRouter().route(model, x, y)
+            if result.success:
+                assert connected(model, x, y)
+
+    def test_linear_complexity_scaling(self):
+        # Theorem 9: average complexity c·n for p > 1/√2.  Check the
+        # per-depth average grows sub-quadratically (linear up to noise).
+        p = 0.9
+        means = {}
+        for depth in (4, 8, 12):
+            g = DoubleBinaryTree(depth)
+            x, y = g.roots()
+            total = hits = 0
+            for seed in range(40):
+                model = TablePercolation(g, p, seed=seed)
+                result = MirrorPairOracleRouter().route(model, x, y)
+                if result.success:
+                    total += result.queries
+                    hits += 1
+            assert hits > 10, f"too few successes at depth {depth}"
+            means[depth] = total / hits
+        # tripling the depth should scale queries by roughly 3, not 9
+        ratio = means[12] / means[4]
+        assert ratio < 6, means
+
+    def test_queries_even_count(self):
+        # pairs are probed two edges at a time (no short-circuit)
+        g = DoubleBinaryTree(4)
+        result, _ = route_and_check(MirrorPairOracleRouter(), g, 1.0, 5)
+        assert result.queries % 2 == 0

@@ -1,0 +1,141 @@
+"""Tests for repro.routers.waypoint (Theorems 3(ii) and 4 engines)."""
+
+import pytest
+
+from repro.graphs.hypercube import Hypercube
+from repro.graphs.mesh import Mesh, Torus
+from repro.percolation.cluster import connected
+from repro.percolation.models import TablePercolation
+from repro.routers.bfs import LocalBFSRouter
+from repro.routers.waypoint import (
+    HypercubeWaypointRouter,
+    MeshWaypointRouter,
+    WaypointRouter,
+)
+from tests.routers.conftest import route_and_check
+
+
+class TestWaypointCore:
+    def test_follows_geodesic_at_p1(self):
+        g = Hypercube(6)
+        result, _ = route_and_check(WaypointRouter(), g, p=1.0, seed=0)
+        assert result.success
+        assert result.path_length == 6
+        # at p=1 every geodesic edge is probed exactly once plus the BFS
+        # fan-out; queries stay well below the full edge count
+        assert result.queries < g.num_edges()
+
+    def test_source_equals_target(self):
+        g = Mesh(2, 4)
+        model = TablePercolation(g, 1.0, seed=0)
+        result = WaypointRouter().route(model, (1, 1), (1, 1))
+        assert result.success and result.path == [(1, 1)]
+
+    def test_unbounded_router_is_complete(self):
+        router = WaypointRouter()
+        assert router.is_complete
+        g = Mesh(2, 8)
+        for seed in range(12):
+            model = TablePercolation(g, 0.55, seed=seed)
+            u, v = g.canonical_pair()
+            result = router.route(model, u, v)
+            assert result.success == connected(model, u, v), seed
+
+    def test_bounded_router_not_complete(self):
+        assert not WaypointRouter(max_radius=3).is_complete
+
+    def test_bounded_router_gives_up_gracefully(self):
+        g = Mesh(2, 10)
+        router = WaypointRouter(max_radius=1)
+        failures = 0
+        for seed in range(25):
+            model = TablePercolation(g, 0.75, seed=seed)
+            u, v = g.canonical_pair()
+            result = router.route(model, u, v)
+            if not result.success and connected(model, u, v):
+                failures += 1
+        assert failures > 0  # radius-1 segments must sometimes fail
+
+    def test_rejects_bad_radius(self):
+        with pytest.raises(ValueError):
+            WaypointRouter(max_radius=0)
+
+    def test_path_valid_across_detours(self):
+        g = Mesh(2, 9)
+        for seed in range(20):
+            result, model = route_and_check(
+                MeshWaypointRouter(), g, p=0.7, seed=seed
+            )
+            if result.success:
+                assert result.path_length >= g.distance(*g.canonical_pair())
+
+    def test_queries_far_below_bfs_on_supercritical_mesh(self):
+        g = Mesh(2, 12)
+        totals = {"waypoint": 0, "bfs": 0}
+        hits = 0
+        for seed in range(10):
+            model = TablePercolation(g, 0.8, seed=seed)
+            u, v = g.canonical_pair()
+            w = MeshWaypointRouter().route(model, u, v)
+            b = LocalBFSRouter().route(model, u, v)
+            if w.success and b.success:
+                totals["waypoint"] += w.queries
+                totals["bfs"] += b.queries
+                hits += 1
+        assert hits >= 5
+        assert totals["waypoint"] < 0.5 * totals["bfs"]
+
+
+class TestHypercubeVariant:
+    def test_alpha_sets_radius(self):
+        router = HypercubeWaypointRouter(alpha=0.25)
+        assert router.max_radius == 4
+
+    def test_alpha_and_radius_mutually_exclusive(self):
+        with pytest.raises(ValueError):
+            HypercubeWaypointRouter(alpha=0.2, max_radius=5)
+
+    def test_rejects_alpha_beyond_half(self):
+        with pytest.raises(ValueError):
+            HypercubeWaypointRouter(alpha=0.6)
+
+    def test_routes_supercritical_hypercube(self):
+        # n=10, alpha=0.3 → p = 10^-0.3 ≈ 0.5; comfortably above n^-1/2.
+        g = Hypercube(10)
+        p = 10 ** (-0.3)
+        successes = 0
+        for seed in range(10):
+            result, model = route_and_check(
+                HypercubeWaypointRouter(alpha=0.3), g, p=p, seed=seed
+            )
+            if result.success:
+                successes += 1
+        assert successes >= 6  # w.h.p. statement at finite n
+
+    def test_works_without_alpha(self):
+        result, _ = route_and_check(
+            HypercubeWaypointRouter(), Hypercube(6), p=0.9, seed=1
+        )
+        assert result.success
+
+
+class TestMeshVariant:
+    def test_complete_by_default(self):
+        assert MeshWaypointRouter().is_complete
+
+    def test_routes_on_torus_too(self):
+        g = Torus(2, 8)
+        result, _ = route_and_check(
+            MeshWaypointRouter(), g, p=0.8, seed=3, pair=((0, 0), (4, 4))
+        )
+        assert result.success
+
+    def test_centered_pair_workload(self):
+        g = Mesh(2, 15)
+        pair = g.centered_pair_at_distance(8)
+        result, model = route_and_check(
+            MeshWaypointRouter(), g, p=0.75, seed=4, pair=pair
+        )
+        if result.success:
+            assert result.path[0] == pair[0]
+            assert result.path[-1] == pair[1]

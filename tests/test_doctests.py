@@ -1,0 +1,27 @@
+"""Run every docstring example in the package as a test.
+
+Doctests double as API documentation; this keeps them honest.
+"""
+
+import doctest
+import importlib
+import pkgutil
+
+import pytest
+
+import repro
+
+MODULES = sorted(
+    name
+    for _, name, _ in pkgutil.walk_packages(repro.__path__, prefix="repro.")
+    # experiment defs register on import; importing them here is fine,
+    # but they hold no doctests — skip for speed.
+    if not name.startswith("repro.experiments.defs")
+)
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_module_doctests(module_name):
+    module = importlib.import_module(module_name)
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{results.failed} doctest failures"

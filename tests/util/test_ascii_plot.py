@@ -1,0 +1,86 @@
+"""Tests for repro.util.ascii_plot."""
+
+import pytest
+
+from repro.util.ascii_plot import bar_chart, scatter_plot, sparkline
+
+
+class TestSparkline:
+    def test_monotone_ramp(self):
+        assert sparkline([0, 1, 2, 3]) == "▁▃▅█"
+
+    def test_constant_series(self):
+        assert sparkline([5, 5, 5]) == "▁▁▁"
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            sparkline([])
+
+    def test_length_preserved(self):
+        assert len(sparkline(range(17))) == 17
+
+
+class TestBarChart:
+    def test_basic_shape(self):
+        out = bar_chart(["a", "bb"], [1.0, 2.0], width=10)
+        lines = out.splitlines()
+        assert len(lines) == 2
+        assert lines[1].count("#") == 10  # max value fills the width
+        assert lines[0].count("#") == 5
+
+    def test_labels_aligned(self):
+        out = bar_chart(["x", "longer"], [1, 1])
+        lines = out.splitlines()
+        assert lines[0].index("|") == lines[1].index("|")
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1, 2])
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [-1])
+
+    def test_all_zero_safe(self):
+        out = bar_chart(["a"], [0.0])
+        assert "#" not in out
+
+
+class TestScatterPlot:
+    def test_contains_markers(self):
+        out = scatter_plot([1, 2, 3], [1, 4, 9])
+        assert out.count("*") >= 2  # collisions may merge points
+
+    def test_axis_annotations(self):
+        out = scatter_plot([1, 10], [2, 20])
+        assert "x: 1 .. 10" in out
+        assert "y: 2 .. 20" in out
+
+    def test_log_axes(self):
+        out = scatter_plot([1, 10, 100], [1, 100, 10000], logx=True, logy=True)
+        assert "1e" in out
+
+    def test_log_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            scatter_plot([0, 1], [1, 2], logx=True)
+
+    def test_dimension_bounds(self):
+        with pytest.raises(ValueError):
+            scatter_plot([1], [1], width=1)
+
+    def test_single_point_centered_grid(self):
+        out = scatter_plot([5], [5], width=8, height=4)
+        assert out.count("*") == 1
+
+    def test_grid_size(self):
+        out = scatter_plot([1, 2], [1, 2], width=20, height=5)
+        rows = [l for l in out.splitlines() if l.startswith("|")]
+        assert len(rows) == 5
+        assert all(len(r) == 21 for r in rows)
+
+    def test_monotone_data_has_monotone_shape(self):
+        # the topmost marker must be in the rightmost marker column
+        out = scatter_plot([1, 2, 3, 4], [1, 2, 3, 4], width=12, height=6)
+        rows = [l[1:] for l in out.splitlines() if l.startswith("|")]
+        top_row = next(r for r in rows if "*" in r)
+        assert top_row.rindex("*") == max(r.rindex("*") for r in rows if "*" in r)

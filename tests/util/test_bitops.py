@@ -1,0 +1,171 @@
+"""Tests for repro.util.bitops."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.bitops import (
+    bit_indices,
+    flip_bit,
+    gray_code,
+    hamming_distance,
+    hypercube_geodesic,
+    iter_pairs,
+    pair_from_index,
+    pair_index,
+    popcount,
+)
+
+NONNEG = st.integers(min_value=0, max_value=2**48)
+
+
+class TestPopcount:
+    @pytest.mark.parametrize(
+        "x,expected", [(0, 0), (1, 1), (0b1011, 3), (2**40, 1), (2**10 - 1, 10)]
+    )
+    def test_known_values(self, x, expected):
+        assert popcount(x) == expected
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            popcount(-1)
+
+    @given(NONNEG)
+    def test_matches_bin_count(self, x):
+        assert popcount(x) == bin(x).count("1")
+
+
+class TestHammingDistance:
+    def test_zero_iff_equal(self):
+        assert hamming_distance(37, 37) == 0
+
+    def test_single_bit(self):
+        assert hamming_distance(0b1000, 0b0000) == 1
+
+    @given(NONNEG, NONNEG)
+    def test_symmetry(self, x, y):
+        assert hamming_distance(x, y) == hamming_distance(y, x)
+
+    @given(NONNEG, NONNEG, NONNEG)
+    def test_triangle_inequality(self, x, y, z):
+        assert hamming_distance(x, z) <= (
+            hamming_distance(x, y) + hamming_distance(y, z)
+        )
+
+
+class TestFlipBit:
+    def test_flip_twice_is_identity(self):
+        assert flip_bit(flip_bit(0b1010, 3), 3) == 0b1010
+
+    def test_flip_changes_distance_by_one(self):
+        x = 0b1100
+        assert hamming_distance(x, flip_bit(x, 0)) == 1
+
+    def test_rejects_negative_index(self):
+        with pytest.raises(ValueError):
+            flip_bit(1, -1)
+
+
+class TestBitIndices:
+    def test_empty_for_zero(self):
+        assert bit_indices(0) == []
+
+    def test_known(self):
+        assert bit_indices(0b10110) == [1, 2, 4]
+
+    @given(NONNEG)
+    def test_roundtrip(self, x):
+        assert sum(1 << i for i in bit_indices(x)) == x
+
+    @given(NONNEG)
+    def test_sorted_and_unique(self, x):
+        idx = bit_indices(x)
+        assert idx == sorted(set(idx))
+
+
+class TestHypercubeGeodesic:
+    def test_trivial(self):
+        assert hypercube_geodesic(5, 5) == [5]
+
+    def test_endpoints(self):
+        path = hypercube_geodesic(0b000, 0b101)
+        assert path[0] == 0b000
+        assert path[-1] == 0b101
+
+    @given(
+        st.integers(min_value=0, max_value=2**12 - 1),
+        st.integers(min_value=0, max_value=2**12 - 1),
+    )
+    def test_length_is_distance_plus_one(self, u, v):
+        path = hypercube_geodesic(u, v)
+        assert len(path) == hamming_distance(u, v) + 1
+
+    @given(
+        st.integers(min_value=0, max_value=2**12 - 1),
+        st.integers(min_value=0, max_value=2**12 - 1),
+    )
+    def test_consecutive_steps_are_neighbours(self, u, v):
+        path = hypercube_geodesic(u, v)
+        for a, b in zip(path, path[1:]):
+            assert hamming_distance(a, b) == 1
+
+    @given(
+        st.integers(min_value=0, max_value=2**12 - 1),
+        st.integers(min_value=0, max_value=2**12 - 1),
+    )
+    def test_no_repeated_vertices(self, u, v):
+        path = hypercube_geodesic(u, v)
+        assert len(set(path)) == len(path)
+
+
+class TestGrayCode:
+    def test_first_words(self):
+        assert [gray_code(k) for k in range(8)] == [0, 1, 3, 2, 6, 7, 5, 4]
+
+    @given(st.integers(min_value=0, max_value=2**20))
+    def test_consecutive_words_are_neighbours(self, k):
+        assert hamming_distance(gray_code(k), gray_code(k + 1)) == 1
+
+    def test_is_bijection_on_prefix(self):
+        n = 1 << 10
+        assert len({gray_code(k) for k in range(n)}) == n
+
+
+class TestPairIndexing:
+    def test_triangular_order(self):
+        assert [pair_index(i, j) for i, j in [(0, 1), (0, 2), (1, 2), (0, 3)]] == [
+            0,
+            1,
+            2,
+            3,
+        ]
+
+    def test_order_insensitive(self):
+        assert pair_index(7, 3) == pair_index(3, 7)
+
+    def test_rejects_self_pair(self):
+        with pytest.raises(ValueError):
+            pair_index(4, 4)
+
+    def test_iter_pairs_matches_indices(self):
+        pairs = list(iter_pairs(6))
+        assert len(pairs) == 15
+        for idx, (i, j) in enumerate(pairs):
+            assert pair_index(i, j) == idx
+            assert pair_from_index(idx) == (i, j)
+
+    @given(st.integers(min_value=0, max_value=10**12))
+    def test_roundtrip_from_index(self, index):
+        i, j = pair_from_index(index)
+        assert 0 <= i < j
+        assert pair_index(i, j) == index
+
+    @given(
+        st.integers(min_value=0, max_value=10**6),
+        st.integers(min_value=0, max_value=10**6),
+    )
+    def test_roundtrip_from_pair(self, a, b):
+        if a == b:
+            b += 1
+        i, j = min(a, b), max(a, b)
+        assert pair_from_index(pair_index(i, j)) == (i, j)

@@ -1,0 +1,123 @@
+"""Tests for repro.util.rng — determinism, coupling, distribution."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.rng import MAX_SEED, derive_seed, edge_coin, uniform_for
+
+KEYS = st.one_of(
+    st.integers(min_value=-(2**40), max_value=2**40),
+    st.text(max_size=12),
+    st.tuples(st.integers(min_value=0, max_value=2**20), st.integers()),
+)
+
+
+class TestUniformFor:
+    def test_deterministic(self):
+        assert uniform_for(1, "x") == uniform_for(1, "x")
+
+    def test_in_unit_interval(self):
+        for k in range(100):
+            u = uniform_for(3, k)
+            assert 0.0 <= u < 1.0
+
+    def test_seed_changes_value(self):
+        values = {uniform_for(seed, "edge", (0, 1)) for seed in range(32)}
+        assert len(values) == 32
+
+    def test_key_changes_value(self):
+        values = {uniform_for(5, "edge", (0, i)) for i in range(64)}
+        assert len(values) == 64
+
+    def test_key_structure_matters(self):
+        # (1, 2) vs (12,) vs "12" must be distinguishable.
+        assert uniform_for(0, (1, 2)) != uniform_for(0, (12,))
+        assert uniform_for(0, (1, 2)) != uniform_for(0, "12")
+
+    def test_mean_near_half(self):
+        n = 4000
+        total = sum(uniform_for(9, "m", i) for i in range(n))
+        # standard error ~ 1/sqrt(12 n) ≈ 0.0046; 5 sigma tolerance
+        assert abs(total / n - 0.5) < 5 / math.sqrt(12 * n)
+
+    def test_rejects_bad_seed(self):
+        with pytest.raises(ValueError):
+            uniform_for(-1, "x")
+        with pytest.raises(ValueError):
+            uniform_for(MAX_SEED + 1, "x")
+
+    @given(st.integers(min_value=0, max_value=MAX_SEED), KEYS)
+    def test_property_stable_and_bounded(self, seed, key):
+        u = uniform_for(seed, key)
+        assert u == uniform_for(seed, key)
+        assert 0.0 <= u < 1.0
+
+
+class TestEdgeCoin:
+    def test_p_zero_always_closed(self):
+        assert not any(edge_coin(1, (0, i), 0.0) for i in range(200))
+
+    def test_p_one_always_open(self):
+        assert all(edge_coin(1, (0, i), 1.0) for i in range(200))
+
+    def test_frequency_matches_p(self):
+        n = 5000
+        p = 0.3
+        opens = sum(edge_coin(2, ("e", i), p) for i in range(n))
+        # 5 sigma binomial tolerance
+        assert abs(opens / n - p) < 5 * math.sqrt(p * (1 - p) / n)
+
+    def test_rejects_bad_probability(self):
+        with pytest.raises(ValueError):
+            edge_coin(0, (0, 1), -0.1)
+        with pytest.raises(ValueError):
+            edge_coin(0, (0, 1), 1.1)
+
+    @given(
+        st.integers(min_value=0, max_value=MAX_SEED),
+        KEYS,
+        st.floats(min_value=0, max_value=1),
+        st.floats(min_value=0, max_value=1),
+    )
+    def test_monotone_coupling(self, seed, edge, p1, p2):
+        """Raising p can only open edges, never close them."""
+        lo, hi = min(p1, p2), max(p1, p2)
+        if edge_coin(seed, edge, lo):
+            assert edge_coin(seed, edge, hi)
+
+    def test_coin_independent_of_p_representation(self):
+        # open iff uniform < p: boundary exactness
+        u = uniform_for(7, "edge", ("a", "b"))
+        assert edge_coin(7, ("a", "b"), u) is False  # strict inequality
+        assert edge_coin(7, ("a", "b"), min(1.0, u + 1e-12)) is True
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(1, "a", 2) == derive_seed(1, "a", 2)
+
+    def test_distinct_children(self):
+        children = {derive_seed(1, "trial", i) for i in range(128)}
+        assert len(children) == 128
+
+    def test_child_in_range(self):
+        for i in range(50):
+            child = derive_seed(99, i)
+            assert 0 <= child <= MAX_SEED
+
+    def test_does_not_collide_with_uniform_keyspace(self):
+        # derive_seed prefixes its key, so deriving with key "edge" must
+        # not be the same stream as edge coins.
+        child = derive_seed(3, "edge", (0, 1))
+        assert child / 2**64 != uniform_for(3, "edge", (0, 1))
+
+    @given(
+        st.integers(min_value=0, max_value=MAX_SEED),
+        st.integers(min_value=0, max_value=MAX_SEED),
+    )
+    def test_property_valid_seed(self, seed, k):
+        child = derive_seed(seed, k)
+        assert 0 <= child <= MAX_SEED

@@ -1,0 +1,189 @@
+"""Tests for repro.util.stats."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.stats import (
+    bootstrap_ci,
+    geometric_mean,
+    linear_fit,
+    loglog_slope,
+    mean_ci,
+    proportion_ci,
+    quantile,
+    summarize,
+)
+
+FLOATS = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False)
+
+
+class TestSummarize:
+    def test_known_sample(self):
+        s = summarize([1.0, 2.0, 3.0, 4.0])
+        assert s.count == 4
+        assert s.mean == pytest.approx(2.5)
+        assert s.median == pytest.approx(2.5)
+        assert s.minimum == 1.0
+        assert s.maximum == 4.0
+
+    def test_single_value_has_zero_std(self):
+        s = summarize([7.0])
+        assert s.std == 0.0
+        assert s.p90 == 7.0
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_as_dict_keys(self):
+        d = summarize([1, 2]).as_dict()
+        assert set(d) == {"count", "mean", "std", "min", "median", "p90", "max"}
+
+    @given(st.lists(FLOATS, min_size=1, max_size=50))
+    def test_bounds(self, values):
+        s = summarize(values)
+        tol = 1e-9 * max(1.0, abs(s.minimum), abs(s.maximum))
+        assert s.minimum - tol <= s.median <= s.maximum + tol
+        assert s.minimum - tol <= s.mean <= s.maximum + tol
+
+
+class TestQuantile:
+    def test_median(self):
+        assert quantile([1, 2, 3], 0.5) == 2
+
+    def test_extremes(self):
+        assert quantile([5, 1, 3], 0.0) == 1
+        assert quantile([5, 1, 3], 1.0) == 5
+
+    def test_rejects_bad_q(self):
+        with pytest.raises(ValueError):
+            quantile([1], 1.5)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            quantile([], 0.5)
+
+
+class TestGeometricMean:
+    def test_known(self):
+        assert geometric_mean([1, 4]) == pytest.approx(2.0)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+    @given(st.lists(st.floats(min_value=0.1, max_value=100), min_size=1, max_size=20))
+    def test_between_min_and_max(self, values):
+        g = geometric_mean(values)
+        assert min(values) - 1e-9 <= g <= max(values) + 1e-9
+
+
+class TestMeanCI:
+    def test_contains_mean(self):
+        m, lo, hi = mean_ci([1.0, 2.0, 3.0])
+        assert lo <= m <= hi
+
+    def test_single_sample_degenerate(self):
+        m, lo, hi = mean_ci([4.0])
+        assert m == lo == hi == 4.0
+
+    def test_width_shrinks_with_n(self):
+        rng = np.random.default_rng(0)
+        small = rng.normal(size=20)
+        large = rng.normal(size=2000)
+        _, lo_s, hi_s = mean_ci(small)
+        _, lo_l, hi_l = mean_ci(large)
+        assert (hi_l - lo_l) < (hi_s - lo_s)
+
+
+class TestProportionCI:
+    def test_half(self):
+        p, lo, hi = proportion_ci(50, 100)
+        assert p == 0.5
+        assert lo < 0.5 < hi
+
+    def test_extreme_zero(self):
+        p, lo, hi = proportion_ci(0, 30)
+        assert p == 0.0
+        assert lo == 0.0
+        assert hi > 0.0  # Wilson keeps a margin
+
+    def test_extreme_all(self):
+        p, lo, hi = proportion_ci(30, 30)
+        assert p == 1.0
+        assert hi == pytest.approx(1.0)
+        assert lo < 1.0
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            proportion_ci(1, 0)
+        with pytest.raises(ValueError):
+            proportion_ci(5, 3)
+
+    def test_coverage_sanity(self):
+        # interval for a fair coin over 1000 flips should be tight
+        _, lo, hi = proportion_ci(500, 1000)
+        assert hi - lo < 0.07
+
+
+class TestBootstrapCI:
+    def test_deterministic_given_seed(self):
+        values = [1.0, 5.0, 2.0, 8.0, 3.0]
+        assert bootstrap_ci(values, seed=3) == bootstrap_ci(values, seed=3)
+
+    def test_contains_point_estimate(self):
+        point, lo, hi = bootstrap_ci([1.0, 2.0, 3.0, 4.0], seed=1)
+        assert lo <= point <= hi
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            bootstrap_ci([])
+
+
+class TestLinearFit:
+    def test_exact_line(self):
+        slope, intercept, r2 = linear_fit([0, 1, 2], [1, 3, 5])
+        assert slope == pytest.approx(2.0)
+        assert intercept == pytest.approx(1.0)
+        assert r2 == pytest.approx(1.0)
+
+    def test_rejects_degenerate_x(self):
+        with pytest.raises(ValueError):
+            linear_fit([1, 1], [2, 3])
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            linear_fit([1, 2], [1])
+
+    def test_r2_below_one_with_noise(self):
+        rng = np.random.default_rng(0)
+        x = np.arange(50, dtype=float)
+        y = 2 * x + rng.normal(scale=5.0, size=50)
+        slope, _, r2 = linear_fit(x, y)
+        assert 1.5 < slope < 2.5
+        assert 0.5 < r2 < 1.0
+
+
+class TestLogLogSlope:
+    def test_power_law_exact(self):
+        xs = [1, 2, 4, 8, 16]
+        ys = [x**1.5 for x in xs]
+        slope, r2 = loglog_slope(xs, ys)
+        assert slope == pytest.approx(1.5)
+        assert r2 == pytest.approx(1.0)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            loglog_slope([0, 1], [1, 2])
+
+    def test_exponential_is_not_power_law(self):
+        # On an exponential curve the local log-log slope keeps growing;
+        # check the fitted slope over a wide range is large.
+        xs = [4, 8, 12, 16, 20]
+        ys = [math.exp(x) for x in xs]
+        slope, _ = loglog_slope(xs, ys)
+        assert slope > 5

@@ -1,0 +1,66 @@
+"""Tests for repro.util.tables."""
+
+from repro.util.tables import format_value, render_csv, render_table, write_csv
+
+
+class TestFormatValue:
+    def test_int_passthrough(self):
+        assert format_value(42) == "42"
+
+    def test_float_trims_zeros(self):
+        assert format_value(2.5000) == "2.5"
+
+    def test_small_float_scientific(self):
+        assert "e" in format_value(1.2e-7)
+
+    def test_large_float_scientific(self):
+        assert "e" in format_value(3.2e9)
+
+    def test_zero(self):
+        assert format_value(0.0) == "0"
+
+    def test_nan(self):
+        assert format_value(float("nan")) == "nan"
+
+    def test_bool_not_treated_as_number(self):
+        assert format_value(True) == "True"
+
+
+class TestRenderTable:
+    def test_basic_alignment(self):
+        text = render_table(
+            [{"n": 1, "queries": 10}, {"n": 22, "queries": 5}],
+            columns=["n", "queries"],
+        )
+        lines = text.splitlines()
+        assert lines[0].startswith("n ")
+        assert "queries" in lines[0]
+        assert set(lines[1]) <= {"-", "+"}
+        assert len(lines) == 4
+
+    def test_infers_columns_in_first_seen_order(self):
+        text = render_table([{"b": 1}, {"a": 2, "b": 3}])
+        assert text.splitlines()[0].split("|")[0].strip() == "b"
+
+    def test_missing_cells_render_empty(self):
+        text = render_table([{"a": 1}, {"a": 2, "b": 9}], columns=["a", "b"])
+        row = text.splitlines()[2]
+        assert row.split("|")[1].strip() == ""
+
+    def test_title_included(self):
+        text = render_table([{"a": 1}], title="E1: demo")
+        assert text.splitlines()[0] == "E1: demo"
+
+    def test_empty_rows_ok(self):
+        assert render_table([], title="nothing") == "nothing\n"
+
+
+class TestCSV:
+    def test_render_csv(self):
+        csv_text = render_csv([{"a": 1, "b": 2.5}], columns=["a", "b"])
+        assert csv_text == "a,b\n1,2.5\n"
+
+    def test_write_csv(self, tmp_path):
+        out = write_csv(tmp_path / "deep" / "t.csv", [{"x": 1}])
+        assert out.exists()
+        assert out.read_text() == "x\n1\n"

@@ -1,0 +1,136 @@
+"""Tests for repro.util.unionfind."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.unionfind import DisjointSets
+
+
+class TestBasics:
+    def test_new_elements_are_singletons(self):
+        ds = DisjointSets(["a", "b"])
+        assert ds.n_sets == 2
+        assert not ds.connected("a", "b")
+
+    def test_union_connects(self):
+        ds = DisjointSets()
+        assert ds.union(1, 2)
+        assert ds.connected(1, 2)
+        assert ds.n_sets == 1
+
+    def test_union_idempotent(self):
+        ds = DisjointSets()
+        ds.union(1, 2)
+        assert not ds.union(2, 1)
+        assert ds.n_sets == 1
+
+    def test_transitivity(self):
+        ds = DisjointSets()
+        ds.union("a", "b")
+        ds.union("b", "c")
+        assert ds.connected("a", "c")
+
+    def test_set_size(self):
+        ds = DisjointSets()
+        ds.union(0, 1)
+        ds.union(1, 2)
+        assert ds.set_size(0) == 3
+        assert ds.set_size(5) == 1
+
+    def test_len_counts_elements(self):
+        ds = DisjointSets()
+        ds.union(0, 1)
+        ds.find(2)
+        assert len(ds) == 3
+
+    def test_contains(self):
+        ds = DisjointSets()
+        ds.add("x")
+        assert "x" in ds
+        assert "y" not in ds
+
+    def test_largest_set_size(self):
+        ds = DisjointSets()
+        assert ds.largest_set_size() == 0
+        ds.union(0, 1)
+        ds.union(1, 2)
+        ds.union(10, 11)
+        assert ds.largest_set_size() == 3
+
+    def test_sets_partition_elements(self):
+        ds = DisjointSets()
+        ds.union(0, 1)
+        ds.union(2, 3)
+        ds.add(4)
+        groups = ds.sets()
+        flattened = sorted(x for g in groups for x in g)
+        assert flattened == [0, 1, 2, 3, 4]
+        assert sorted(len(g) for g in groups) == [1, 2, 2]
+
+    def test_works_with_tuple_elements(self):
+        ds = DisjointSets()
+        ds.union((0, 0), (0, 1))
+        assert ds.connected((0, 1), (0, 0))
+
+
+class _NaiveConnectivity:
+    """Quadratic reference implementation used as a hypothesis oracle."""
+
+    def __init__(self):
+        self.groups: list[set] = []
+
+    def union(self, x, y):
+        gx = self._find(x)
+        gy = self._find(y)
+        if gx is gy:
+            return
+        self.groups.remove(gy)
+        gx |= gy
+
+    def _find(self, x):
+        for g in self.groups:
+            if x in g:
+                return g
+        g = {x}
+        self.groups.append(g)
+        return g
+
+    def connected(self, x, y):
+        return self._find(x) is self._find(y)
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=15),
+            st.integers(min_value=0, max_value=15),
+        ),
+        max_size=40,
+    )
+)
+def test_matches_naive_reference(operations):
+    ds = DisjointSets()
+    naive = _NaiveConnectivity()
+    for x, y in operations:
+        ds.union(x, y)
+        naive.union(x, y)
+    for x in range(16):
+        for y in range(16):
+            assert ds.connected(x, y) == naive.connected(x, y)
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=31),
+            st.integers(min_value=0, max_value=31),
+        ),
+        max_size=60,
+    )
+)
+def test_n_sets_invariant(operations):
+    ds = DisjointSets()
+    for x, y in operations:
+        ds.union(x, y)
+    assert ds.n_sets == len(ds.sets())
+    assert sum(len(g) for g in ds.sets()) == len(ds)
