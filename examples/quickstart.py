@@ -8,6 +8,12 @@ from one corner to the opposite corner — the basic object of study of
 PODC 2005).
 
 Run:  python examples/quickstart.py
+
+To go from one route to a full experiment sweep, use the CLI — and add
+``--workers N`` (or set ``REPRO_WORKERS=N``) to spread the Monte-Carlo
+trials over N processes; results are bit-identical for any N::
+
+    repro run E1 --scale small --seed 0 --workers 4
 """
 
 from repro import (

@@ -5,9 +5,12 @@ Commands::
     repro list                         # index of experiments
     repro info E7                      # claim, reference
     repro run E7 --scale small         # run one experiment, print table
+    repro run E1 --workers 4           # parallel trial execution
     repro run all --scale tiny --csv results/
 
-Experiments are deterministic given ``--seed``.
+Experiments are deterministic given ``--seed`` — including under
+``--workers N`` (or ``$REPRO_WORKERS``), which parallelises trial
+execution without changing any result; see :mod:`repro.runtime`.
 """
 
 from __future__ import annotations
@@ -19,6 +22,7 @@ from collections.abc import Sequence
 
 from repro.experiments.registry import all_experiments, get_experiment
 from repro.experiments.spec import SCALES
+from repro.runtime import make_runner
 
 __all__ = ["build_parser", "main"]
 
@@ -51,6 +55,7 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--csv", metavar="DIR", default=None, help="also write CSVs here"
     )
+    _add_workers_argument(run)
 
     report = sub.add_parser(
         "report", help="run everything and write a markdown report"
@@ -62,7 +67,33 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument(
         "--out", metavar="FILE", default="EXPERIMENTS.generated.md"
     )
+    _add_workers_argument(report)
     return parser
+
+
+def _positive_int(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"must be an integer >= 1, got {text!r}"
+        ) from None
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
+def _add_workers_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help=(
+            "worker processes for trial execution (default: "
+            "$REPRO_WORKERS, else 1); results are identical for any N"
+        ),
+    )
 
 
 def _cmd_list() -> int:
@@ -131,14 +162,22 @@ def _cmd_info(experiment_id: str) -> int:
     return 0
 
 
-def _cmd_run(experiment_id: str, scale: str, seed: int, csv_dir) -> int:
+def _cmd_run(
+    experiment_id: str, scale: str, seed: int, csv_dir, workers
+) -> int:
     if experiment_id.lower() == "all":
         specs = all_experiments()
     else:
         specs = [get_experiment(experiment_id)]
+    runner = make_runner(workers)
     for spec in specs:
+        if runner.workers > 1 and not spec.supports_runner:
+            print(
+                f"  (note: {spec.experiment_id} does not use the trial "
+                "runner yet; running serially)"
+            )
         start = time.perf_counter()
-        table = spec(scale=scale, seed=seed)
+        table = spec(scale=scale, seed=seed, runner=runner)
         elapsed = time.perf_counter() - start
         print(table.render())
         print(f"  ({len(table)} rows, {elapsed:.1f}s, scale={scale})")
@@ -149,15 +188,19 @@ def _cmd_run(experiment_id: str, scale: str, seed: int, csv_dir) -> int:
     return 0
 
 
-def _cmd_report(scale: str, seed: int, out: str) -> int:
+def _cmd_report(scale: str, seed: int, out: str, workers) -> int:
     from pathlib import Path
 
     from repro.experiments.report import render_experiments_markdown
 
+    runner = make_runner(workers)
     sections = []
     for spec in all_experiments():
-        print(f"running {spec.experiment_id} ({scale}) ...", flush=True)
-        sections.append((spec, spec(scale=scale, seed=seed)))
+        tag = ""
+        if runner.workers > 1 and not spec.supports_runner:
+            tag = " [serial: not on the trial runner yet]"
+        print(f"running {spec.experiment_id} ({scale}){tag} ...", flush=True)
+        sections.append((spec, spec(scale=scale, seed=seed, runner=runner)))
     preamble = (
         "# Experiment report (generated)\n\n"
         f"Scale: {scale}; master seed: {seed}.  See DESIGN.md for the "
@@ -180,9 +223,11 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.command == "info":
         return _cmd_info(args.experiment)
     if args.command == "run":
-        return _cmd_run(args.experiment, args.scale, args.seed, args.csv)
+        return _cmd_run(
+            args.experiment, args.scale, args.seed, args.csv, args.workers
+        )
     if args.command == "report":
-        return _cmd_report(args.scale, args.seed, args.out)
+        return _cmd_report(args.scale, args.seed, args.out, args.workers)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -11,6 +11,10 @@ Routers measured: the unbounded waypoint router (the paper's Theorem
 3(ii) algorithm made complete) and target-directed DFS (a natural local
 strategy).  Both are complete, so conditioning is exact and success is
 guaranteed; the complexity is the whole story.
+
+Each ``(n, α, router)`` sweep point is one :class:`TrialSpec`, so the
+sweep parallelises across workers while staying bit-identical to the
+serial run (every point carries its own derived seed).
 """
 
 from __future__ import annotations
@@ -23,6 +27,7 @@ from repro.experiments.spec import ExperimentSpec, pick
 from repro.graphs.hypercube import Hypercube
 from repro.routers.dfs import DirectedDFSRouter
 from repro.routers.waypoint import WaypointRouter
+from repro.runtime import SerialRunner, TrialSpec
 from repro.util.rng import derive_seed
 
 COLUMNS = [
@@ -37,7 +42,27 @@ COLUMNS = [
 ]
 
 
-def run(scale: str, seed: int) -> ResultTable:
+def _sweep_point(n: int, alpha: float, router_cls, trials: int, seed: int):
+    """Measure one (n, alpha, router) point; returns plain cells."""
+    m = measure_complexity(
+        Hypercube(n),
+        p=n**-alpha,
+        router=router_cls(),
+        trials=trials,
+        seed=seed,
+    )
+    if not m.connected_trials:
+        return {"connected_trials": 0}
+    summary = m.query_summary()
+    return {
+        "connected_trials": m.connected_trials,
+        "median_queries": summary.median,
+        "mean_queries": summary.mean,
+    }
+
+
+def run(scale: str, seed: int, runner=None) -> ResultTable:
+    runner = runner if runner is not None else SerialRunner()
     ns = pick(scale, tiny=[6], small=[8, 10], medium=[10, 12])
     alphas = pick(
         scale,
@@ -52,54 +77,64 @@ def run(scale: str, seed: int) -> ResultTable:
         "Hypercube routing complexity across alpha (p = n^-alpha)",
         columns=COLUMNS,
     )
-    routers = [WaypointRouter(), DirectedDFSRouter()]
-    transition_data: dict[str, list[tuple[float, float]]] = {}
+    router_classes = [WaypointRouter, DirectedDFSRouter]
+    router_names = {cls: cls().name for cls in router_classes}
 
+    specs = [
+        TrialSpec(
+            key=("e1", n, alpha, router_names[router_cls]),
+            fn=_sweep_point,
+            args=(
+                n,
+                alpha,
+                router_cls,
+                trials,
+                derive_seed(seed, "e1", n, alpha, router_names[router_cls]),
+            ),
+        )
+        for n in ns
+        for alpha in alphas
+        for router_cls in router_classes
+    ]
+    measured = {result.key: result.value for result in runner.run(specs)}
+
+    transition_data: dict[str, list[tuple[float, float]]] = {}
     for n in ns:
-        graph = Hypercube(n)
-        edges = graph.num_edges()
+        edges = Hypercube(n).num_edges()
         for alpha in alphas:
-            p = n**-alpha
-            for router in routers:
-                m = measure_complexity(
-                    graph,
-                    p=p,
-                    router=router,
-                    trials=trials,
-                    seed=derive_seed(seed, "e1", n, alpha, router.name),
-                )
-                if not m.connected_trials:
+            for name in router_names.values():
+                cells = measured[("e1", n, alpha, name)]
+                if not cells["connected_trials"]:
                     table.add_row(
                         n=n,
                         alpha=alpha,
-                        p=p,
-                        router=router.name,
+                        p=n**-alpha,
+                        router=name,
                         connected_trials=0,
                         median_queries=float("nan"),
                         mean_queries=float("nan"),
                         frac_edges_probed=float("nan"),
                     )
                     continue
-                summary = m.query_summary()
-                frac = summary.median / edges
+                frac = cells["median_queries"] / edges
                 table.add_row(
                     n=n,
                     alpha=alpha,
-                    p=p,
-                    router=router.name,
-                    connected_trials=m.connected_trials,
-                    median_queries=summary.median,
-                    mean_queries=summary.mean,
+                    p=n**-alpha,
+                    router=name,
+                    connected_trials=cells["connected_trials"],
+                    median_queries=cells["median_queries"],
+                    mean_queries=cells["mean_queries"],
                     frac_edges_probed=frac,
                 )
-                transition_data.setdefault(f"n={n},{router.name}", []).append(
+                transition_data.setdefault(f"n={n},{name}", []).append(
                     (alpha, frac)
                 )
 
-    for label, points in transition_data.items():
-        if len(points) >= 2:
-            xs = [a for a, _ in points]
-            ys = [f for _, f in points]
+    for label, pts in transition_data.items():
+        if len(pts) >= 2:
+            xs = [a for a, _ in pts]
+            ys = [f for _, f in pts]
             table.add_note(
                 f"{label}: probed-fraction rises fastest near alpha = "
                 f"{sharpest_rise(xs, ys):.2f} (paper: 0.5)"

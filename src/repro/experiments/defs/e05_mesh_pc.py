@@ -11,6 +11,9 @@ E5b: in the supercritical phase, sample connected centred pairs and
 record ``D(x,y)/d(x,y)`` (chemical over euclidean-lattice distance).
 Lemma 8 asserts linear scaling with an exponential tail; we report the
 mean ratio ρ(p) and the fitted tail rate.
+
+Both sweeps run through the trial runner: each ``p`` of each section is
+one :class:`TrialSpec` carrying its own derived seed.
 """
 
 from __future__ import annotations
@@ -24,6 +27,7 @@ from repro.graphs.mesh import Mesh
 from repro.percolation.cluster import chemical_distance
 from repro.percolation.models import TablePercolation
 from repro.routers.waypoint import MeshWaypointRouter
+from repro.runtime import SerialRunner, TrialSpec
 from repro.util.rng import derive_seed
 from repro.util.stats import mean_ci
 
@@ -38,7 +42,78 @@ COLUMNS = [
 ]
 
 
-def run(scale: str, seed: int) -> ResultTable:
+def _geometry(side: int):
+    """The fixed near-corner pair and its lattice distance."""
+    graph = Mesh(2, side)
+    distance = 2 * (side - 1) - 4  # near-corner pair, fixed across p
+    return graph, distance, graph.centered_pair_at_distance(distance)
+
+
+def _routing_point(side: int, p: float, trials: int, seed: int):
+    """One routing row of the p-sweep (plain cells)."""
+    graph, distance, pair = _geometry(side)
+    m = measure_complexity(
+        graph,
+        p=p,
+        router=MeshWaypointRouter(),
+        pair=pair,
+        trials=trials,
+        seed=seed,
+    )
+    if m.connected_trials and m.successes():
+        summary = m.query_summary()
+        median_q = summary.median
+        per_dist = summary.median / distance
+    else:
+        median_q = float("nan")
+        per_dist = float("nan")
+    return {
+        "section": "routing",
+        "p": p,
+        "pr_connected": m.connection_rate,
+        "median_queries": median_q,
+        "queries_per_distance": per_dist,
+        "ratio_mean": float("nan"),
+        "tail_rate": float("nan"),
+    }
+
+
+def _chemical_point(side: int, p: float, trials: int, master_seed: int):
+    """One chemical-distance row; ``None`` when too few connections.
+
+    Receives the *master* seed and derives per-trial seeds with the
+    same ``("e5b", p, t)`` key the pre-runner code used, keeping the
+    recorded tables bit-identical across the refactor.
+    """
+    graph, distance, pair = _geometry(side)
+    ratios = []
+    for t in range(trials):
+        model = TablePercolation(
+            graph, p, seed=derive_seed(master_seed, "e5b", p, t)
+        )
+        dist = chemical_distance(model, *pair)
+        if dist is not None:
+            ratios.append(dist / distance)
+    if len(ratios) < 3:
+        return None
+    mean, _, _ = mean_ci(ratios)
+    try:
+        rate = exponential_tail_rate(ratios, tail_from=mean)
+    except ValueError:
+        rate = float("nan")
+    return {
+        "section": "chemical",
+        "p": p,
+        "pr_connected": len(ratios) / trials,
+        "median_queries": float("nan"),
+        "queries_per_distance": float("nan"),
+        "ratio_mean": mean,
+        "tail_rate": rate,
+    }
+
+
+def run(scale: str, seed: int, runner=None) -> ResultTable:
+    runner = runner if runner is not None else SerialRunner()
     side = pick(scale, tiny=10, small=16, medium=24)
     trials = pick(scale, tiny=10, small=24, medium=60)
     ps_routing = pick(
@@ -51,9 +126,6 @@ def run(scale: str, seed: int) -> ResultTable:
         scale, tiny=[0.7], small=[0.6, 0.8], medium=[0.55, 0.65, 0.75, 0.9]
     )
 
-    graph = Mesh(2, side)
-    distance = 2 * (side - 1) - 4  # near-corner pair, fixed across p
-    pair = graph.centered_pair_at_distance(distance)
     table = ResultTable(
         "E5",
         "2-D mesh across p_c: routing degenerates below, O(n) above; "
@@ -61,58 +133,24 @@ def run(scale: str, seed: int) -> ResultTable:
         columns=COLUMNS,
     )
 
-    for p in ps_routing:
-        m = measure_complexity(
-            graph,
-            p=p,
-            router=MeshWaypointRouter(),
-            pair=pair,
-            trials=trials,
-            seed=derive_seed(seed, "e5", p),
+    specs = [
+        TrialSpec(
+            key=("e5", "routing", p),
+            fn=_routing_point,
+            args=(side, p, trials, derive_seed(seed, "e5", p)),
         )
-        connected_rate = m.connection_rate
-        if m.connected_trials and m.successes():
-            summary = m.query_summary()
-            median_q = summary.median
-            per_dist = summary.median / distance
-        else:
-            median_q = float("nan")
-            per_dist = float("nan")
-        table.add_row(
-            section="routing",
-            p=p,
-            pr_connected=connected_rate,
-            median_queries=median_q,
-            queries_per_distance=per_dist,
-            ratio_mean=float("nan"),
-            tail_rate=float("nan"),
+        for p in ps_routing
+    ] + [
+        TrialSpec(
+            key=("e5", "chemical", p),
+            fn=_chemical_point,
+            args=(side, p, trials, seed),
         )
-
-    for p in ps_chemical:
-        ratios = []
-        for t in range(trials):
-            model = TablePercolation(
-                graph, p, seed=derive_seed(seed, "e5b", p, t)
-            )
-            dist = chemical_distance(model, *pair)
-            if dist is not None:
-                ratios.append(dist / distance)
-        if len(ratios) < 3:
-            continue
-        mean, _, _ = mean_ci(ratios)
-        try:
-            rate = exponential_tail_rate(ratios, tail_from=mean)
-        except ValueError:
-            rate = float("nan")
-        table.add_row(
-            section="chemical",
-            p=p,
-            pr_connected=len(ratios) / trials,
-            median_queries=float("nan"),
-            queries_per_distance=float("nan"),
-            ratio_mean=mean,
-            tail_rate=rate,
-        )
+        for p in ps_chemical
+    ]
+    for cells in runner.run_values(specs):
+        if cells is not None:
+            table.add_row(**cells)
 
     table.add_note(
         "routing: below p_c = 0.5 pr_connected collapses; above it "

@@ -5,6 +5,10 @@ The bidirectional router's mean complexity over an ``n`` sweep:
 routing beats the best local routing by exactly ``√n``.  Theorem 11's
 *universal* lower bound ``Pr[comp < a·n^{3/2}] ≤ (3c/2)a^{2/3} + 2/n``
 is tabulated at the observed ``a``.
+
+Each ``n`` of the sweep is one :class:`TrialSpec` (the comparison size
+also runs the local router inside the same unit), so the scaling-fit
+points arrive in deterministic order whatever the schedule.
 """
 
 from __future__ import annotations
@@ -18,6 +22,7 @@ from repro.experiments.spec import ExperimentSpec, pick
 from repro.graphs.complete import CompleteGraph
 from repro.percolation.models import GnpPercolation
 from repro.routers.gnp import GnpBidirectionalRouter, GnpLocalRouter
+from repro.runtime import SerialRunner, TrialSpec
 from repro.util.rng import derive_seed
 
 COLUMNS = [
@@ -36,7 +41,49 @@ def _factory(graph, p, seed):
     return GnpPercolation(n=graph.num_vertices(), p=p, seed=seed)
 
 
-def run(scale: str, seed: int) -> ResultTable:
+def _size_point(
+    n: int,
+    c: float,
+    trials: int,
+    seed: int,
+    compare_local: bool,
+    local_trials: int,
+    local_seed: int,
+):
+    """Measure one sweep size; ``None`` when no trial connected."""
+    graph = CompleteGraph(n)
+    m = measure_complexity(
+        graph,
+        p=c / n,
+        router=GnpBidirectionalRouter(),
+        trials=trials,
+        seed=seed,
+        model_factory=_factory,
+    )
+    if not m.connected_trials:
+        return None
+    mean_q = m.query_summary().mean
+    speedup = float("nan")
+    if compare_local:
+        local = measure_complexity(
+            graph,
+            p=c / n,
+            router=GnpLocalRouter(),
+            trials=local_trials,
+            seed=local_seed,
+            model_factory=_factory,
+        )
+        if local.connected_trials:
+            speedup = local.query_summary().mean / mean_q
+    return {
+        "connected_trials": m.connected_trials,
+        "mean_queries": mean_q,
+        "speedup_vs_local": speedup,
+    }
+
+
+def run(scale: str, seed: int, runner=None) -> ResultTable:
+    runner = runner if runner is not None else SerialRunner()
     c = 3.0
     ns = pick(
         scale,
@@ -52,42 +99,40 @@ def run(scale: str, seed: int) -> ResultTable:
         "G(n, c/n) bidirectional oracle routing vs n (expect Theta(n^1.5))",
         columns=COLUMNS,
     )
+    specs = [
+        TrialSpec(
+            key=("e10", n),
+            fn=_size_point,
+            args=(
+                n,
+                c,
+                trials,
+                derive_seed(seed, "e10", n),
+                n == compare_local_at,
+                max(4, trials // 2),
+                derive_seed(seed, "e10-local", n),
+            ),
+        )
+        for n in ns
+    ]
+
+    measured = {result.key: result.value for result in runner.run(specs)}
     points = []
     for n in ns:
-        graph = CompleteGraph(n)
-        m = measure_complexity(
-            graph,
-            p=c / n,
-            router=GnpBidirectionalRouter(),
-            trials=trials,
-            seed=derive_seed(seed, "e10", n),
-            model_factory=_factory,
-        )
-        if not m.connected_trials:
+        cells = measured[("e10", n)]
+        if cells is None:
             continue
-        mean_q = m.query_summary().mean
+        mean_q = cells["mean_queries"]
         a = mean_q / n**1.5
-        speedup = float("nan")
-        if n == compare_local_at:
-            local = measure_complexity(
-                graph,
-                p=c / n,
-                router=GnpLocalRouter(),
-                trials=max(4, trials // 2),
-                seed=derive_seed(seed, "e10-local", n),
-                model_factory=_factory,
-            )
-            if local.connected_trials:
-                speedup = local.query_summary().mean / mean_q
         table.add_row(
             c=c,
             n=n,
-            connected_trials=m.connected_trials,
+            connected_trials=cells["connected_trials"],
             mean_queries=mean_q,
             queries_over_n15=a,
             observed_a=a,
             theory_bound_at_a=gnp_oracle_lower_bound(n, c, a),
-            speedup_vs_local=speedup,
+            speedup_vs_local=cells["speedup_vs_local"],
         )
         points.append((n, mean_q))
     if len(points) >= 3:

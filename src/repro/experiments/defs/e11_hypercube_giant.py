@@ -9,6 +9,10 @@ same axis as the classical structural ones it *doesn't* coincide with:
 The punchline of the paper is precisely that these three thresholds are
 distinct: a giant component with poly(n) diameter exists for
 ``1/n ≪ p ≪ n^{-1/2}``, yet no local router can find paths efficiently.
+
+The two scans of each ``n`` (giant fraction, full connectivity) are
+independent :class:`TrialSpec` units, so they parallelise across
+dimensions and sections.
 """
 
 from __future__ import annotations
@@ -23,12 +27,53 @@ from repro.percolation.thresholds import (
     hypercube_giant_threshold,
     hypercube_routing_threshold,
 )
+from repro.runtime import SerialRunner, TrialSpec
 from repro.util.rng import derive_seed
 
 COLUMNS = ["section", "n", "p", "p_times_n", "value", "ci_lo", "ci_hi"]
 
 
-def run(scale: str, seed: int) -> ResultTable:
+def _giant_scan(n: int, trials: int, seed: int):
+    """Giant-component fraction rows for one dimension."""
+    base = hypercube_giant_threshold(n)
+    ps = [0.5 * base, base, 1.5 * base, 2 * base, 4 * base]
+    rows = giant_fraction_scan(Hypercube(n), ps=ps, trials=trials, seed=seed)
+    return [
+        {
+            "section": "giant_fraction",
+            "n": n,
+            "p": row["p"],
+            "p_times_n": row["p"] * n,
+            "value": row["giant_fraction"],
+            "ci_lo": row["ci_lo"],
+            "ci_hi": row["ci_hi"],
+        }
+        for row in rows
+    ]
+
+
+def _connectivity_scan(n: int, trials: int, seed: int):
+    """Pr[connected] rows for one dimension."""
+    ps = [0.35, 0.45, 0.5, 0.55, 0.65]
+    rows = full_connectivity_scan(
+        Hypercube(n), ps=ps, trials=trials, seed=seed
+    )
+    return [
+        {
+            "section": "pr_connected",
+            "n": n,
+            "p": row["p"],
+            "p_times_n": row["p"] * n,
+            "value": row["pr_connected"],
+            "ci_lo": row["ci_lo"],
+            "ci_hi": row["ci_hi"],
+        }
+        for row in rows
+    ]
+
+
+def run(scale: str, seed: int, runner=None) -> ResultTable:
+    runner = runner if runner is not None else SerialRunner()
     ns = pick(scale, tiny=[8], small=[10, 12], medium=[12, 14])
     trials = pick(scale, tiny=5, small=10, medium=20)
 
@@ -38,43 +83,26 @@ def run(scale: str, seed: int) -> ResultTable:
         "connectivity (1/2) vs the routing transition (n^-1/2)",
         columns=COLUMNS,
     )
+    sections = (
+        ("giant", _giant_scan, "e11-giant"),
+        ("conn", _connectivity_scan, "e11-conn"),
+    )
+    specs = [
+        TrialSpec(
+            key=("e11", section, n),
+            fn=fn,
+            args=(n, trials, derive_seed(seed, seed_tag, n)),
+        )
+        for n in ns
+        for section, fn, seed_tag in sections
+    ]
+
+    scans = {result.key: result.value for result in runner.run(specs)}
     for n in ns:
-        graph = Hypercube(n)
+        for section, _, _ in sections:
+            for row in scans[("e11", section, n)]:
+                table.add_row(**row)
         base = hypercube_giant_threshold(n)
-        giant_ps = [0.5 * base, base, 1.5 * base, 2 * base, 4 * base]
-        rows = giant_fraction_scan(
-            graph,
-            ps=giant_ps,
-            trials=trials,
-            seed=derive_seed(seed, "e11-giant", n),
-        )
-        for row in rows:
-            table.add_row(
-                section="giant_fraction",
-                n=n,
-                p=row["p"],
-                p_times_n=row["p"] * n,
-                value=row["giant_fraction"],
-                ci_lo=row["ci_lo"],
-                ci_hi=row["ci_hi"],
-            )
-        conn_ps = [0.35, 0.45, 0.5, 0.55, 0.65]
-        rows = full_connectivity_scan(
-            graph,
-            ps=conn_ps,
-            trials=trials,
-            seed=derive_seed(seed, "e11-conn", n),
-        )
-        for row in rows:
-            table.add_row(
-                section="pr_connected",
-                n=n,
-                p=row["p"],
-                p_times_n=row["p"] * n,
-                value=row["pr_connected"],
-                ci_lo=row["ci_lo"],
-                ci_hi=row["ci_hi"],
-            )
         table.add_note(
             f"n={n}: giant threshold 1/n = {base:.4f}; routing threshold "
             f"n^-0.5 = {hypercube_routing_threshold(n):.4f}; connectivity "

@@ -11,6 +11,9 @@ sweep of α at fixed n:
   — polynomial, not exponential, in n),
 * the conditioned routing cost of a complete local router (finding
   paths is nevertheless expensive past α = 1/2).
+
+Each α of the sweep — structural scan plus both routing measurements —
+is one :class:`TrialSpec`, the heaviest unit in the suite.
 """
 
 from __future__ import annotations
@@ -24,6 +27,7 @@ from repro.percolation.cluster import approx_cluster_diameter, largest_component
 from repro.percolation.models import TablePercolation
 from repro.routers.bfs import BidirectionalBFSRouter
 from repro.routers.waypoint import WaypointRouter
+from repro.runtime import SerialRunner, TrialSpec
 from repro.util.rng import derive_seed
 from repro.util.stats import mean_ci
 
@@ -39,7 +43,69 @@ COLUMNS = [
 ]
 
 
-def run(scale: str, seed: int) -> ResultTable:
+def _alpha_point(n: int, alpha: float, trials: int, master_seed: int):
+    """One full row of the α sweep (structure + local + oracle routing).
+
+    Receives the *master* seed and derives the same per-measurement
+    keys the pre-runner code used, keeping recorded tables
+    bit-identical across the refactor.
+    """
+    graph = Hypercube(n)
+    edges = graph.num_edges()
+    p = n**-alpha
+    fractions = []
+    diameters = []
+    for t in range(trials):
+        model = TablePercolation(
+            graph, p, seed=derive_seed(master_seed, "e13-struct", alpha, t)
+        )
+        giant = largest_component(model)
+        fractions.append(len(giant) / graph.num_vertices())
+        if len(giant) > 1:
+            anchor = next(iter(giant))
+            diameters.append(approx_cluster_diameter(model, anchor, sweeps=2))
+    m = measure_complexity(
+        graph,
+        p=p,
+        router=WaypointRouter(),
+        trials=trials,
+        seed=derive_seed(master_seed, "e13-route", alpha),
+    )
+    frac_probed = (
+        m.query_summary().median / edges
+        if m.connected_trials and m.successes()
+        else float("nan")
+    )
+    # Section 6, second open question: does *oracle* access help in
+    # the middle regime?  (Conjectured: no.)
+    m_oracle = measure_complexity(
+        graph,
+        p=p,
+        router=BidirectionalBFSRouter(),
+        trials=trials,
+        seed=derive_seed(master_seed, "e13-route", alpha),  # same draws
+    )
+    oracle_frac = (
+        m_oracle.query_summary().median / edges
+        if m_oracle.connected_trials and m_oracle.successes()
+        else float("nan")
+    )
+    giant_mean, _, _ = mean_ci(fractions)
+    diam_mean = mean_ci(diameters)[0] if diameters else float("nan")
+    return {
+        "n": n,
+        "alpha": alpha,
+        "p": p,
+        "giant_fraction": giant_mean,
+        "giant_diameter_lb": diam_mean,
+        "diameter_over_n": diam_mean / n,
+        "median_frac_probed": frac_probed,
+        "oracle_frac_probed": oracle_frac,
+    }
+
+
+def run(scale: str, seed: int, runner=None) -> ResultTable:
+    runner = runner if runner is not None else SerialRunner()
     n = pick(scale, tiny=7, small=10, medium=12)
     alphas = pick(
         scale,
@@ -49,70 +115,22 @@ def run(scale: str, seed: int) -> ResultTable:
     )
     trials = pick(scale, tiny=4, small=8, medium=16)
 
-    graph = Hypercube(n)
-    edges = graph.num_edges()
     table = ResultTable(
         "E13",
         "Hypercube middle regime: giant exists with poly(n) diameter, "
         "yet routing turns exhaustive past alpha = 1/2",
         columns=COLUMNS,
     )
-    router = WaypointRouter()
-    for alpha in alphas:
-        p = n**-alpha
-        fractions = []
-        diameters = []
-        for t in range(trials):
-            model = TablePercolation(
-                graph, p, seed=derive_seed(seed, "e13-struct", alpha, t)
-            )
-            giant = largest_component(model)
-            fractions.append(len(giant) / graph.num_vertices())
-            if len(giant) > 1:
-                anchor = next(iter(giant))
-                diameters.append(
-                    approx_cluster_diameter(model, anchor, sweeps=2)
-                )
-        m = measure_complexity(
-            graph,
-            p=p,
-            router=router,
-            trials=trials,
-            seed=derive_seed(seed, "e13-route", alpha),
+    specs = [
+        TrialSpec(
+            key=("e13", alpha),
+            fn=_alpha_point,
+            args=(n, alpha, trials, seed),
         )
-        frac_probed = (
-            m.query_summary().median / edges
-            if m.connected_trials and m.successes()
-            else float("nan")
-        )
-        # Section 6, second open question: does *oracle* access help in
-        # the middle regime?  (Conjectured: no.)
-        m_oracle = measure_complexity(
-            graph,
-            p=p,
-            router=BidirectionalBFSRouter(),
-            trials=trials,
-            seed=derive_seed(seed, "e13-route", alpha),  # same percolations
-        )
-        oracle_frac = (
-            m_oracle.query_summary().median / edges
-            if m_oracle.connected_trials and m_oracle.successes()
-            else float("nan")
-        )
-        giant_mean, _, _ = mean_ci(fractions)
-        diam_mean = (
-            mean_ci(diameters)[0] if diameters else float("nan")
-        )
-        table.add_row(
-            n=n,
-            alpha=alpha,
-            p=p,
-            giant_fraction=giant_mean,
-            giant_diameter_lb=diam_mean,
-            diameter_over_n=diam_mean / n,
-            median_frac_probed=frac_probed,
-            oracle_frac_probed=oracle_frac,
-        )
+        for alpha in alphas
+    ]
+    for row in runner.run_values(specs):
+        table.add_row(**row)
     table.add_note(
         "middle regime = rows with 0.5 < alpha < 1: giant_fraction stays "
         "macroscopic, diameter_over_n stays a small polynomial factor, "

@@ -11,6 +11,8 @@ at once, so site faults at survival ``p`` behave roughly like edge
 faults at ``p²`` near the transition (each edge needs both endpoints);
 the transition should appear near ``α = 1/4`` in site terms — earlier,
 not absent.
+
+Each ``(α, fault model)`` pair is one :class:`TrialSpec` work unit.
 """
 
 from __future__ import annotations
@@ -22,6 +24,7 @@ from repro.experiments.spec import ExperimentSpec, pick
 from repro.graphs.hypercube import Hypercube
 from repro.percolation.site import SitePercolation
 from repro.routers.waypoint import WaypointRouter
+from repro.runtime import SerialRunner, TrialSpec
 from repro.util.rng import derive_seed
 
 COLUMNS = [
@@ -34,7 +37,33 @@ COLUMNS = [
 ]
 
 
-def run(scale: str, seed: int) -> ResultTable:
+def _site_factory(graph, p, seed):
+    return SitePercolation(
+        graph, p, seed=seed, pinned=graph.canonical_pair()
+    )
+
+
+def _fault_point(n: int, alpha: float, fault_model: str, trials: int, seed):
+    """Measure one (alpha, fault-model) point; returns plain cells."""
+    graph = Hypercube(n)
+    m = measure_complexity(
+        graph,
+        p=n**-alpha,
+        router=WaypointRouter(),
+        trials=trials,
+        seed=seed,
+        model_factory=_site_factory if fault_model == "site" else None,
+    )
+    frac = (
+        m.query_summary().median / graph.num_edges()
+        if m.connected_trials and m.successes()
+        else float("nan")
+    )
+    return {"connected_trials": m.connected_trials, "median_frac_probed": frac}
+
+
+def run(scale: str, seed: int, runner=None) -> ResultTable:
+    runner = runner if runner is not None else SerialRunner()
     n = pick(scale, tiny=7, small=10, medium=12)
     alphas = pick(
         scale,
@@ -44,10 +73,6 @@ def run(scale: str, seed: int) -> ResultTable:
     )
     trials = pick(scale, tiny=5, small=10, medium=20)
 
-    graph = Hypercube(n)
-    edges = graph.num_edges()
-    source, target = graph.canonical_pair()
-    router = WaypointRouter()
     table = ResultTable(
         "E14",
         "Hypercube routing under node faults vs link faults "
@@ -55,32 +80,33 @@ def run(scale: str, seed: int) -> ResultTable:
         columns=COLUMNS,
     )
 
-    def site_factory(g, p, s):
-        return SitePercolation(g, p, seed=s, pinned=(source, target))
+    specs = [
+        TrialSpec(
+            key=("e14", alpha, fault_model),
+            fn=_fault_point,
+            args=(
+                n,
+                alpha,
+                fault_model,
+                trials,
+                derive_seed(seed, "e14", alpha, fault_model),
+            ),
+        )
+        for alpha in alphas
+        for fault_model in ("edge", "site")
+    ]
+    measured = {result.key: result.value for result in runner.run(specs)}
 
     for alpha in alphas:
-        p = n**-alpha
-        for fault_model, factory in (("edge", None), ("site", site_factory)):
-            m = measure_complexity(
-                graph,
-                p=p,
-                router=router,
-                trials=trials,
-                seed=derive_seed(seed, "e14", alpha, fault_model),
-                model_factory=factory,
-            )
-            frac = (
-                m.query_summary().median / edges
-                if m.connected_trials and m.successes()
-                else float("nan")
-            )
+        for fault_model in ("edge", "site"):
+            cells = measured[("e14", alpha, fault_model)]
             table.add_row(
                 n=n,
                 alpha=alpha,
-                p=p,
+                p=n**-alpha,
                 fault_model=fault_model,
-                connected_trials=m.connected_trials,
-                median_frac_probed=frac,
+                connected_trials=cells["connected_trials"],
+                median_frac_probed=cells["median_frac_probed"],
             )
     table.add_note(
         "At equal nominal p, site faults hit harder (an edge needs both "

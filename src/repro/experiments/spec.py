@@ -1,13 +1,22 @@
 """Experiment specifications and scale presets.
 
-Every experiment (see DESIGN.md §4 for the index) is a pure function
-``run(scale, seed) → ResultTable`` plus metadata tying it back to the
-paper.  Scales keep one code path for tests (``tiny``), benchmarks
-(``small``) and the EXPERIMENTS.md record (``medium``).
+Every experiment (see the registry in :mod:`repro.experiments.registry`
+for the index) is a pure function ``run(scale, seed[, runner]) →
+ResultTable`` plus metadata tying it back to the paper.  Scales keep one
+code path for tests (``tiny``), benchmarks (``small``) and the
+EXPERIMENTS.md record (``medium``).
+
+Definitions that express their trial sweeps through
+:mod:`repro.runtime` accept a third ``runner`` keyword; the spec
+detects this from the signature and threads the caller's
+:class:`~repro.runtime.TrialRunner` through, so ``repro run E1
+--workers 8`` parallelises exactly the experiments that opted in while
+legacy two-argument definitions keep working unchanged.
 """
 
 from __future__ import annotations
 
+import inspect
 from collections.abc import Callable
 from dataclasses import dataclass, field
 
@@ -30,6 +39,15 @@ def pick(scale: str, *, tiny, small, medium):
     return {"tiny": tiny, "small": small, "medium": medium}[scale]
 
 
+def _accepts_runner(run: Callable) -> bool:
+    """True if ``run`` takes a ``runner`` argument (new-style definition)."""
+    try:
+        parameters = inspect.signature(run).parameters
+    except (TypeError, ValueError):  # pragma: no cover - exotic callables
+        return False
+    return "runner" in parameters
+
+
 @dataclass(frozen=True)
 class ExperimentSpec:
     """Metadata + runner for one experiment."""
@@ -38,15 +56,35 @@ class ExperimentSpec:
     title: str
     claim: str  # the paper's statement being reproduced
     reference: str  # theorem/lemma/section in the paper
-    run: Callable[[str, int], ResultTable] = field(repr=False)
+    run: Callable[..., ResultTable] = field(repr=False)
 
-    def __call__(self, scale: str = "small", seed: int = 0) -> ResultTable:
-        """Run the experiment; returns its :class:`ResultTable`."""
+    @property
+    def supports_runner(self) -> bool:
+        """True when ``run`` routes its trials through a TrialRunner."""
+        return _accepts_runner(self.run)
+
+    def __call__(
+        self, scale: str = "small", seed: int = 0, runner=None
+    ) -> ResultTable:
+        """Run the experiment; returns its :class:`ResultTable`.
+
+        ``runner`` is a :class:`repro.runtime.TrialRunner` deciding how
+        the experiment's trial sweep executes (``None`` → resolve from
+        ``$REPRO_WORKERS``, defaulting to serial).  Experiments whose
+        ``run`` has no ``runner`` parameter ignore it.
+        """
         if scale not in SCALES:
             raise ValueError(
                 f"unknown scale {scale!r}; expected one of {SCALES}"
             )
-        table = self.run(scale, seed)
+        if self.supports_runner:
+            if runner is None:
+                from repro.runtime import make_runner
+
+                runner = make_runner()
+            table = self.run(scale, seed, runner=runner)
+        else:
+            table = self.run(scale, seed)
         if not isinstance(table, ResultTable):
             raise TypeError(
                 f"experiment {self.experiment_id} returned {type(table)!r}"

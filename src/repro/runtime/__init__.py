@@ -1,0 +1,59 @@
+"""Trial-execution runtime: run Monte-Carlo sweeps serially or in parallel.
+
+Every experiment estimates its curves by averaging many independent
+trials.  This package factors the *execution* of those trials out of the
+experiment definitions: a definition emits a list of
+:class:`~repro.runtime.trial.TrialSpec` work units and hands them to a
+:class:`~repro.runtime.runner.TrialRunner`, which returns one
+:class:`~repro.runtime.trial.TrialResult` per spec **in submission
+order**, however the work was actually scheduled.
+
+Seed-derivation contract
+------------------------
+
+Parallel execution changes *when* and *where* a trial runs, never *what*
+it computes.  That guarantee rests on three rules:
+
+1. Every random decision inside a trial is a pure function of the seed
+   carried by its :class:`TrialSpec` (derived up front from the master
+   seed via :func:`repro.util.rng.derive_seed` and the trial's labels),
+   never of global RNG state, scheduling order, or process identity.
+2. A spec's ``fn`` must be an importable module-level callable and its
+   arguments plain picklable values, so the same work unit can execute
+   in any process.
+3. Runners return results in submission order, so downstream assembly
+   (``ResultTable`` rows, fitted notes) is independent of completion
+   order.
+
+Together these make ``SerialRunner`` and ``ProcessPoolRunner`` produce
+**identical** ``ResultTable``\\ s for the same master seed — the
+serial-vs-parallel determinism tests in ``tests/runtime/`` enforce it.
+
+Choosing a runner
+-----------------
+
+:func:`make_runner` resolves the worker count from an explicit argument,
+else the ``REPRO_WORKERS`` environment variable, else 1, and returns a
+``SerialRunner`` for one worker or a ``ProcessPoolRunner`` otherwise.
+The CLI exposes the same knob as ``repro run ... --workers N``.
+"""
+
+from repro.runtime.runner import (
+    ProcessPoolRunner,
+    SerialRunner,
+    TrialRunner,
+    make_runner,
+    resolve_workers,
+)
+from repro.runtime.trial import TrialExecutionError, TrialResult, TrialSpec
+
+__all__ = [
+    "ProcessPoolRunner",
+    "SerialRunner",
+    "TrialExecutionError",
+    "TrialResult",
+    "TrialRunner",
+    "TrialSpec",
+    "make_runner",
+    "resolve_workers",
+]

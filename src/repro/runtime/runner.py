@@ -1,0 +1,181 @@
+"""Trial runners: serial reference implementation and a process pool.
+
+Both runners satisfy the same contract: ``run(specs)`` returns one
+:class:`TrialResult` per spec, in submission order, raising
+:class:`TrialExecutionError` if any trial fails.  The process pool
+schedules *chunks* of consecutive specs onto workers to amortise IPC,
+then reassembles results by chunk offset — so completion order never
+leaks into the output (see the package docstring for the full
+determinism contract).
+"""
+
+from __future__ import annotations
+
+import os
+from abc import ABC, abstractmethod
+from collections.abc import Iterable, Sequence
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures.process import BrokenProcessPool
+from typing import Any
+
+from repro.runtime.trial import TrialExecutionError, TrialResult, TrialSpec
+
+__all__ = [
+    "ProcessPoolRunner",
+    "SerialRunner",
+    "TrialRunner",
+    "make_runner",
+    "resolve_workers",
+]
+
+#: Environment variable consulted when no worker count is given.
+WORKERS_ENV = "REPRO_WORKERS"
+
+#: Target number of chunks handed to each worker (load-balance factor).
+_CHUNKS_PER_WORKER = 4
+
+
+def resolve_workers(workers: int | None = None) -> int:
+    """Resolve a worker count: argument, else ``$REPRO_WORKERS``, else 1.
+
+    >>> resolve_workers(3)
+    3
+    """
+    if workers is None:
+        raw = os.environ.get(WORKERS_ENV, "").strip()
+        if not raw:
+            return 1
+        try:
+            workers = int(raw)
+        except ValueError:
+            raise ValueError(
+                f"${WORKERS_ENV} must be an integer, got {raw!r}"
+            ) from None
+    if workers < 1:
+        raise ValueError(f"worker count must be >= 1, got {workers}")
+    return workers
+
+
+def make_runner(workers: int | None = None) -> TrialRunner:
+    """Build the runner for a worker count (see :func:`resolve_workers`).
+
+    One worker gives the zero-overhead :class:`SerialRunner`; more give
+    a :class:`ProcessPoolRunner`.
+    """
+    count = resolve_workers(workers)
+    if count == 1:
+        return SerialRunner()
+    return ProcessPoolRunner(workers=count)
+
+
+class TrialRunner(ABC):
+    """Executes :class:`TrialSpec` batches; results in submission order."""
+
+    #: Number of worker processes this runner schedules onto.
+    workers: int = 1
+
+    @abstractmethod
+    def run(self, specs: Iterable[TrialSpec]) -> list[TrialResult]:
+        """Execute every spec; return results in submission order."""
+
+    def run_values(self, specs: Iterable[TrialSpec]) -> list[Any]:
+        """Like :meth:`run` but unwraps each result's ``value``."""
+        return [result.value for result in self.run(specs)]
+
+
+class SerialRunner(TrialRunner):
+    """Run trials one after another in the calling process."""
+
+    workers = 1
+
+    def run(self, specs: Iterable[TrialSpec]) -> list[TrialResult]:
+        return [spec.execute() for spec in specs]
+
+    def __repr__(self) -> str:
+        return "SerialRunner()"
+
+
+def _execute_chunk(chunk: Sequence[TrialSpec]) -> list[TrialResult]:
+    """Worker entry point: execute one chunk of consecutive specs."""
+    return [spec.execute() for spec in chunk]
+
+
+class ProcessPoolRunner(TrialRunner):
+    """Run trials on a pool of worker processes.
+
+    Parameters
+    ----------
+    workers:
+        Pool size; defaults to ``os.cpu_count()``.
+    chunksize:
+        Specs per work unit.  Default: splits the batch into about
+        4 chunks per worker, a standard balance between scheduling
+        slack (small chunks) and IPC overhead (large chunks).
+    mp_context:
+        A :mod:`multiprocessing` context, e.g. for forcing ``spawn``
+        in tests; platform default when ``None``.
+    """
+
+    def __init__(
+        self,
+        workers: int | None = None,
+        chunksize: int | None = None,
+        mp_context=None,
+    ) -> None:
+        if workers is None:
+            workers = os.cpu_count() or 1
+        self.workers = resolve_workers(workers)
+        if chunksize is not None and chunksize < 1:
+            raise ValueError(f"chunksize must be >= 1, got {chunksize}")
+        self.chunksize = chunksize
+        self.mp_context = mp_context
+
+    def _pick_chunksize(self, total: int) -> int:
+        if self.chunksize is not None:
+            return self.chunksize
+        return max(1, -(-total // (self.workers * _CHUNKS_PER_WORKER)))
+
+    def run(self, specs: Iterable[TrialSpec]) -> list[TrialResult]:
+        specs = list(specs)
+        if not specs:
+            return []
+        if self.workers == 1 or len(specs) == 1:
+            # No parallelism to extract; skip pool start-up entirely.
+            return [spec.execute() for spec in specs]
+
+        size = self._pick_chunksize(len(specs))
+        chunks = [
+            (start, specs[start : start + size])
+            for start in range(0, len(specs), size)
+        ]
+        results: list[TrialResult | None] = [None] * len(specs)
+        pool_workers = min(self.workers, len(chunks))
+        try:
+            with ProcessPoolExecutor(
+                max_workers=pool_workers, mp_context=self.mp_context
+            ) as pool:
+                futures = {
+                    pool.submit(_execute_chunk, chunk): start
+                    for start, chunk in chunks
+                }
+                try:
+                    for future in as_completed(futures):
+                        start = futures[future]
+                        for offset, result in enumerate(future.result()):
+                            results[start + offset] = result
+                except BaseException:
+                    # Fail fast — including on Ctrl-C: drop queued
+                    # chunks instead of finishing a long sweep before
+                    # surfacing the error.
+                    pool.shutdown(wait=False, cancel_futures=True)
+                    raise
+        except BrokenProcessPool as exc:
+            raise TrialExecutionError(
+                ("<pool>",),
+                "a worker process died before finishing its chunk "
+                "(crash or kill); re-run serially to isolate the trial",
+            ) from exc
+        return results  # type: ignore[return-value]
+
+    def __repr__(self) -> str:
+        return f"ProcessPoolRunner(workers={self.workers})"

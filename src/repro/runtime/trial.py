@@ -1,0 +1,72 @@
+"""The work-unit protocol between experiment definitions and runners.
+
+A :class:`TrialSpec` is one self-contained unit of Monte-Carlo work —
+typically a full ``measure_complexity`` sweep point or a structural
+scan, carrying its own derived seed.  Executing it yields a
+:class:`TrialResult` pairing the spec's ``key`` with the computed value.
+
+Specs cross process boundaries, so ``fn`` must be a module-level
+callable and ``args``/``kwargs`` plain picklable data (ints, floats,
+strings, tuples, classes — not closures or lambdas).  Values returned
+by ``fn`` should likewise be plain data (dicts/lists of primitives) so
+they pickle cheaply on the way back.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Mapping
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["TrialExecutionError", "TrialResult", "TrialSpec"]
+
+
+class TrialExecutionError(RuntimeError):
+    """A trial raised (or its worker died) inside a runner.
+
+    ``key`` identifies the failing :class:`TrialSpec`; ``detail``
+    carries the original error rendered as text (the original exception
+    object may not survive the trip back from a worker process).
+    """
+
+    def __init__(self, key: tuple, detail: str) -> None:
+        super().__init__(key, detail)
+        self.key = key
+        self.detail = detail
+
+    def __str__(self) -> str:
+        return f"trial {self.key!r} failed: {self.detail}"
+
+
+@dataclass(frozen=True)
+class TrialSpec:
+    """One schedulable unit of work: ``fn(*args, **kwargs)``.
+
+    ``key`` is a stable label (e.g. ``("e1", n, alpha, router)``) used
+    for error reports and for matching results back to sweep points.
+    """
+
+    key: tuple
+    fn: Callable[..., Any]
+    args: tuple = ()
+    kwargs: Mapping[str, Any] = field(default_factory=dict)
+
+    def execute(self) -> TrialResult:
+        """Run the unit, wrapping any failure in TrialExecutionError."""
+        try:
+            value = self.fn(*self.args, **dict(self.kwargs))
+        except TrialExecutionError:
+            raise
+        except Exception as exc:
+            raise TrialExecutionError(
+                self.key, f"{type(exc).__name__}: {exc}"
+            ) from exc
+        return TrialResult(key=self.key, value=value)
+
+
+@dataclass(frozen=True)
+class TrialResult:
+    """The value computed by one :class:`TrialSpec`."""
+
+    key: tuple
+    value: Any

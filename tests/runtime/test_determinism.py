@@ -1,0 +1,89 @@
+"""Serial-vs-parallel determinism of the runner-based experiments.
+
+The seed-derivation contract (see :mod:`repro.runtime`) promises that a
+``ProcessPoolRunner`` produces exactly the ``ResultTable`` a
+``SerialRunner`` does for the same master seed.  These tests enforce it
+for every experiment definition that routes its sweep through the
+runtime, comparing the rendered table (the persisted record) and the
+``repr`` of the raw rows (NaN-tolerant, unlike ``==``).
+"""
+
+import pytest
+
+from repro.experiments.registry import get_experiment
+from repro.experiments.results import ResultTable
+from repro.experiments.spec import ExperimentSpec
+from repro.runtime import ProcessPoolRunner, SerialRunner
+
+#: Every definition refactored onto the trial runner.
+RUNNER_BASED = ["E1", "E5", "E10", "E11", "E13", "E14"]
+
+
+@pytest.mark.parametrize("experiment_id", RUNNER_BASED)
+def test_parallel_matches_serial(experiment_id):
+    spec = get_experiment(experiment_id)
+    serial = spec(scale="tiny", seed=11, runner=SerialRunner())
+    parallel = spec(
+        scale="tiny",
+        seed=11,
+        runner=ProcessPoolRunner(workers=2, chunksize=1),
+    )
+    assert serial.render() == parallel.render()
+    assert repr(serial.rows) == repr(parallel.rows)
+    assert serial.notes == parallel.notes
+
+
+def test_seed_still_matters():
+    spec = get_experiment("E1")
+    runner = SerialRunner()
+    a = spec(scale="tiny", seed=0, runner=runner)
+    b = spec(scale="tiny", seed=1, runner=runner)
+    assert a.render() != b.render()
+
+
+def _legacy_run(scale, seed):
+    table = ResultTable("X7", "legacy")
+    table.add_row(scale=scale, seed=seed)
+    return table
+
+
+def _runner_run(scale, seed, runner=None):
+    table = ResultTable("X8", "new-style")
+    table.add_row(runner=type(runner).__name__)
+    return table
+
+
+class TestSpecRunnerThreading:
+    def test_legacy_two_argument_run_still_works(self):
+        spec = ExperimentSpec(
+            experiment_id="X7",
+            title="t",
+            claim="c",
+            reference="r",
+            run=_legacy_run,
+        )
+        table = spec(scale="tiny", seed=5, runner=SerialRunner())
+        assert table.rows == [{"scale": "tiny", "seed": 5}]
+
+    def test_runner_passed_through(self):
+        spec = ExperimentSpec(
+            experiment_id="X8",
+            title="t",
+            claim="c",
+            reference="r",
+            run=_runner_run,
+        )
+        runner = ProcessPoolRunner(workers=2)
+        table = spec(scale="tiny", seed=0, runner=runner)
+        assert table.rows == [{"runner": "ProcessPoolRunner"}]
+
+    def test_default_runner_resolved_from_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "1")
+        spec = ExperimentSpec(
+            experiment_id="X8",
+            title="t",
+            claim="c",
+            reference="r",
+            run=_runner_run,
+        )
+        assert spec(scale="tiny").rows == [{"runner": "SerialRunner"}]

@@ -1,0 +1,167 @@
+"""Tests for the trial-execution runtime (specs, runners, chunking)."""
+
+import os
+
+import pytest
+
+from repro.runtime import (
+    ProcessPoolRunner,
+    SerialRunner,
+    TrialExecutionError,
+    TrialResult,
+    TrialSpec,
+    make_runner,
+    resolve_workers,
+)
+from repro.util.rng import uniform_for
+
+
+# Worker functions must live at module level so they pickle by reference.
+def _square(x):
+    return x * x
+
+
+def _seeded_value(seed, label):
+    return uniform_for(seed, label)
+
+
+def _fail(x):
+    raise ValueError(f"boom {x}")
+
+
+def _kwarg_echo(a, b=0):
+    return (a, b)
+
+
+def _die():  # pragma: no cover - runs in a worker process
+    os._exit(13)
+
+
+def _specs(count):
+    return [
+        TrialSpec(key=("sq", i), fn=_square, args=(i,)) for i in range(count)
+    ]
+
+
+class TestTrialSpec:
+    def test_execute_returns_result(self):
+        result = TrialSpec(key=("k",), fn=_square, args=(3,)).execute()
+        assert result == TrialResult(key=("k",), value=9)
+
+    def test_kwargs_passed(self):
+        spec = TrialSpec(key=("k",), fn=_kwarg_echo, args=(1,), kwargs={"b": 2})
+        assert spec.execute().value == (1, 2)
+
+    def test_failure_wrapped_with_key(self):
+        spec = TrialSpec(key=("bad", 7), fn=_fail, args=(7,))
+        with pytest.raises(TrialExecutionError) as err:
+            spec.execute()
+        assert err.value.key == ("bad", 7)
+        assert "ValueError" in str(err.value)
+        assert "boom 7" in str(err.value)
+
+
+class TestSerialRunner:
+    def test_order_preserved(self):
+        results = SerialRunner().run(_specs(5))
+        assert [r.value for r in results] == [0, 1, 4, 9, 16]
+        assert [r.key for r in results] == [("sq", i) for i in range(5)]
+
+    def test_zero_trials(self):
+        assert SerialRunner().run([]) == []
+
+    def test_run_values(self):
+        assert SerialRunner().run_values(_specs(3)) == [0, 1, 4]
+
+    def test_error_propagates(self):
+        specs = _specs(2) + [TrialSpec(key=("bad",), fn=_fail, args=(0,))]
+        with pytest.raises(TrialExecutionError):
+            SerialRunner().run(specs)
+
+
+class TestProcessPoolRunner:
+    def test_order_preserved_many_chunks(self):
+        runner = ProcessPoolRunner(workers=3, chunksize=2)
+        assert runner.run_values(_specs(11)) == [i * i for i in range(11)]
+
+    def test_zero_trials(self):
+        assert ProcessPoolRunner(workers=4).run([]) == []
+
+    def test_fewer_trials_than_workers(self):
+        # 2 specs on 8 workers: pool must shrink, not hang or drop work.
+        runner = ProcessPoolRunner(workers=8)
+        assert runner.run_values(_specs(2)) == [0, 1]
+
+    def test_single_trial_runs_inline(self):
+        assert ProcessPoolRunner(workers=4).run_values(_specs(1)) == [0]
+
+    def test_matches_serial(self):
+        specs = [
+            TrialSpec(key=("u", i), fn=_seeded_value, args=(i, "x"))
+            for i in range(10)
+        ]
+        serial = SerialRunner().run(specs)
+        parallel = ProcessPoolRunner(workers=4, chunksize=3).run(specs)
+        assert serial == parallel
+
+    def test_worker_exception_propagates(self):
+        specs = _specs(6) + [TrialSpec(key=("bad", 1), fn=_fail, args=(1,))]
+        runner = ProcessPoolRunner(workers=2, chunksize=2)
+        with pytest.raises(TrialExecutionError) as err:
+            runner.run(specs)
+        assert err.value.key == ("bad", 1)
+
+    def test_worker_crash_propagates(self):
+        # A worker dying outright (not raising) must surface as an
+        # error, not a hang or a silent partial result.
+        specs = _specs(3) + [TrialSpec(key=("die",), fn=_die)]
+        runner = ProcessPoolRunner(workers=2, chunksize=1)
+        with pytest.raises(TrialExecutionError) as err:
+            runner.run(specs)
+        assert "worker process died" in str(err.value)
+
+    def test_chunksize_validation(self):
+        with pytest.raises(ValueError):
+            ProcessPoolRunner(workers=2, chunksize=0)
+
+    def test_zero_workers_rejected(self):
+        # 0 must not silently fall back to cpu_count.
+        with pytest.raises(ValueError):
+            ProcessPoolRunner(workers=0)
+
+    def test_auto_chunksize_covers_batch(self):
+        runner = ProcessPoolRunner(workers=4)
+        for total in (1, 2, 15, 16, 17, 1000):
+            size = runner._pick_chunksize(total)
+            assert size >= 1
+            chunk_count = -(-total // size)
+            assert chunk_count * size >= total
+
+
+class TestWorkerResolution:
+    def test_explicit_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "7")
+        assert resolve_workers(2) == 2
+
+    def test_env_fallback(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "5")
+        assert resolve_workers() == 5
+
+    def test_default_is_serial(self, monkeypatch):
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        assert resolve_workers() == 1
+        assert isinstance(make_runner(), SerialRunner)
+
+    def test_env_garbage_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "many")
+        with pytest.raises(ValueError):
+            resolve_workers()
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_workers(0)
+
+    def test_make_runner_parallel(self):
+        runner = make_runner(3)
+        assert isinstance(runner, ProcessPoolRunner)
+        assert runner.workers == 3
