@@ -23,9 +23,9 @@ Quick start::
                            trials=20, seed=0)
     print(m.query_summary())
 
-Layers (bottom-up): :mod:`repro.util`, :mod:`repro.graphs`,
-:mod:`repro.percolation`, :mod:`repro.core`, :mod:`repro.routers`,
-:mod:`repro.analysis`, :mod:`repro.experiments`.
+Layers (bottom-up): :mod:`repro.util`, :mod:`repro.runtime`,
+:mod:`repro.graphs`, :mod:`repro.percolation`, :mod:`repro.core`,
+:mod:`repro.routers`, :mod:`repro.analysis`, :mod:`repro.experiments`.
 """
 
 from repro.core import (
@@ -39,9 +39,19 @@ from repro.core import (
     ProbeOracle,
     Router,
     RoutingResult,
+    assemble_measurement,
     ball,
+    complexity_specs,
     estimate_certificate,
     measure_complexity,
+    run_trial,
+)
+from repro.runtime import (
+    ProcessPoolRunner,
+    SerialRunner,
+    TrialRunner,
+    TrialSpec,
+    make_runner,
 )
 from repro.graphs import (
     Butterfly,
@@ -118,23 +128,31 @@ __all__ = [
     "PercolationModel",
     "ProbeBudgetExceeded",
     "ProbeOracle",
+    "ProcessPoolRunner",
     "RandomMatchingCycle",
     "Router",
     "RoutingResult",
+    "SerialRunner",
     "ShuffleExchange",
     "SitePercolation",
     "TablePercolation",
     "Torus",
+    "TrialRunner",
+    "TrialSpec",
     "WaypointRouter",
     "__version__",
+    "assemble_measurement",
     "ball",
     "chemical_distance",
+    "complexity_specs",
     "connected",
     "estimate_certificate",
     "giant_fraction",
     "hypercube_routing_threshold",
     "local_router_suite",
+    "make_runner",
     "measure_complexity",
     "mesh_critical_probability",
     "pair_threshold",
+    "run_trial",
 ]

@@ -10,7 +10,8 @@
 * :mod:`repro.core.result` — results, failure taxonomy, loop erasure.
 * :mod:`repro.core.complexity` — Definition 2 made executable:
   rejection-sampled estimation of query distributions conditioned on
-  ``{u ~ v}``.
+  ``{u ~ v}``, split into per-trial work units (spec emission → pure
+  trial kernel → deterministic reassembly) so sweeps parallelise.
 * :mod:`repro.core.lower_bounds` — Lemma 5 as an empirical certificate:
   estimate ``η``, ``Pr[(u~v) ∈ S]`` and ``Pr[u ~ v]`` for a concrete cut
   and obtain a CDF bound every local router must respect.
@@ -19,7 +20,10 @@
 from repro.core.complexity import (
     ComplexityMeasurement,
     TrialRecord,
+    assemble_measurement,
+    complexity_specs,
     measure_complexity,
+    run_trial,
 )
 from repro.core.lower_bounds import (
     Lemma5Certificate,
@@ -54,10 +58,13 @@ __all__ = [
     "Router",
     "RoutingResult",
     "TrialRecord",
+    "assemble_measurement",
     "ball",
+    "complexity_specs",
     "cut_edges",
     "erase_loops",
     "estimate_certificate",
     "measure_complexity",
+    "run_trial",
     "validate_path",
 ]

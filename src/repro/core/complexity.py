@@ -2,8 +2,7 @@
 
 The routing complexity of an algorithm ``A`` w.r.t. vertices ``u, v`` is
 the number of probes ``A`` makes in ``G_p``, **conditioned on the event
-{u ~ v}**.  :func:`measure_complexity` estimates its distribution by
-rejection sampling:
+{u ~ v}**.  Its distribution is estimated by rejection sampling:
 
 1. draw an independent percolation per trial (seeded, replayable);
 2. establish ground truth for ``{u ~ v}`` (a cluster BFS independent of
@@ -12,13 +11,28 @@ rejection sampling:
 3. keep only connected trials; run the router with a probe budget and
    record queries, success and censoring.
 
-The result keeps every per-trial record so experiments can compute CDFs
+The measurement is split into three phases so a single (graph, p)
+sweep point can fan its trials out across worker processes:
+
+* :func:`complexity_specs` emits one :class:`~repro.runtime.TrialSpec`
+  per trial, each carrying its own seed derived up front from the
+  master seed — the rejection-sampling hot loop is the parallel unit;
+* :func:`run_trial` is the pure per-trial kernel (one percolation draw,
+  one conditioning check, at most one routing attempt) executed by a
+  :class:`~repro.runtime.TrialRunner`, in any process;
+* :func:`assemble_measurement` folds the :class:`TrialRecord` stream —
+  returned in deterministic trial order by every runner — back into a
+  :class:`ComplexityMeasurement`.
+
+:func:`measure_complexity` composes the three for callers that want the
+classic one-call interface; pass ``runner=`` to parallelise it.  The
+result keeps every per-trial record so experiments can compute CDFs
 (needed to compare against the Lemma 5 bound) as well as summaries.
 """
 
 from __future__ import annotations
 
-from collections.abc import Callable, Sequence
+from collections.abc import Callable, Iterable, Sequence
 from dataclasses import dataclass, field
 
 from repro.core.result import RoutingResult
@@ -30,13 +44,17 @@ from repro.percolation.models import (
     PercolationModel,
     TablePercolation,
 )
+from repro.runtime import TrialRunner, TrialSpec
 from repro.util.rng import derive_seed
 from repro.util.stats import Summary, proportion_ci, summarize
 
 __all__ = [
     "ComplexityMeasurement",
     "TrialRecord",
+    "assemble_measurement",
+    "complexity_specs",
     "measure_complexity",
+    "run_trial",
 ]
 
 ModelFactory = Callable[[Graph, float, int], PercolationModel]
@@ -164,6 +182,139 @@ class ComplexityMeasurement:
         return [res.path_length for res in self.successes()]
 
 
+def _validate(trials: int, router: Router, budget, conditioning: str) -> None:
+    if trials < 1:
+        raise ValueError("need at least one trial")
+    if conditioning not in ("exact", "router", "none"):
+        raise ValueError(f"unknown conditioning mode {conditioning!r}")
+    if conditioning == "router" and not router.is_complete:
+        raise ValueError(
+            f"router {router.name!r} is not complete; its failures do not "
+            "certify disconnection"
+        )
+    if conditioning == "router" and budget is not None:
+        raise ValueError("router conditioning requires an unbounded budget")
+
+
+def run_trial(
+    graph: Graph,
+    p: float,
+    router: Router,
+    source: Vertex,
+    target: Vertex,
+    trial: int,
+    trial_seed: int,
+    budget: int | None = None,
+    model_factory: ModelFactory | None = None,
+    conditioning: str = "exact",
+) -> TrialRecord:
+    """Execute one trial: percolate, condition, (maybe) route.
+
+    The per-trial kernel of the measurement — a pure function of its
+    arguments, so the same trial computes the same
+    :class:`TrialRecord` in any process.  ``trial_seed`` is the seed
+    already derived for this trial index (see :func:`complexity_specs`).
+    """
+    factory = model_factory or _default_factory(graph)
+    model = factory(graph, p, trial_seed)
+    if conditioning == "exact":
+        is_conn = connected(model, source, target)
+        result = None
+        if is_conn:
+            result = router.route(model, source, target, budget=budget)
+    elif conditioning == "router":
+        result = router.route(model, source, target, budget=None)
+        is_conn = result.success
+    else:  # "none"
+        result = router.route(model, source, target, budget=budget)
+        is_conn = result.success  # best-effort marker
+    return TrialRecord(
+        trial=trial, seed=trial_seed, connected=is_conn, result=result
+    )
+
+
+def complexity_specs(
+    graph: Graph,
+    p: float,
+    router: Router,
+    pair: tuple[Vertex, Vertex] | None = None,
+    trials: int = 20,
+    seed: int = 0,
+    budget: int | None = None,
+    model_factory: ModelFactory | None = None,
+    conditioning: str = "exact",
+    key: tuple = ("complexity",),
+) -> list[TrialSpec]:
+    """Emit one :class:`TrialSpec` per trial of a measurement.
+
+    Each spec calls :func:`run_trial` with the seed for its trial index
+    derived up front (``derive_seed(seed, "complexity", t)`` — the same
+    derivation the classic inline loop used, so the emitted stream
+    reproduces it bit for bit).  Spec keys are ``key + (t,)``; pass the
+    sweep-point label as ``key`` so error reports identify the point.
+    """
+    _validate(trials, router, budget, conditioning)
+    source, target = pair if pair is not None else graph.canonical_pair()
+    factory = model_factory or _default_factory(graph)
+    return [
+        TrialSpec(
+            key=tuple(key) + (t,),
+            fn=run_trial,
+            args=(
+                graph,
+                p,
+                router,
+                source,
+                target,
+                t,
+                derive_seed(seed, "complexity", t),
+            ),
+            kwargs={
+                "budget": budget,
+                "model_factory": factory,
+                "conditioning": conditioning,
+            },
+        )
+        for t in range(trials)
+    ]
+
+
+def assemble_measurement(
+    graph: Graph,
+    p: float,
+    router: Router,
+    records: Iterable[TrialRecord],
+    pair: tuple[Vertex, Vertex] | None = None,
+    budget: int | None = None,
+    max_conditioned: int | None = None,
+) -> ComplexityMeasurement:
+    """Fold a trial-ordered :class:`TrialRecord` stream into a measurement.
+
+    ``records`` must be in trial order (every runner returns results in
+    submission order, so ``runner.run_values(complexity_specs(...))``
+    qualifies).  ``max_conditioned`` truncates the stream right after
+    the record in which the ``max_conditioned``-th conditioned attempt
+    happened — the same cut the classic early-stopping loop made, since
+    trials are independent.
+    """
+    source, target = pair if pair is not None else graph.canonical_pair()
+    measurement = ComplexityMeasurement(
+        graph_name=graph.name,
+        router_name=router.name,
+        p=p,
+        source=source,
+        target=target,
+        budget=budget,
+    )
+    attempted = 0
+    for record in records:
+        measurement.records.append(record)
+        attempted += record.attempted
+        if max_conditioned is not None and attempted >= max_conditioned:
+            break
+    return measurement
+
+
 def measure_complexity(
     graph: Graph,
     p: float,
@@ -175,8 +326,13 @@ def measure_complexity(
     model_factory: ModelFactory | None = None,
     conditioning: str = "exact",
     max_conditioned: int | None = None,
+    runner: TrialRunner | None = None,
 ) -> ComplexityMeasurement:
     """Estimate the routing complexity of ``router`` on ``graph`` at ``p``.
+
+    Composes :func:`complexity_specs` → runner →
+    :func:`assemble_measurement`; the result is identical for any
+    runner and worker count (see the :mod:`repro.runtime` contract).
 
     Parameters
     ----------
@@ -199,55 +355,39 @@ def measure_complexity(
         disconnection itself is the signal).
     max_conditioned:
         Stop early once this many conditioned trials were attempted.
+        Without a runner the trailing trials are never computed; with
+        one, every trial runs (they are scheduled up front) and the
+        record stream is truncated to the identical prefix.
+    runner:
+        A :class:`~repro.runtime.TrialRunner` to execute the trials;
+        ``None`` runs them inline in the calling process.
     """
-    if trials < 1:
-        raise ValueError("need at least one trial")
-    if conditioning not in ("exact", "router", "none"):
-        raise ValueError(f"unknown conditioning mode {conditioning!r}")
-    if conditioning == "router" and not router.is_complete:
-        raise ValueError(
-            f"router {router.name!r} is not complete; its failures do not "
-            "certify disconnection"
-        )
-    if conditioning == "router" and budget is not None:
-        raise ValueError("router conditioning requires an unbounded budget")
-    source, target = pair if pair is not None else graph.canonical_pair()
-    factory = model_factory or _default_factory(graph)
-
-    measurement = ComplexityMeasurement(
-        graph_name=graph.name,
-        router_name=router.name,
-        p=p,
-        source=source,
-        target=target,
+    specs = complexity_specs(
+        graph,
+        p,
+        router,
+        pair=pair,
+        trials=trials,
+        seed=seed,
         budget=budget,
+        model_factory=model_factory,
+        conditioning=conditioning,
     )
-    attempted = 0
-    for t in range(trials):
-        trial_seed = derive_seed(seed, "complexity", t)
-        model = factory(graph, p, trial_seed)
-        if conditioning == "exact":
-            is_conn = connected(model, source, target)
-            result = None
-            if is_conn:
-                result = router.route(model, source, target, budget=budget)
-                attempted += 1
-        elif conditioning == "router":
-            result = router.route(model, source, target, budget=None)
-            is_conn = result.success
-            attempted += 1
-        else:  # "none"
-            result = router.route(model, source, target, budget=budget)
-            is_conn = result.success  # best-effort marker
-            attempted += 1
-        measurement.records.append(
-            TrialRecord(
-                trial=t, seed=trial_seed, connected=is_conn, result=result
-            )
-        )
-        if max_conditioned is not None and attempted >= max_conditioned:
-            break
-    return measurement
+    if runner is None:
+        # Lazy: assemble_measurement stops consuming at the
+        # max_conditioned cut, so trailing trials are never executed.
+        records = (spec.execute().value for spec in specs)
+    else:
+        records = runner.run_values(specs)
+    return assemble_measurement(
+        graph,
+        p,
+        router,
+        records,
+        pair=pair,
+        budget=budget,
+        max_conditioned=max_conditioned,
+    )
 
 
 def _default_factory(graph: Graph) -> ModelFactory:

@@ -171,11 +171,6 @@ def _cmd_run(
         specs = [get_experiment(experiment_id)]
     runner = make_runner(workers)
     for spec in specs:
-        if runner.workers > 1 and not spec.supports_runner:
-            print(
-                f"  (note: {spec.experiment_id} does not use the trial "
-                "runner yet; running serially)"
-            )
         start = time.perf_counter()
         table = spec(scale=scale, seed=seed, runner=runner)
         elapsed = time.perf_counter() - start
@@ -196,10 +191,7 @@ def _cmd_report(scale: str, seed: int, out: str, workers) -> int:
     runner = make_runner(workers)
     sections = []
     for spec in all_experiments():
-        tag = ""
-        if runner.workers > 1 and not spec.supports_runner:
-            tag = " [serial: not on the trial runner yet]"
-        print(f"running {spec.experiment_id} ({scale}){tag} ...", flush=True)
+        print(f"running {spec.experiment_id} ({scale}) ...", flush=True)
         sections.append((spec, spec(scale=scale, seed=seed, runner=runner)))
     preamble = (
         "# Experiment report (generated)\n\n"

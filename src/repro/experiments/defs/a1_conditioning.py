@@ -6,11 +6,15 @@ establishes that event with a router-independent cluster search
 ("router").  With shared seeds the two must agree *exactly* on every
 trial — this ablation certifies the conditioning machinery rather than
 a paper claim.
+
+Every trial of every (case, mode) pair is its own :class:`TrialSpec`;
+both modes of a case share per-trial seeds, so their draws stay
+identical however the work is scheduled.
 """
 
 from __future__ import annotations
 
-from repro.core.complexity import measure_complexity
+from repro.core.complexity import assemble_measurement, complexity_specs
 from repro.experiments.registry import register
 from repro.experiments.results import ResultTable
 from repro.experiments.spec import ExperimentSpec, pick
@@ -18,6 +22,7 @@ from repro.graphs.hypercube import Hypercube
 from repro.graphs.mesh import Mesh
 from repro.routers.bfs import LocalBFSRouter
 from repro.routers.waypoint import MeshWaypointRouter
+from repro.runtime import SerialRunner
 from repro.util.rng import derive_seed
 
 COLUMNS = [
@@ -31,7 +36,8 @@ COLUMNS = [
 ]
 
 
-def run(scale: str, seed: int) -> ResultTable:
+def run(scale: str, seed: int, runner=None) -> ResultTable:
+    runner = runner if runner is not None else SerialRunner()
     trials = pick(scale, tiny=10, small=30, medium=80)
     cases = [
         (Hypercube(pick(scale, tiny=5, small=7, medium=9)), 0.45, LocalBFSRouter()),
@@ -42,17 +48,30 @@ def run(scale: str, seed: int) -> ResultTable:
         "Ablation: exact (cluster-BFS) vs router-based conditioning",
         columns=COLUMNS,
     )
-    for graph, p, router in cases:
-        runs = {}
-        for mode in ("exact", "router"):
-            runs[mode] = measure_complexity(
+    groups = [
+        (
+            (graph.name, mode),
+            complexity_specs(
                 graph,
                 p=p,
                 router=router,
                 trials=trials,
                 seed=derive_seed(seed, "a1", graph.name),
                 conditioning=mode,
+                key=("a1", graph.name, mode),
+            ),
+        )
+        for graph, p, router in cases
+        for mode in ("exact", "router")
+    ]
+    records = runner.run_grouped(groups)
+    for graph, p, router in cases:
+        runs = {
+            mode: assemble_measurement(
+                graph, p, router, records[(graph.name, mode)]
             )
+            for mode in ("exact", "router")
+        }
         agree = [r.connected for r in runs["exact"].records] == [
             r.connected for r in runs["router"].records
         ]

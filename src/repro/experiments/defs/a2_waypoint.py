@@ -5,11 +5,15 @@ radius.  This ablation compares radius caps (1, 2, 4, unbounded) and
 the plain BFS baseline on both a supercritical mesh and a supercritical
 hypercube: small caps are cheap but give up on detours; the unbounded
 schedule is complete and still far cheaper than exhaustive BFS.
+
+Every trial of every (graph, router) pair is its own
+:class:`TrialSpec`; all routers of a graph share per-trial seeds, so
+the comparison stays draw-for-draw fair under any scheduling.
 """
 
 from __future__ import annotations
 
-from repro.core.complexity import measure_complexity
+from repro.core.complexity import assemble_measurement, complexity_specs
 from repro.experiments.registry import register
 from repro.experiments.results import ResultTable
 from repro.experiments.spec import ExperimentSpec, pick
@@ -18,6 +22,7 @@ from repro.graphs.mesh import Mesh
 from repro.routers.bfs import LocalBFSRouter
 from repro.routers.hybrid import HybridGreedyRouter
 from repro.routers.waypoint import WaypointRouter
+from repro.runtime import SerialRunner
 from repro.util.rng import derive_seed
 
 COLUMNS = [
@@ -30,7 +35,8 @@ COLUMNS = [
 ]
 
 
-def run(scale: str, seed: int) -> ResultTable:
+def run(scale: str, seed: int, runner=None) -> ResultTable:
+    runner = runner if runner is not None else SerialRunner()
     trials = pick(scale, tiny=8, small=20, medium=50)
     mesh_side = pick(scale, tiny=8, small=12, medium=16)
     cube_n = pick(scale, tiny=6, small=8, medium=10)
@@ -51,14 +57,26 @@ def run(scale: str, seed: int) -> ResultTable:
         "Ablation: waypoint segment radius caps vs exhaustive BFS",
         columns=COLUMNS,
     )
-    for graph, p in cases:
-        for router in routers:
-            m = measure_complexity(
+    groups = [
+        (
+            (graph.name, router.name),
+            complexity_specs(
                 graph,
                 p=p,
                 router=router,
                 trials=trials,
                 seed=derive_seed(seed, "a2", graph.name),
+                key=("a2", graph.name, router.name),
+            ),
+        )
+        for graph, p in cases
+        for router in routers
+    ]
+    records = runner.run_grouped(groups)
+    for graph, p in cases:
+        for router in routers:
+            m = assemble_measurement(
+                graph, p, router, records[(graph.name, router.name)]
             )
             if not m.connected_trials:
                 continue

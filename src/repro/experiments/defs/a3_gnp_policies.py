@@ -8,11 +8,15 @@ Three routers on identical ``G(n, c/n)`` draws:
 
 Expected: the unidirectional oracle matches the local router's order —
 oracle access alone buys nothing; bidirectional growth is the √n win.
+
+Every trial of every (n, router) pair is its own :class:`TrialSpec`;
+all three routers of a size share per-trial seeds — identical draws —
+so the comparison is a true ablation under any scheduling.
 """
 
 from __future__ import annotations
 
-from repro.core.complexity import measure_complexity
+from repro.core.complexity import assemble_measurement, complexity_specs
 from repro.experiments.registry import register
 from repro.experiments.results import ResultTable
 from repro.experiments.spec import ExperimentSpec, pick
@@ -23,6 +27,7 @@ from repro.routers.gnp import (
     GnpLocalRouter,
     GnpUnidirectionalRouter,
 )
+from repro.runtime import SerialRunner
 from repro.util.rng import derive_seed
 
 COLUMNS = ["n", "c", "router", "connected_trials", "mean_queries", "vs_local"]
@@ -32,7 +37,8 @@ def _factory(graph, p, seed):
     return GnpPercolation(n=graph.num_vertices(), p=p, seed=seed)
 
 
-def run(scale: str, seed: int) -> ResultTable:
+def run(scale: str, seed: int, runner=None) -> ResultTable:
+    runner = runner if runner is not None else SerialRunner()
     c = 3.0
     ns = pick(scale, tiny=[96], small=[256, 512], medium=[256, 512, 1024])
     trials = pick(scale, tiny=8, small=14, medium=24)
@@ -48,17 +54,29 @@ def run(scale: str, seed: int) -> ResultTable:
         GnpUnidirectionalRouter(),
         GnpBidirectionalRouter(),
     ]
-    for n in ns:
-        graph = CompleteGraph(n)
-        means = {}
-        for router in routers:
-            m = measure_complexity(
-                graph,
+    groups = [
+        (
+            (n, router.name),
+            complexity_specs(
+                CompleteGraph(n),
                 p=c / n,
                 router=router,
                 trials=trials,
                 seed=derive_seed(seed, "a3", n),  # same seeds per router
                 model_factory=_factory,
+                key=("a3", n, router.name),
+            ),
+        )
+        for n in ns
+        for router in routers
+    ]
+    records = runner.run_grouped(groups)
+    for n in ns:
+        graph = CompleteGraph(n)
+        means = {}
+        for router in routers:
+            m = assemble_measurement(
+                graph, c / n, router, records[(n, router.name)]
             )
             if not m.connected_trials:
                 continue

@@ -6,16 +6,21 @@ routing constant measured in E4.  This ablation routes between pairs at
 the same distance on a mesh and on a torus of the same size and
 compares queries-per-distance: the difference must be a small constant
 factor, i.e. boundary effects do not drive the linear law.
+
+Every trial of every (boundary, p, n) point is its own
+:class:`TrialSpec`; mesh and torus share per-trial seeds at equal
+``(p, n)``, keeping the comparison draw-for-draw coupled.
 """
 
 from __future__ import annotations
 
-from repro.core.complexity import measure_complexity
+from repro.core.complexity import assemble_measurement, complexity_specs
 from repro.experiments.registry import register
 from repro.experiments.results import ResultTable
 from repro.experiments.spec import ExperimentSpec, pick
 from repro.graphs.mesh import Mesh, Torus
 from repro.routers.waypoint import MeshWaypointRouter
+from repro.runtime import SerialRunner
 from repro.util.rng import derive_seed
 
 COLUMNS = [
@@ -28,7 +33,8 @@ COLUMNS = [
 ]
 
 
-def run(scale: str, seed: int) -> ResultTable:
+def run(scale: str, seed: int, runner=None) -> ResultTable:
+    runner = runner if runner is not None else SerialRunner()
     side = pick(scale, tiny=9, small=13, medium=19)
     distances = pick(scale, tiny=[4, 8], small=[4, 8, 12], medium=[6, 12, 18])
     ps = pick(scale, tiny=[0.7], small=[0.6, 0.8], medium=[0.55, 0.7, 0.85])
@@ -40,17 +46,34 @@ def run(scale: str, seed: int) -> ResultTable:
         "Ablation: open vs periodic boundary for mesh routing (Theorem 4)",
         columns=COLUMNS,
     )
+    groups = [
+        (
+            (boundary, p, n),
+            complexity_specs(
+                graph,
+                p=p,
+                router=MeshWaypointRouter(),
+                pair=Mesh.centered_pair_at_distance(graph, n),
+                trials=trials,
+                seed=derive_seed(seed, "a4", p, n),  # shared across kinds
+                key=("a4", boundary, p, n),
+            ),
+        )
+        for boundary, graph in graphs.items()
+        for p in ps
+        for n in distances
+    ]
+    records = runner.run_grouped(groups)
     for boundary, graph in graphs.items():
         for p in ps:
             for n in distances:
                 pair = Mesh.centered_pair_at_distance(graph, n)
-                m = measure_complexity(
+                m = assemble_measurement(
                     graph,
-                    p=p,
-                    router=MeshWaypointRouter(),
+                    p,
+                    MeshWaypointRouter(),
+                    records[(boundary, p, n)],
                     pair=pair,
-                    trials=trials,
-                    seed=derive_seed(seed, "a4", p, n),  # shared across kinds
                 )
                 if not m.connected_trials:
                     continue

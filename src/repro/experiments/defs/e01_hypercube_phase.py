@@ -12,22 +12,24 @@ Routers measured: the unbounded waypoint router (the paper's Theorem
 strategy).  Both are complete, so conditioning is exact and success is
 guaranteed; the complexity is the whole story.
 
-Each ``(n, α, router)`` sweep point is one :class:`TrialSpec`, so the
-sweep parallelises across workers while staying bit-identical to the
-serial run (every point carries its own derived seed).
+Every *trial* of every ``(n, α, router)`` sweep point is its own
+:class:`TrialSpec` (via :func:`repro.core.complexity.complexity_specs`),
+so even a single large-``n`` point fans out across workers while
+staying bit-identical to the serial run — each trial carries its own
+derived seed.
 """
 
 from __future__ import annotations
 
 from repro.analysis.phase_transition import sharpest_rise
-from repro.core.complexity import measure_complexity
+from repro.core.complexity import assemble_measurement, complexity_specs
 from repro.experiments.registry import register
 from repro.experiments.results import ResultTable
 from repro.experiments.spec import ExperimentSpec, pick
 from repro.graphs.hypercube import Hypercube
 from repro.routers.dfs import DirectedDFSRouter
 from repro.routers.waypoint import WaypointRouter
-from repro.runtime import SerialRunner, TrialSpec
+from repro.runtime import SerialRunner
 from repro.util.rng import derive_seed
 
 COLUMNS = [
@@ -40,25 +42,6 @@ COLUMNS = [
     "mean_queries",
     "frac_edges_probed",
 ]
-
-
-def _sweep_point(n: int, alpha: float, router_cls, trials: int, seed: int):
-    """Measure one (n, alpha, router) point; returns plain cells."""
-    m = measure_complexity(
-        Hypercube(n),
-        p=n**-alpha,
-        router=router_cls(),
-        trials=trials,
-        seed=seed,
-    )
-    if not m.connected_trials:
-        return {"connected_trials": 0}
-    summary = m.query_summary()
-    return {
-        "connected_trials": m.connected_trials,
-        "median_queries": summary.median,
-        "mean_queries": summary.mean,
-    }
 
 
 def run(scale: str, seed: int, runner=None) -> ResultTable:
@@ -80,31 +63,43 @@ def run(scale: str, seed: int, runner=None) -> ResultTable:
     router_classes = [WaypointRouter, DirectedDFSRouter]
     router_names = {cls: cls().name for cls in router_classes}
 
-    specs = [
-        TrialSpec(
-            key=("e1", n, alpha, router_names[router_cls]),
-            fn=_sweep_point,
-            args=(
-                n,
-                alpha,
-                router_cls,
-                trials,
-                derive_seed(seed, "e1", n, alpha, router_names[router_cls]),
-            ),
-        )
+    points = [
+        (n, alpha, router_cls)
         for n in ns
         for alpha in alphas
         for router_cls in router_classes
     ]
-    measured = {result.key: result.value for result in runner.run(specs)}
+    groups = [
+        (
+            (n, alpha, router_names[router_cls]),
+            complexity_specs(
+                Hypercube(n),
+                p=n**-alpha,
+                router=router_cls(),
+                trials=trials,
+                seed=derive_seed(
+                    seed, "e1", n, alpha, router_names[router_cls]
+                ),
+                key=("e1", n, alpha, router_names[router_cls]),
+            ),
+        )
+        for n, alpha, router_cls in points
+    ]
+    records = runner.run_grouped(groups)
 
     transition_data: dict[str, list[tuple[float, float]]] = {}
     for n in ns:
         edges = Hypercube(n).num_edges()
         for alpha in alphas:
-            for name in router_names.values():
-                cells = measured[("e1", n, alpha, name)]
-                if not cells["connected_trials"]:
+            for router_cls in router_classes:
+                name = router_names[router_cls]
+                m = assemble_measurement(
+                    Hypercube(n),
+                    n**-alpha,
+                    router_cls(),
+                    records[(n, alpha, name)],
+                )
+                if not m.connected_trials:
                     table.add_row(
                         n=n,
                         alpha=alpha,
@@ -116,15 +111,16 @@ def run(scale: str, seed: int, runner=None) -> ResultTable:
                         frac_edges_probed=float("nan"),
                     )
                     continue
-                frac = cells["median_queries"] / edges
+                summary = m.query_summary()
+                frac = summary.median / edges
                 table.add_row(
                     n=n,
                     alpha=alpha,
                     p=n**-alpha,
                     router=name,
-                    connected_trials=cells["connected_trials"],
-                    median_queries=cells["median_queries"],
-                    mean_queries=cells["mean_queries"],
+                    connected_trials=m.connected_trials,
+                    median_queries=summary.median,
+                    mean_queries=summary.mean,
                     frac_edges_probed=frac,
                 )
                 transition_data.setdefault(f"n={n},{name}", []).append(

@@ -8,12 +8,17 @@ Two artifacts per ``(n, α)`` with ``α > 1/2``:
    any local router needs to succeed with probability 1/2;
 2. measured CDF points of an actual local-router suite, which must stay
    below the certificate's bound curve.
+
+Work units: one :class:`TrialSpec` per certificate estimation (its own
+Monte-Carlo loop) plus one per routing *trial*, all submitted as a
+single batch — certificates and router measurements of different sweep
+points interleave freely across workers.
 """
 
 from __future__ import annotations
 
 from repro.analysis.path_counting import open_walk_probability_bound
-from repro.core.complexity import measure_complexity
+from repro.core.complexity import assemble_measurement, complexity_specs
 from repro.core.lower_bounds import ball, estimate_certificate
 from repro.experiments.registry import register
 from repro.experiments.results import ResultTable
@@ -21,6 +26,7 @@ from repro.experiments.spec import ExperimentSpec, pick
 from repro.graphs.hypercube import Hypercube
 from repro.routers.dfs import DirectedDFSRouter
 from repro.routers.waypoint import WaypointRouter
+from repro.runtime import SerialRunner, TrialSpec
 from repro.util.rng import derive_seed
 
 COLUMNS = [
@@ -38,7 +44,29 @@ COLUMNS = [
 ]
 
 
-def run(scale: str, seed: int) -> ResultTable:
+def _ball_radius(n: int, alpha: float) -> int:
+    # β < α - 1/2 ⇒ at these n the ball radius is 1–2.
+    return max(1, round(n ** (alpha - 0.5) / 2))
+
+
+def _certificate_point(n: int, alpha: float, cert_trials: int, seed: int):
+    """Estimate one (n, alpha) Lemma 5 certificate (its own MC loop)."""
+    graph = Hypercube(n)
+    source, target = graph.canonical_pair()
+    s = ball(graph, target, _ball_radius(n, alpha))
+    return estimate_certificate(
+        graph,
+        n**-alpha,
+        s=s,
+        source=source,
+        target=target,
+        trials=cert_trials,
+        seed=seed,
+    )
+
+
+def run(scale: str, seed: int, runner=None) -> ResultTable:
+    runner = runner if runner is not None else SerialRunner()
     ns = pick(scale, tiny=[6], small=[8, 10], medium=[10, 12])
     alphas = pick(scale, tiny=[0.7], small=[0.6, 0.7, 0.8], medium=[0.55, 0.65, 0.75, 0.85])
     cert_trials = pick(scale, tiny=80, small=300, medium=800)
@@ -51,32 +79,56 @@ def run(scale: str, seed: int) -> ResultTable:
     )
     routers = [WaypointRouter(), DirectedDFSRouter()]
 
+    groups = [
+        (
+            ("cert", n, alpha),
+            [
+                TrialSpec(
+                    key=("e2-cert", n, alpha),
+                    fn=_certificate_point,
+                    args=(
+                        n,
+                        alpha,
+                        cert_trials,
+                        derive_seed(seed, "e2-cert", n, alpha),
+                    ),
+                )
+            ],
+        )
+        for n in ns
+        for alpha in alphas
+    ] + [
+        (
+            ("route", n, alpha, router.name),
+            complexity_specs(
+                Hypercube(n),
+                p=n**-alpha,
+                router=router,
+                trials=route_trials,
+                seed=derive_seed(seed, "e2-route", n, alpha, router.name),
+                key=("e2-route", n, alpha, router.name),
+            ),
+        )
+        for n in ns
+        for alpha in alphas
+        for router in routers
+    ]
+    measured = runner.run_grouped(groups)
+
     for n in ns:
         graph = Hypercube(n)
-        source, target = graph.canonical_pair()
         for alpha in alphas:
             p = n**-alpha
-            # β < α - 1/2 ⇒ at these n the ball radius is 1–2.
-            radius = max(1, round(n ** (alpha - 0.5) / 2))
-            s = ball(graph, target, radius)
-            cert = estimate_certificate(
-                graph,
-                p,
-                s=s,
-                source=source,
-                target=target,
-                trials=cert_trials,
-                seed=derive_seed(seed, "e2-cert", n, alpha),
-            )
+            radius = _ball_radius(n, alpha)
+            cert = measured[("cert", n, alpha)][0]
             eta_theory = open_walk_probability_bound(n, radius, p)
             t_star = cert.min_queries_for(0.5)
             for router in routers:
-                m = measure_complexity(
+                m = assemble_measurement(
                     graph,
-                    p=p,
-                    router=router,
-                    trials=route_trials,
-                    seed=derive_seed(seed, "e2-route", n, alpha, router.name),
+                    p,
+                    router,
+                    measured[("route", n, alpha, router.name)],
                 )
                 # compare CDFs at t = half the certificate's floor
                 t = max(1, int(t_star / 2)) if t_star != float("inf") else 1

@@ -5,18 +5,22 @@ algorithm) between antipodal vertices and record (a) the success rate —
 predicted ``≥ 1 - exp(-c n^{1-α})`` — and (b) how the query count
 scales with ``n`` (a log-log fit; poly(n) means a modest, stable
 exponent rather than exponential growth).
+
+Every trial of every ``(α, n)`` point is its own :class:`TrialSpec`,
+so the sweep — including its largest ``n`` — fans out across workers.
 """
 
 from __future__ import annotations
 
 from repro.analysis.phase_transition import scaling_exponent
 from repro.analysis.theory import theorem3ii_success_probability
-from repro.core.complexity import measure_complexity
+from repro.core.complexity import assemble_measurement, complexity_specs
 from repro.experiments.registry import register
 from repro.experiments.results import ResultTable
 from repro.experiments.spec import ExperimentSpec, pick
 from repro.graphs.hypercube import Hypercube
 from repro.routers.waypoint import HypercubeWaypointRouter
+from repro.runtime import SerialRunner
 from repro.util.rng import derive_seed
 
 COLUMNS = [
@@ -31,7 +35,8 @@ COLUMNS = [
 ]
 
 
-def run(scale: str, seed: int) -> ResultTable:
+def run(scale: str, seed: int, runner=None) -> ResultTable:
+    runner = runner if runner is not None else SerialRunner()
     alphas = pick(scale, tiny=[0.3], small=[0.1, 0.2, 0.3, 0.4], medium=[0.1, 0.2, 0.3, 0.4])
     ns = pick(scale, tiny=[6, 8], small=[8, 10, 12], medium=[8, 10, 12, 14])
     trials = pick(scale, tiny=6, small=16, medium=40)
@@ -41,19 +46,29 @@ def run(scale: str, seed: int) -> ResultTable:
         "Hypercube waypoint routing for alpha < 1/2 (poly(n) regime)",
         columns=COLUMNS,
     )
+    groups = [
+        (
+            (alpha, n),
+            complexity_specs(
+                Hypercube(n),
+                p=n**-alpha,
+                router=HypercubeWaypointRouter(alpha=alpha),
+                trials=trials,
+                seed=derive_seed(seed, "e3", alpha, n),
+                key=("e3", alpha, n),
+            ),
+        )
+        for alpha in alphas
+        for n in ns
+    ]
+    records = runner.run_grouped(groups)
     for alpha in alphas:
         per_n = []
         for n in ns:
             graph = Hypercube(n)
             p = n**-alpha
             router = HypercubeWaypointRouter(alpha=alpha)
-            m = measure_complexity(
-                graph,
-                p=p,
-                router=router,
-                trials=trials,
-                seed=derive_seed(seed, "e3", alpha, n),
-            )
+            m = assemble_measurement(graph, p, router, records[(alpha, n)])
             if not m.connected_trials:
                 continue
             summary = (

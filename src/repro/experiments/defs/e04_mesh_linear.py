@@ -5,18 +5,23 @@ pairs at mesh distance ``n`` inside a cube whose side exceeds ``n``.
 The expected probe count must grow *linearly* in ``n`` with a
 ``p``-dependent constant — verified by a log-log exponent ≈ 1 and a
 linear fit with high r².
+
+Every trial of every ``(d, p, n)`` point is its own :class:`TrialSpec`,
+so the whole sweep — distances, retention levels and dimensions — runs
+as one flat batch across workers.
 """
 
 from __future__ import annotations
 
 from repro.analysis.phase_transition import scaling_exponent
-from repro.core.complexity import measure_complexity
+from repro.core.complexity import assemble_measurement, complexity_specs
 from repro.experiments.registry import register
 from repro.experiments.results import ResultTable
 from repro.experiments.spec import ExperimentSpec, pick
 from repro.graphs.mesh import Mesh
 from repro.percolation.thresholds import mesh_critical_probability
 from repro.routers.waypoint import MeshWaypointRouter
+from repro.runtime import SerialRunner
 from repro.util.rng import derive_seed
 from repro.util.stats import linear_fit
 
@@ -31,7 +36,18 @@ COLUMNS = [
 ]
 
 
-def run(scale: str, seed: int) -> ResultTable:
+def _p_levels(scale: str, d: int) -> list[float]:
+    pc = mesh_critical_probability(d)
+    return pick(
+        scale,
+        tiny=[0.8],
+        small=[round(pc + 0.12, 3), 0.8],
+        medium=[round(pc + 0.08, 3), round(pc + 0.2, 3), 0.8],
+    )
+
+
+def run(scale: str, seed: int, runner=None) -> ResultTable:
+    runner = runner if runner is not None else SerialRunner()
     dims = pick(scale, tiny=[2], small=[2, 3], medium=[2, 3])
     distances = pick(
         scale,
@@ -47,27 +63,43 @@ def run(scale: str, seed: int) -> ResultTable:
         "Mesh routing complexity vs distance for p > p_c (expect O(n))",
         columns=COLUMNS,
     )
+
+    def geometry(d: int, n: int):
+        graph = Mesh(d, n // d + margin)
+        return graph, graph.centered_pair_at_distance(n)
+
+    groups = []
     for d in dims:
-        pc = mesh_critical_probability(d)
-        ps = pick(
-            scale,
-            tiny=[0.8],
-            small=[round(pc + 0.12, 3), 0.8],
-            medium=[round(pc + 0.08, 3), round(pc + 0.2, 3), 0.8],
-        )
-        for p in ps:
+        for p in _p_levels(scale, d):
+            for n in distances:
+                graph, pair = geometry(d, n)
+                groups.append(
+                    (
+                        (d, p, n),
+                        complexity_specs(
+                            graph,
+                            p=p,
+                            router=MeshWaypointRouter(),
+                            pair=pair,
+                            trials=trials,
+                            seed=derive_seed(seed, "e4", d, p, n),
+                            key=("e4", d, p, n),
+                        ),
+                    )
+                )
+    records = runner.run_grouped(groups)
+
+    for d in dims:
+        for p in _p_levels(scale, d):
             points = []
             for n in distances:
-                side = n // d + margin
-                graph = Mesh(d, side)
-                pair = graph.centered_pair_at_distance(n)
-                m = measure_complexity(
+                graph, pair = geometry(d, n)
+                m = assemble_measurement(
                     graph,
-                    p=p,
-                    router=MeshWaypointRouter(),
+                    p,
+                    MeshWaypointRouter(),
+                    records[(d, p, n)],
                     pair=pair,
-                    trials=trials,
-                    seed=derive_seed(seed, "e4", d, p, n),
                 )
                 if not m.connected_trials:
                     continue

@@ -6,11 +6,13 @@ Empirical root-to-root connection probability vs the *exact* recursion
 into a step at ``1/√2 ≈ 0.7071``.
 
 The empirical curve is computed via **coupled thresholds**
-(:func:`repro.percolation.coupled.threshold_sample`): one union–find
+(:func:`repro.percolation.coupled.pair_threshold`): one union–find
 sweep per trial yields the exact ``p`` at which the roots connect, so a
 single pass evaluates ``Pr[x ~ y in TT_{n,p}]`` at *every* ``p``
 simultaneously — equivalent to (and much cheaper than) per-``p``
-Monte-Carlo with the same hash stream.
+Monte-Carlo with the same hash stream.  Each union–find sweep is one
+:class:`TrialSpec`, using the same per-trial seed derivation as
+``threshold_sample``, so depths fan out trial by trial.
 """
 
 from __future__ import annotations
@@ -22,13 +24,20 @@ from repro.experiments.registry import register
 from repro.experiments.results import ResultTable
 from repro.experiments.spec import ExperimentSpec, pick
 from repro.graphs.double_tree import DoubleBinaryTree
-from repro.percolation.coupled import threshold_sample
+from repro.percolation.coupled import pair_threshold
+from repro.runtime import SerialRunner, TrialSpec
 from repro.util.rng import derive_seed
 
 COLUMNS = ["depth", "p", "pr_empirical", "pr_exact", "abs_error", "trials"]
 
 
-def run(scale: str, seed: int) -> ResultTable:
+def _root_threshold(graph: DoubleBinaryTree, trial_seed: int) -> float:
+    """One coupled union-find sweep: exact root-connection p."""
+    return pair_threshold(graph, trial_seed, *graph.roots())
+
+
+def run(scale: str, seed: int, runner=None) -> ResultTable:
+    runner = runner if runner is not None else SerialRunner()
     depths = pick(scale, tiny=[3, 5], small=[4, 7, 10], medium=[4, 8, 12, 14])
     ps = pick(
         scale,
@@ -44,15 +53,29 @@ def run(scale: str, seed: int) -> ResultTable:
         "(threshold 1/sqrt(2) ~ 0.7071)",
         columns=COLUMNS,
     )
-    for depth in depths:
-        graph = DoubleBinaryTree(depth)
-        rows = threshold_sample(
-            graph,
-            trials=trials,
-            seed=derive_seed(seed, "e6", depth),
-            pair=graph.roots(),
+    groups = [
+        (
+            depth,
+            [
+                # Same per-trial derivation as threshold_sample, so the
+                # recorded curves are bit-identical to the pre-runner code.
+                TrialSpec(
+                    key=("e6", depth, t),
+                    fn=_root_threshold,
+                    args=(
+                        DoubleBinaryTree(depth),
+                        derive_seed(derive_seed(seed, "e6", depth), "coupled", t),
+                    ),
+                )
+                for t in range(trials)
+            ],
         )
-        thresholds = sorted(r["pair_threshold"] for r in rows)
+        for depth in depths
+    ]
+    sampled = runner.run_grouped(groups)
+
+    for depth in depths:
+        thresholds = sorted(sampled[depth])
         for p in ps:
             empirical = sum(1 for t in thresholds if t < p) / trials
             exact = double_tree_connection_probability(p, depth)

@@ -5,6 +5,10 @@ Measure complete local routers (directed DFS, BFS) between the roots of
 Theorem 7 predicts the query count grows like ``p^{-n}``: we fit
 ``log(queries)`` against ``n·log(1/p)`` (slope ≈ 1 ⇒ the base matches)
 and overlay the Lemma 5 bound with its exact ``η = p^n``.
+
+Every trial of every ``(p, depth, router)`` point is its own
+:class:`TrialSpec` — the deepest trees, where a single conditioned
+routing attempt costs ``≈ p^{-n}`` probes, spread across workers.
 """
 
 from __future__ import annotations
@@ -12,13 +16,14 @@ from __future__ import annotations
 import math
 
 from repro.analysis.theory import theorem7_bound
-from repro.core.complexity import measure_complexity
+from repro.core.complexity import assemble_measurement, complexity_specs
 from repro.experiments.registry import register
 from repro.experiments.results import ResultTable
 from repro.experiments.spec import ExperimentSpec, pick
 from repro.graphs.double_tree import DoubleBinaryTree
 from repro.routers.bfs import LocalBFSRouter
 from repro.routers.dfs import DirectedDFSRouter
+from repro.runtime import SerialRunner
 from repro.util.rng import derive_seed
 from repro.util.stats import linear_fit
 
@@ -33,7 +38,8 @@ COLUMNS = [
 ]
 
 
-def run(scale: str, seed: int) -> ResultTable:
+def run(scale: str, seed: int, runner=None) -> ResultTable:
+    runner = runner if runner is not None else SerialRunner()
     ps = pick(scale, tiny=[0.8], small=[0.75, 0.85], medium=[0.75, 0.8, 0.85])
     depths = pick(
         scale, tiny=[3, 5], small=[4, 6, 8, 10], medium=[4, 6, 8, 10, 12]
@@ -46,19 +52,36 @@ def run(scale: str, seed: int) -> ResultTable:
         columns=COLUMNS,
     )
     routers = [DirectedDFSRouter(), LocalBFSRouter()]
+    groups = [
+        (
+            (p, depth, router.name),
+            complexity_specs(
+                DoubleBinaryTree(depth),
+                p=p,
+                router=router,
+                pair=DoubleBinaryTree(depth).roots(),
+                trials=trials,
+                seed=derive_seed(seed, "e7", p, depth, router.name),
+                key=("e7", p, depth, router.name),
+            ),
+        )
+        for p in ps
+        for depth in depths
+        for router in routers
+    ]
+    records = runner.run_grouped(groups)
     for p in ps:
         fits: dict[str, list[tuple[float, float]]] = {}
         for depth in depths:
             graph = DoubleBinaryTree(depth)
             pair = graph.roots()
             for router in routers:
-                m = measure_complexity(
+                m = assemble_measurement(
                     graph,
-                    p=p,
-                    router=router,
+                    p,
+                    router,
+                    records[(p, depth, router.name)],
                     pair=pair,
-                    trials=trials,
-                    seed=derive_seed(seed, "e7", p, depth, router.name),
                 )
                 if not m.connected_trials:
                     continue

@@ -4,18 +4,22 @@ The mirror-pair oracle router's average complexity vs depth, for
 ``p > 1/√2``.  Expect linear growth (slope ≈ 1 in log-log), success
 probability bounded away from zero independent of depth, and — combined
 with E7 — an *exponential local-vs-oracle gap* on the same graph.
+
+Every trial of every ``(p, depth)`` point is its own
+:class:`TrialSpec`, so the sweep fans out across workers.
 """
 
 from __future__ import annotations
 
 from repro.analysis.phase_transition import scaling_exponent
 from repro.analysis.theory import double_tree_connection_probability
-from repro.core.complexity import measure_complexity
+from repro.core.complexity import assemble_measurement, complexity_specs
 from repro.experiments.registry import register
 from repro.experiments.results import ResultTable
 from repro.experiments.spec import ExperimentSpec, pick
 from repro.graphs.double_tree import DoubleBinaryTree
 from repro.routers.tree import MirrorPairOracleRouter
+from repro.runtime import SerialRunner
 from repro.util.rng import derive_seed
 
 COLUMNS = [
@@ -29,7 +33,8 @@ COLUMNS = [
 ]
 
 
-def run(scale: str, seed: int) -> ResultTable:
+def run(scale: str, seed: int, runner=None) -> ResultTable:
+    runner = runner if runner is not None else SerialRunner()
     ps = pick(scale, tiny=[0.85], small=[0.75, 0.85, 0.95], medium=[0.72, 0.8, 0.9])
     depths = pick(
         scale, tiny=[4, 8], small=[4, 8, 12], medium=[4, 8, 12, 16]
@@ -41,17 +46,33 @@ def run(scale: str, seed: int) -> ResultTable:
         "Double-tree oracle (mirror-pair) routing vs depth (expect O(n))",
         columns=COLUMNS,
     )
+    groups = [
+        (
+            (p, depth),
+            complexity_specs(
+                DoubleBinaryTree(depth),
+                p=p,
+                router=MirrorPairOracleRouter(),
+                pair=DoubleBinaryTree(depth).roots(),
+                trials=trials,
+                seed=derive_seed(seed, "e8", p, depth),
+                key=("e8", p, depth),
+            ),
+        )
+        for p in ps
+        for depth in depths
+    ]
+    records = runner.run_grouped(groups)
     for p in ps:
         points = []
         for depth in depths:
             graph = DoubleBinaryTree(depth)
-            m = measure_complexity(
+            m = assemble_measurement(
                 graph,
-                p=p,
-                router=MirrorPairOracleRouter(),
+                p,
+                MirrorPairOracleRouter(),
+                records[(p, depth)],
                 pair=graph.roots(),
-                trials=trials,
-                seed=derive_seed(seed, "e8", p, depth),
             )
             if not m.connected_trials or not m.successes():
                 continue

@@ -4,18 +4,24 @@ Run the natural local router for ``c ∈ {2, 3}`` over a sweep of ``n``;
 ``queries/n²`` should be roughly flat (the Θ(n²) law) and the log-log
 exponent ≈ 2.  The proof's probability bound
 ``Pr[X < k] = O(√k / n)`` is tabulated alongside at ``k = mean``.
+
+Every trial of every ``(c, n)`` point is its own :class:`TrialSpec`,
+so the largest ``n`` — a Θ(n²) router run per trial — fans out across
+workers.
 """
 
 from __future__ import annotations
 
 from repro.analysis.phase_transition import scaling_exponent
 from repro.analysis.theory import gnp_giant_fraction, gnp_local_lower_bound
-from repro.core.complexity import measure_complexity
+from repro.core.complexity import assemble_measurement, complexity_specs
 from repro.experiments.registry import register
 from repro.experiments.results import ResultTable
 from repro.experiments.spec import ExperimentSpec, pick
+from repro.graphs.complete import CompleteGraph
 from repro.percolation.models import GnpPercolation
 from repro.routers.gnp import GnpLocalRouter
+from repro.runtime import SerialRunner
 from repro.util.rng import derive_seed
 
 COLUMNS = [
@@ -32,7 +38,8 @@ def _factory(graph, p, seed):
     return GnpPercolation(n=graph.num_vertices(), p=p, seed=seed)
 
 
-def run(scale: str, seed: int) -> ResultTable:
+def run(scale: str, seed: int, runner=None) -> ResultTable:
+    runner = runner if runner is not None else SerialRunner()
     cs = pick(scale, tiny=[3.0], small=[2.0, 3.0], medium=[2.0, 3.0])
     ns = pick(
         scale,
@@ -47,19 +54,29 @@ def run(scale: str, seed: int) -> ResultTable:
         "G(n, c/n) local routing cost vs n (expect Theta(n^2))",
         columns=COLUMNS,
     )
-    for c in cs:
-        points = []
-        for n in ns:
-            from repro.graphs.complete import CompleteGraph
-
-            graph = CompleteGraph(n)
-            m = measure_complexity(
-                graph,
+    groups = [
+        (
+            (c, n),
+            complexity_specs(
+                CompleteGraph(n),
                 p=c / n,
                 router=GnpLocalRouter(),
                 trials=trials,
                 seed=derive_seed(seed, "e9", c, n),
                 model_factory=_factory,
+                key=("e9", c, n),
+            ),
+        )
+        for c in cs
+        for n in ns
+    ]
+    records = runner.run_grouped(groups)
+    for c in cs:
+        points = []
+        for n in ns:
+            graph = CompleteGraph(n)
+            m = assemble_measurement(
+                graph, c / n, GnpLocalRouter(), records[(c, n)]
             )
             if not m.connected_trials:
                 continue

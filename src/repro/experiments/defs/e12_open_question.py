@@ -10,11 +10,15 @@ transition), using the complete directed-DFS router.
 
 This does not settle the question — it charts where the two empirical
 transitions sit at accessible sizes.
+
+Work units: one :class:`TrialSpec` per family for the structural scan
+(one multi-``p`` sweep over shared draws) plus one per routing trial of
+every ``(family, p)`` point, all in a single batch across workers.
 """
 
 from __future__ import annotations
 
-from repro.core.complexity import measure_complexity
+from repro.core.complexity import assemble_measurement, complexity_specs
 from repro.experiments.registry import register
 from repro.experiments.results import ResultTable
 from repro.experiments.spec import ExperimentSpec, pick
@@ -24,6 +28,7 @@ from repro.graphs.debruijn import DeBruijn
 from repro.graphs.shuffle_exchange import ShuffleExchange
 from repro.percolation.giant import giant_fraction_scan
 from repro.routers.bfs import LocalBFSRouter
+from repro.runtime import SerialRunner, TrialSpec
 from repro.util.rng import derive_seed
 
 COLUMNS = [
@@ -36,7 +41,8 @@ COLUMNS = [
 ]
 
 
-def run(scale: str, seed: int) -> ResultTable:
+def run(scale: str, seed: int, runner=None) -> ResultTable:
+    runner = runner if runner is not None else SerialRunner()
     order = pick(scale, tiny=4, small=6, medium=8)
     trials = pick(scale, tiny=5, small=10, medium=20)
     ps = pick(
@@ -61,21 +67,46 @@ def run(scale: str, seed: int) -> ResultTable:
         columns=COLUMNS,
     )
     router = LocalBFSRouter()
-    for graph in families:
-        edges = graph.num_edges()
-        giant_rows = giant_fraction_scan(
-            graph,
-            ps=ps,
-            trials=trials,
-            seed=derive_seed(seed, "e12-giant", graph.name),
+    groups = [
+        (
+            ("giant", graph.name),
+            [
+                TrialSpec(
+                    key=("e12-giant", graph.name),
+                    fn=giant_fraction_scan,
+                    args=(graph,),
+                    kwargs={
+                        "ps": tuple(ps),
+                        "trials": trials,
+                        "seed": derive_seed(seed, "e12-giant", graph.name),
+                    },
+                )
+            ],
         )
-        for p, giant_row in zip(ps, giant_rows):
-            m = measure_complexity(
+        for graph in families
+    ] + [
+        (
+            ("route", graph.name, p),
+            complexity_specs(
                 graph,
                 p=p,
                 router=router,
                 trials=trials,
                 seed=derive_seed(seed, "e12-route", graph.name, p),
+                key=("e12-route", graph.name, p),
+            ),
+        )
+        for graph in families
+        for p in ps
+    ]
+    measured = runner.run_grouped(groups)
+
+    for graph in families:
+        edges = graph.num_edges()
+        giant_rows = measured[("giant", graph.name)][0]
+        for p, giant_row in zip(ps, giant_rows):
+            m = assemble_measurement(
+                graph, p, router, measured[("route", graph.name, p)]
             )
             frac = (
                 m.query_summary().median / edges

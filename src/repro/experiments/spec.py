@@ -1,22 +1,21 @@
 """Experiment specifications and scale presets.
 
 Every experiment (see the registry in :mod:`repro.experiments.registry`
-for the index) is a pure function ``run(scale, seed[, runner]) →
+for the index) is a pure function ``run(scale, seed, runner=...) →
 ResultTable`` plus metadata tying it back to the paper.  Scales keep one
 code path for tests (``tiny``), benchmarks (``small``) and the
 EXPERIMENTS.md record (``medium``).
 
-Definitions that express their trial sweeps through
-:mod:`repro.runtime` accept a third ``runner`` keyword; the spec
-detects this from the signature and threads the caller's
-:class:`~repro.runtime.TrialRunner` through, so ``repro run E1
---workers 8`` parallelises exactly the experiments that opted in while
-legacy two-argument definitions keep working unchanged.
+Every definition expresses its trial sweeps through
+:mod:`repro.runtime`: the spec threads the caller's
+:class:`~repro.runtime.TrialRunner` into ``run``, so ``repro run E1
+--workers 8`` parallelises any experiment in the suite.  (The legacy
+two-argument ``run(scale, seed)`` signature was removed once the last
+definition migrated.)
 """
 
 from __future__ import annotations
 
-import inspect
 from collections.abc import Callable
 from dataclasses import dataclass, field
 
@@ -39,15 +38,6 @@ def pick(scale: str, *, tiny, small, medium):
     return {"tiny": tiny, "small": small, "medium": medium}[scale]
 
 
-def _accepts_runner(run: Callable) -> bool:
-    """True if ``run`` takes a ``runner`` argument (new-style definition)."""
-    try:
-        parameters = inspect.signature(run).parameters
-    except (TypeError, ValueError):  # pragma: no cover - exotic callables
-        return False
-    return "runner" in parameters
-
-
 @dataclass(frozen=True)
 class ExperimentSpec:
     """Metadata + runner for one experiment."""
@@ -58,11 +48,6 @@ class ExperimentSpec:
     reference: str  # theorem/lemma/section in the paper
     run: Callable[..., ResultTable] = field(repr=False)
 
-    @property
-    def supports_runner(self) -> bool:
-        """True when ``run`` routes its trials through a TrialRunner."""
-        return _accepts_runner(self.run)
-
     def __call__(
         self, scale: str = "small", seed: int = 0, runner=None
     ) -> ResultTable:
@@ -70,21 +55,17 @@ class ExperimentSpec:
 
         ``runner`` is a :class:`repro.runtime.TrialRunner` deciding how
         the experiment's trial sweep executes (``None`` → resolve from
-        ``$REPRO_WORKERS``, defaulting to serial).  Experiments whose
-        ``run`` has no ``runner`` parameter ignore it.
+        ``$REPRO_WORKERS``, defaulting to serial).
         """
         if scale not in SCALES:
             raise ValueError(
                 f"unknown scale {scale!r}; expected one of {SCALES}"
             )
-        if self.supports_runner:
-            if runner is None:
-                from repro.runtime import make_runner
+        if runner is None:
+            from repro.runtime import make_runner
 
-                runner = make_runner()
-            table = self.run(scale, seed, runner=runner)
-        else:
-            table = self.run(scale, seed)
+            runner = make_runner()
+        table = self.run(scale, seed, runner=runner)
         if not isinstance(table, ResultTable):
             raise TypeError(
                 f"experiment {self.experiment_id} returned {type(table)!r}"

@@ -2,11 +2,30 @@
 
 Every experiment estimates its curves by averaging many independent
 trials.  This package factors the *execution* of those trials out of the
-experiment definitions: a definition emits a list of
+experiment definitions: a definition emits
 :class:`~repro.runtime.trial.TrialSpec` work units and hands them to a
 :class:`~repro.runtime.runner.TrialRunner`, which returns one
 :class:`~repro.runtime.trial.TrialResult` per spec **in submission
 order**, however the work was actually scheduled.
+
+Per-trial granularity
+---------------------
+
+The schedulable unit is a **single Monte-Carlo trial** — one
+percolation draw plus (at most) one routing attempt
+(:func:`repro.core.complexity.run_trial`), or one union–find /
+structural sweep.  Every definition in the registry emits its trials
+through :meth:`TrialRunner.run_grouped`: all per-trial specs of all
+sweep points go into one flat batch, the pool chunks that batch across
+workers, and the values come back re-grouped per sweep point, in trial
+order, ready for :func:`repro.core.complexity.assemble_measurement`.
+Two consequences:
+
+* a *single* large sweep point — the large-``n`` regime the paper's
+  Theorem 1/Lemma 5 bounds target, where one point dominates the wall
+  clock — fans out across the whole pool instead of serialising;
+* ``--workers N`` covers the entire suite; there is no legacy
+  ``run(scale, seed)`` path left.
 
 Seed-derivation contract
 ------------------------
@@ -15,19 +34,24 @@ Parallel execution changes *when* and *where* a trial runs, never *what*
 it computes.  That guarantee rests on three rules:
 
 1. Every random decision inside a trial is a pure function of the seed
-   carried by its :class:`TrialSpec` (derived up front from the master
-   seed via :func:`repro.util.rng.derive_seed` and the trial's labels),
-   never of global RNG state, scheduling order, or process identity.
+   carried by its :class:`TrialSpec` — derived up front as
+   ``derive_seed(master, experiment, *sweep_point_labels)`` then
+   ``derive_seed(point_seed, "complexity", trial)`` (see
+   :func:`repro.util.rng.derive_seed`) — never of global RNG state,
+   scheduling order, or process identity.
 2. A spec's ``fn`` must be an importable module-level callable and its
    arguments plain picklable values, so the same work unit can execute
    in any process.
-3. Runners return results in submission order, so downstream assembly
-   (``ResultTable`` rows, fitted notes) is independent of completion
+3. Runners return results in submission order (``run_grouped``
+   re-slices by group, preserving each group's trial order), so
+   downstream assembly (``ComplexityMeasurement`` record streams,
+   ``ResultTable`` rows, fitted notes) is independent of completion
    order.
 
 Together these make ``SerialRunner`` and ``ProcessPoolRunner`` produce
-**identical** ``ResultTable``\\ s for the same master seed — the
-serial-vs-parallel determinism tests in ``tests/runtime/`` enforce it.
+**identical** ``ResultTable``\\ s for the same master seed — enforced
+for every registered experiment by ``tests/experiments/test_parity.py``
+and at the kernel level by ``tests/core/test_trial_split.py``.
 
 Choosing a runner
 -----------------

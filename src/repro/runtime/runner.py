@@ -7,6 +7,12 @@ schedules *chunks* of consecutive specs onto workers to amortise IPC,
 then reassembles results by chunk offset — so completion order never
 leaks into the output (see the package docstring for the full
 determinism contract).
+
+Experiments whose sweeps consist of many independent measurements use
+:meth:`TrialRunner.run_grouped` to flatten all their per-trial specs
+into **one** batch: a single sweep point's trials then interleave with
+every other point's across the pool, instead of parallelism stopping at
+the point boundary.
 """
 
 from __future__ import annotations
@@ -82,6 +88,34 @@ class TrialRunner(ABC):
         """Like :meth:`run` but unwraps each result's ``value``."""
         return [result.value for result in self.run(specs)]
 
+    def run_grouped(
+        self, groups: Iterable[tuple[Any, Iterable[TrialSpec]]]
+    ) -> dict[Any, list[Any]]:
+        """Execute labelled spec groups as one flat batch; re-group values.
+
+        ``groups`` is an iterable of ``(label, specs)`` pairs — e.g. one
+        group of per-trial specs per sweep point.  All specs run in a
+        single :meth:`run` batch (so chunking spreads *within* a group
+        across workers, not just across groups), and the values come
+        back as ``{label: [value, ...]}`` with each group's values in
+        its own submission order.  Labels must be hashable and unique.
+        """
+        labels: list[Any] = []
+        bounds: list[tuple[int, int]] = []
+        flat: list[TrialSpec] = []
+        for label, specs in groups:
+            batch = list(specs)
+            labels.append(label)
+            bounds.append((len(flat), len(flat) + len(batch)))
+            flat.extend(batch)
+        if len(set(labels)) != len(labels):
+            raise ValueError("group labels must be unique")
+        values = self.run_values(flat)
+        return {
+            label: values[start:stop]
+            for label, (start, stop) in zip(labels, bounds)
+        }
+
 
 class SerialRunner(TrialRunner):
     """Run trials one after another in the calling process."""
@@ -139,15 +173,17 @@ class ProcessPoolRunner(TrialRunner):
         specs = list(specs)
         if not specs:
             return []
-        if self.workers == 1 or len(specs) == 1:
-            # No parallelism to extract; skip pool start-up entirely.
-            return [spec.execute() for spec in specs]
-
         size = self._pick_chunksize(len(specs))
         chunks = [
             (start, specs[start : start + size])
             for start in range(0, len(specs), size)
         ]
+        if self.workers == 1 or len(chunks) == 1:
+            # A single worker, or a batch that folds into one chunk
+            # (e.g. fewer trials than an explicit chunksize): there is
+            # no parallelism to extract, so skip pool start-up entirely
+            # rather than shipping the lone chunk to a worker.
+            return [spec.execute() for spec in specs]
         results: list[TrialResult | None] = [None] * len(specs)
         pool_workers = min(self.workers, len(chunks))
         try:

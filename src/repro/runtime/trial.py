@@ -1,9 +1,10 @@
 """The work-unit protocol between experiment definitions and runners.
 
 A :class:`TrialSpec` is one self-contained unit of Monte-Carlo work —
-typically a full ``measure_complexity`` sweep point or a structural
-scan, carrying its own derived seed.  Executing it yields a
-:class:`TrialResult` pairing the spec's ``key`` with the computed value.
+typically a *single trial* of a ``measure_complexity`` sweep point (one
+percolation draw + routing attempt) or one structural sweep, carrying
+its own derived seed.  Executing it yields a :class:`TrialResult`
+pairing the spec's ``key`` with the computed value.
 
 Specs cross process boundaries, so ``fn`` must be a module-level
 callable and ``args``/``kwargs`` plain picklable data (ints, floats,

@@ -1,0 +1,164 @@
+"""Golden tests for the measure_complexity spec/kernel/assembly split.
+
+``_reference_measure`` below is a frozen copy of the pre-split inline
+loop (the seed-state behaviour).  The per-trial pipeline —
+:func:`complexity_specs` → :func:`run_trial` → a runner →
+:func:`assemble_measurement` — must reproduce its exact
+:class:`TrialRecord` stream, field for field, for every conditioning
+mode, with budgets, and under the early-stopping cut.
+"""
+
+import pytest
+
+from repro.core.complexity import (
+    ComplexityMeasurement,
+    TrialRecord,
+    assemble_measurement,
+    complexity_specs,
+    measure_complexity,
+    run_trial,
+)
+from repro.graphs.hypercube import Hypercube
+from repro.graphs.mesh import Mesh
+from repro.percolation.cluster import connected
+from repro.percolation.models import TablePercolation
+from repro.routers.bfs import LocalBFSRouter
+from repro.routers.waypoint import MeshWaypointRouter
+from repro.runtime import ProcessPoolRunner, SerialRunner
+from repro.util.rng import derive_seed
+
+
+def _reference_measure(
+    graph,
+    p,
+    router,
+    pair=None,
+    trials=20,
+    seed=0,
+    budget=None,
+    conditioning="exact",
+    max_conditioned=None,
+):
+    """The pre-split implementation, kept verbatim as the golden oracle."""
+    source, target = pair if pair is not None else graph.canonical_pair()
+    measurement = ComplexityMeasurement(
+        graph_name=graph.name,
+        router_name=router.name,
+        p=p,
+        source=source,
+        target=target,
+        budget=budget,
+    )
+    attempted = 0
+    for t in range(trials):
+        trial_seed = derive_seed(seed, "complexity", t)
+        model = TablePercolation(graph, p, trial_seed)
+        if conditioning == "exact":
+            is_conn = connected(model, source, target)
+            result = None
+            if is_conn:
+                result = router.route(model, source, target, budget=budget)
+                attempted += 1
+        elif conditioning == "router":
+            result = router.route(model, source, target, budget=None)
+            is_conn = result.success
+            attempted += 1
+        else:  # "none"
+            result = router.route(model, source, target, budget=budget)
+            is_conn = result.success
+            attempted += 1
+        measurement.records.append(
+            TrialRecord(
+                trial=t, seed=trial_seed, connected=is_conn, result=result
+            )
+        )
+        if max_conditioned is not None and attempted >= max_conditioned:
+            break
+    return measurement
+
+
+def _assert_same_stream(golden, measured):
+    assert len(golden.records) == len(measured.records)
+    assert repr(golden.records) == repr(measured.records)
+    for a, b in zip(golden.records, measured.records):
+        assert (a.trial, a.seed, a.connected) == (b.trial, b.seed, b.connected)
+    assert golden.graph_name == measured.graph_name
+    assert golden.router_name == measured.router_name
+    assert golden.budget == measured.budget
+    assert (golden.source, golden.target) == (measured.source, measured.target)
+
+
+CASES = [
+    dict(conditioning="exact"),
+    dict(conditioning="exact", budget=5),
+    dict(conditioning="router"),
+    dict(conditioning="none", budget=8),
+]
+
+
+@pytest.mark.parametrize("kwargs", CASES)
+def test_specs_reproduce_reference_stream(kwargs):
+    graph = Hypercube(4)
+    router = LocalBFSRouter()
+    golden = _reference_measure(
+        graph, 0.55, router, trials=25, seed=13, **kwargs
+    )
+    specs = complexity_specs(
+        graph, 0.55, router, trials=25, seed=13, **kwargs
+    )
+    records = SerialRunner().run_values(specs)
+    measured = assemble_measurement(
+        graph, 0.55, router, records, **{
+            k: v for k, v in kwargs.items() if k == "budget"
+        }
+    )
+    _assert_same_stream(golden, measured)
+
+
+@pytest.mark.parametrize("kwargs", CASES)
+def test_wrapper_matches_reference(kwargs):
+    graph = Hypercube(4)
+    router = LocalBFSRouter()
+    golden = _reference_measure(
+        graph, 0.55, router, trials=25, seed=13, **kwargs
+    )
+    for runner in (None, SerialRunner(), ProcessPoolRunner(workers=2)):
+        measured = measure_complexity(
+            graph, 0.55, router, trials=25, seed=13, runner=runner, **kwargs
+        )
+        _assert_same_stream(golden, measured)
+
+
+def test_max_conditioned_cut_matches_reference():
+    graph = Mesh(2, 6)
+    router = MeshWaypointRouter()
+    golden = _reference_measure(
+        graph, 0.7, router, trials=200, seed=3, max_conditioned=7
+    )
+    lazy = measure_complexity(
+        graph, 0.7, router, trials=200, seed=3, max_conditioned=7
+    )
+    _assert_same_stream(golden, lazy)
+    # With a runner every trial is scheduled up front; the assembled
+    # stream must still be the identical truncated prefix.
+    pooled = measure_complexity(
+        graph,
+        0.7,
+        router,
+        trials=200,
+        seed=3,
+        max_conditioned=7,
+        runner=ProcessPoolRunner(workers=2),
+    )
+    _assert_same_stream(golden, pooled)
+
+
+def test_run_trial_is_pure():
+    graph = Hypercube(4)
+    router = LocalBFSRouter()
+    source, target = graph.canonical_pair()
+    trial_seed = derive_seed(13, "complexity", 4)
+    a = run_trial(graph, 0.55, router, source, target, 4, trial_seed)
+    b = run_trial(graph, 0.55, router, source, target, 4, trial_seed)
+    assert repr(a) == repr(b)
+    assert a.seed == trial_seed and a.trial == 4

@@ -62,7 +62,7 @@ class TestSpec:
             title="t",
             claim="c",
             reference="r",
-            run=lambda scale, seed: ResultTable("X9", "t"),
+            run=lambda scale, seed, runner=None: ResultTable("X9", "t"),
         )
         with pytest.raises(ValueError):
             spec(scale="gigantic")
@@ -73,7 +73,7 @@ class TestSpec:
             title="t",
             claim="c",
             reference="r",
-            run=lambda scale, seed: 42,
+            run=lambda scale, seed, runner=None: 42,
         )
         with pytest.raises(TypeError):
             spec(scale="tiny")
@@ -116,7 +116,7 @@ class TestRegistry:
             title="imposter",
             claim="",
             reference="",
-            run=lambda scale, seed: ResultTable("E1", "x"),
+            run=lambda scale, seed, runner=None: ResultTable("E1", "x"),
         )
         with pytest.raises(ValueError):
             register(spec)

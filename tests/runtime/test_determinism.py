@@ -1,36 +1,16 @@
-"""Serial-vs-parallel determinism of the runner-based experiments.
+"""Seed and runner-threading behaviour of :class:`ExperimentSpec`.
 
-The seed-derivation contract (see :mod:`repro.runtime`) promises that a
-``ProcessPoolRunner`` produces exactly the ``ResultTable`` a
-``SerialRunner`` does for the same master seed.  These tests enforce it
-for every experiment definition that routes its sweep through the
-runtime, comparing the rendered table (the persisted record) and the
-``repr`` of the raw rows (NaN-tolerant, unlike ``==``).
+The suite-wide serial-vs-parallel determinism tests live in
+``tests/experiments/test_parity.py`` (every registered experiment now
+routes its trials through :mod:`repro.runtime`); this module covers the
+spec-level plumbing around them: seeds must matter, and the caller's
+runner must reach the definition.
 """
-
-import pytest
 
 from repro.experiments.registry import get_experiment
 from repro.experiments.results import ResultTable
 from repro.experiments.spec import ExperimentSpec
 from repro.runtime import ProcessPoolRunner, SerialRunner
-
-#: Every definition refactored onto the trial runner.
-RUNNER_BASED = ["E1", "E5", "E10", "E11", "E13", "E14"]
-
-
-@pytest.mark.parametrize("experiment_id", RUNNER_BASED)
-def test_parallel_matches_serial(experiment_id):
-    spec = get_experiment(experiment_id)
-    serial = spec(scale="tiny", seed=11, runner=SerialRunner())
-    parallel = spec(
-        scale="tiny",
-        seed=11,
-        runner=ProcessPoolRunner(workers=2, chunksize=1),
-    )
-    assert serial.render() == parallel.render()
-    assert repr(serial.rows) == repr(parallel.rows)
-    assert serial.notes == parallel.notes
 
 
 def test_seed_still_matters():
@@ -41,49 +21,33 @@ def test_seed_still_matters():
     assert a.render() != b.render()
 
 
-def _legacy_run(scale, seed):
-    table = ResultTable("X7", "legacy")
-    table.add_row(scale=scale, seed=seed)
-    return table
-
-
 def _runner_run(scale, seed, runner=None):
-    table = ResultTable("X8", "new-style")
+    table = ResultTable("X8", "runner-based")
     table.add_row(runner=type(runner).__name__)
     return table
 
 
 class TestSpecRunnerThreading:
-    def test_legacy_two_argument_run_still_works(self):
-        spec = ExperimentSpec(
-            experiment_id="X7",
-            title="t",
-            claim="c",
-            reference="r",
-            run=_legacy_run,
-        )
-        table = spec(scale="tiny", seed=5, runner=SerialRunner())
-        assert table.rows == [{"scale": "tiny", "seed": 5}]
-
-    def test_runner_passed_through(self):
-        spec = ExperimentSpec(
+    def _spec(self):
+        return ExperimentSpec(
             experiment_id="X8",
             title="t",
             claim="c",
             reference="r",
             run=_runner_run,
         )
+
+    def test_runner_passed_through(self):
         runner = ProcessPoolRunner(workers=2)
-        table = spec(scale="tiny", seed=0, runner=runner)
+        table = self._spec()(scale="tiny", seed=0, runner=runner)
         assert table.rows == [{"runner": "ProcessPoolRunner"}]
 
     def test_default_runner_resolved_from_env(self, monkeypatch):
         monkeypatch.setenv("REPRO_WORKERS", "1")
-        spec = ExperimentSpec(
-            experiment_id="X8",
-            title="t",
-            claim="c",
-            reference="r",
-            run=_runner_run,
-        )
-        assert spec(scale="tiny").rows == [{"runner": "SerialRunner"}]
+        assert self._spec()(scale="tiny").rows == [{"runner": "SerialRunner"}]
+
+    def test_env_worker_count_builds_pool(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "3")
+        assert self._spec()(scale="tiny").rows == [
+            {"runner": "ProcessPoolRunner"}
+        ]

@@ -137,6 +137,63 @@ class TestProcessPoolRunner:
             chunk_count = -(-total // size)
             assert chunk_count * size >= total
 
+    def test_fewer_trials_than_chunksize_runs_inline(self, monkeypatch):
+        # Regression: a batch that folds into a single chunk must not
+        # spawn a pool (it used to ship the lone chunk to a worker).
+        import repro.runtime.runner as runner_module
+
+        def _no_pool(*args, **kwargs):  # pragma: no cover - must not run
+            raise AssertionError("pool spawned for a single chunk")
+
+        monkeypatch.setattr(runner_module, "ProcessPoolExecutor", _no_pool)
+        runner = ProcessPoolRunner(workers=8, chunksize=16)
+        assert runner.run_values(_specs(3)) == [0, 1, 4]
+
+    def test_pool_never_larger_than_chunk_count(self):
+        # 3 specs, chunksize 2 → 2 chunks; a 8-worker runner must shrink
+        # its pool to 2, not spawn idle (or empty-chunk) workers.
+        runner = ProcessPoolRunner(workers=8, chunksize=2)
+        specs = _specs(3)
+        size = runner._pick_chunksize(len(specs))
+        chunks = [
+            specs[start : start + size]
+            for start in range(0, len(specs), size)
+        ]
+        assert all(chunks)  # no empty chunks, ever
+        assert min(runner.workers, len(chunks)) == 2
+        assert runner.run_values(specs) == [0, 1, 4]
+
+
+class TestRunGrouped:
+    def test_values_regrouped_in_order(self):
+        groups = [
+            ("squares", _specs(3)),
+            (
+                "uniforms",
+                [
+                    TrialSpec(key=("u", i), fn=_seeded_value, args=(i, "x"))
+                    for i in range(2)
+                ],
+            ),
+            ("empty", []),
+        ]
+        out = SerialRunner().run_grouped(groups)
+        assert out["squares"] == [0, 1, 4]
+        assert out["uniforms"] == [_seeded_value(0, "x"), _seeded_value(1, "x")]
+        assert out["empty"] == []
+
+    def test_single_flat_batch_matches_serial(self):
+        groups = [(("g", i), _specs(4)) for i in range(3)]
+        serial = SerialRunner().run_grouped(groups)
+        parallel = ProcessPoolRunner(workers=2, chunksize=1).run_grouped(
+            groups
+        )
+        assert serial == parallel
+
+    def test_duplicate_labels_rejected(self):
+        with pytest.raises(ValueError):
+            SerialRunner().run_grouped([("a", _specs(1)), ("a", _specs(1))])
+
 
 class TestWorkerResolution:
     def test_explicit_wins(self, monkeypatch):
