@@ -12,6 +12,8 @@ Environment knobs:
 * ``REPRO_BENCH_SEED`` — master seed (default 0).
 * ``REPRO_WORKERS`` — worker processes for trial execution (default 1).
   Results are identical for any worker count; see :mod:`repro.runtime`.
+* ``REPRO_CHUNKSIZE`` — specs per parallel work unit (default: ~4
+  chunks per worker).  Likewise result-invariant.
 """
 
 import os

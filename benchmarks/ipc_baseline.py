@@ -1,0 +1,219 @@
+#!/usr/bin/env python3
+"""Record the IPC baseline of the workload protocol (BENCH_ipc.json).
+
+The shared-payload refactor's claim is mechanical: a per-trial spec
+used to pickle its whole measurement context (graph, router,
+percolation factory) into ``args``, so for explicit topologies IPC —
+not routing — dominated parallel wall-clock.  This benchmark quantifies
+that on the fattest payload in the registry, a routing sweep over a
+``RandomMatchingCycle`` (the Bollobás–Chung cycle-plus-matching whose
+matching is stored, not computed):
+
+* **fat bytes/trial** — the wire size of the pre-refactor spec, a
+  :class:`TrialSpec` with the context inlined (reconstructed from the
+  workload, byte-faithful to the old emission);
+* **slim bytes/trial** — the wire size of the workload-referencing
+  spec actually emitted now (per-trial tail + 32-hex content id);
+* **payload bytes** — the one-off workload shipment each worker pays
+  once per sweep point, however many trials follow;
+* wall-clock for the sweep under a serial runner and under a process
+  pool, plus a second (warm) pool batch showing persistent-pool reuse —
+  with outputs verified identical along the way.
+
+Writes ``results/BENCH_ipc.json`` and folds the headline
+reduction into ``results/BENCH_runtime.json`` under ``"ipc"`` so the
+perf trajectory lives in one place.
+
+Run:  PYTHONPATH=src python benchmarks/ipc_baseline.py
+      (optionally --scale tiny|small|medium --workers N)
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pickle
+import platform
+import time
+from pathlib import Path
+
+from repro.core.complexity import complexity_specs
+from repro.experiments.spec import SCALES, pick
+from repro.graphs.cycle_matching import RandomMatchingCycle
+from repro.routers.bfs import LocalBFSRouter
+from repro.runtime import ProcessPoolRunner, SerialRunner, TrialSpec
+from repro.util.rng import derive_seed
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+def _sweep_specs(scale: str, seed: int):
+    """The explicit-graph sweep: one group of specs per retention level."""
+    order = pick(scale, tiny=6, small=10, medium=13)
+    trials = pick(scale, tiny=6, small=10, medium=12)
+    ps = pick(
+        scale,
+        tiny=[0.5, 0.7],
+        small=[0.4, 0.5, 0.6, 0.7, 0.8],
+        medium=[0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9],
+    )
+    graph = RandomMatchingCycle(2**order, seed=derive_seed(seed, "ipc-bench"))
+    router = LocalBFSRouter()
+    groups = [
+        (
+            p,
+            complexity_specs(
+                graph,
+                p=p,
+                router=router,
+                trials=trials,
+                seed=derive_seed(seed, "ipc", p),
+                key=("ipc", p),
+            ),
+        )
+        for p in ps
+    ]
+    return graph, groups
+
+
+def _fat_equivalent(spec: TrialSpec) -> TrialSpec:
+    """Reconstruct the pre-refactor wire form of a slim spec.
+
+    PR 2 emitted ``run_trial`` specs with the shared context inlined:
+    ``args=(graph, p, router, source, target, trial, seed)`` plus the
+    config kwargs.  The workload carries exactly those leading
+    arguments, so splicing it back in reproduces the old payload byte
+    for byte.
+    """
+    workload = spec.workload
+    return TrialSpec(
+        key=spec.key,
+        fn=workload.fn,
+        args=tuple(workload.args) + tuple(spec.args),
+        kwargs={**workload.kwargs, **spec.kwargs},
+    )
+
+
+def measure_bytes(groups) -> dict:
+    """Pickled bytes per trial, fat (pre-refactor) vs slim (now)."""
+    flat = [spec for _, specs in groups for spec in specs]
+    slim = [len(pickle.dumps(spec)) for spec in flat]
+    fat = [len(pickle.dumps(_fat_equivalent(spec))) for spec in flat]
+    payloads = {
+        spec.workload.workload_id: len(pickle.dumps(spec.workload))
+        for spec in flat
+    }
+    fat_per_trial = sum(fat) / len(fat)
+    slim_per_trial = sum(slim) / len(slim)
+    return {
+        "trials": len(flat),
+        "sweep_points": len(groups),
+        "fat_bytes_per_trial": round(fat_per_trial, 1),
+        "slim_bytes_per_trial": round(slim_per_trial, 1),
+        "payload_bytes_once_per_worker": sum(payloads.values()),
+        "reduction_factor": round(fat_per_trial / slim_per_trial, 1),
+    }
+
+
+def measure_wallclock(scale: str, seed: int, workers: int) -> dict:
+    """Serial vs cold-pool vs warm-pool wall-clock, outputs verified."""
+    _, groups = _sweep_specs(scale, seed)
+    start = time.perf_counter()
+    serial_out = SerialRunner().run_grouped(groups)
+    serial_s = time.perf_counter() - start
+
+    with ProcessPoolRunner(workers=workers, chunksize=1) as pool:
+        start = time.perf_counter()
+        cold_out = pool.run_grouped(groups)
+        cold_s = time.perf_counter() - start
+        start = time.perf_counter()
+        warm_out = pool.run_grouped(groups)
+        warm_s = time.perf_counter() - start
+    if not (repr(serial_out) == repr(cold_out) == repr(warm_out)):
+        raise AssertionError("parallel output differs from serial")
+    return {
+        "serial_seconds": round(serial_s, 3),
+        "pool_cold_seconds": round(cold_s, 3),
+        "pool_warm_seconds": round(warm_s, 3),
+        "identical_output": True,
+    }
+
+
+def record(
+    scale: str = "small",
+    seed: int = 0,
+    workers: int = 4,
+    out: Path | None = None,
+) -> dict:
+    """Measure, verify, and write the IPC baseline JSON."""
+    graph, groups = _sweep_specs(scale, seed)
+    sizes = measure_bytes(groups)
+    timings = measure_wallclock(scale, seed, workers)
+    baseline = {
+        "benchmark": "workload protocol: pickled bytes/trial + wall-clock",
+        "graph": graph.name,
+        "scale": scale,
+        "seed": seed,
+        "workers": workers,
+        "machine": {
+            "cpu_count": os.cpu_count(),
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+        },
+        "bytes": sizes,
+        "wallclock": timings,
+        "note": (
+            "fat = pre-refactor spec with the graph inlined per trial; "
+            "slim = workload-referencing spec (per-trial tail + content "
+            "id); the payload ships to each worker once per sweep point. "
+            "pool_warm reuses the persistent pool of pool_cold."
+        ),
+    }
+    out = out or RESULTS_DIR / "BENCH_ipc.json"
+    out.parent.mkdir(exist_ok=True)
+    out.write_text(json.dumps(baseline, indent=2) + "\n", encoding="utf-8")
+    print(
+        f"{graph.name}: fat {sizes['fat_bytes_per_trial']:.0f} B/trial vs "
+        f"slim {sizes['slim_bytes_per_trial']:.0f} B/trial "
+        f"({sizes['reduction_factor']:.1f}x smaller); serial "
+        f"{timings['serial_seconds']}s, pool cold "
+        f"{timings['pool_cold_seconds']}s, warm "
+        f"{timings['pool_warm_seconds']}s"
+    )
+    print(f"wrote {out}")
+    _fold_into_runtime_baseline(sizes, scale)
+    return baseline
+
+
+def _fold_into_runtime_baseline(sizes: dict, scale: str) -> None:
+    """Keep the headline before/after in BENCH_runtime.json too."""
+    path = RESULTS_DIR / "BENCH_runtime.json"
+    if not path.exists():
+        return
+    runtime = json.loads(path.read_text(encoding="utf-8"))
+    runtime["ipc"] = {
+        "source": "benchmarks/ipc_baseline.py",
+        "scale": scale,
+        "before_fat_bytes_per_trial": sizes["fat_bytes_per_trial"],
+        "after_slim_bytes_per_trial": sizes["slim_bytes_per_trial"],
+        "reduction_factor": sizes["reduction_factor"],
+    }
+    path.write_text(
+        json.dumps(runtime, indent=2) + "\n", encoding="utf-8"
+    )
+    print(f"updated {path} (ipc section)")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", choices=SCALES, default="small")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--workers", type=int, default=4)
+    args = parser.parse_args(argv)
+    record(scale=args.scale, seed=args.seed, workers=args.workers)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -42,37 +42,50 @@ def record(
     experiment_ids=DEFAULT_EXPERIMENTS,
     out: Path | None = None,
 ) -> dict:
-    """Measure, verify determinism, and write the baseline JSON."""
-    parallel = ProcessPoolRunner(workers=workers)
+    """Measure, verify determinism, and write the baseline JSON.
+
+    The parallel runner is shared across all measured experiments and
+    its pool persists between them (the workload protocol's reuse
+    path), so ``parallel_seconds`` of the first experiment includes
+    pool start-up and later ones ride the warm pool — matching how
+    ``repro run all --workers N`` behaves.
+    """
     entries = []
-    for experiment_id in experiment_ids:
-        spec = get_experiment(experiment_id)
-        serial_s, serial_table = _time_run(spec, scale, seed, SerialRunner())
-        parallel_s, parallel_table = _time_run(spec, scale, seed, parallel)
-        if serial_table.render() != parallel_table.render():
-            raise AssertionError(
-                f"{experiment_id}: parallel output differs from serial"
+    with ProcessPoolRunner(workers=workers) as parallel:
+        for experiment_id in experiment_ids:
+            spec = get_experiment(experiment_id)
+            serial_s, serial_table = _time_run(
+                spec, scale, seed, SerialRunner()
             )
-        entries.append(
-            {
-                "experiment": experiment_id,
-                "serial_seconds": round(serial_s, 3),
-                "parallel_seconds": round(parallel_s, 3),
-                "speedup": round(serial_s / parallel_s, 3),
-                "identical_output": True,
-            }
-        )
-        print(
-            f"{experiment_id}: serial {serial_s:.2f}s, "
-            f"{workers}-worker {parallel_s:.2f}s "
-            f"(speedup {serial_s / parallel_s:.2f}x)"
-        )
+            parallel_s, parallel_table = _time_run(
+                spec, scale, seed, parallel
+            )
+            if serial_table.render() != parallel_table.render():
+                raise AssertionError(
+                    f"{experiment_id}: parallel output differs from serial"
+                )
+            entries.append(
+                {
+                    "experiment": experiment_id,
+                    "serial_seconds": round(serial_s, 3),
+                    "parallel_seconds": round(parallel_s, 3),
+                    "speedup": round(serial_s / parallel_s, 3),
+                    "identical_output": True,
+                }
+            )
+            print(
+                f"{experiment_id}: serial {serial_s:.2f}s, "
+                f"{workers}-worker {parallel_s:.2f}s "
+                f"(speedup {serial_s / parallel_s:.2f}x)"
+            )
 
     baseline = {
         "benchmark": "trial-runner serial vs parallel wall-clock",
         "granularity": (
             "per-trial: every Monte-Carlo trial of every sweep point is "
-            "its own work unit, so single points parallelise too"
+            "its own work unit, so single points parallelise too; "
+            "shared contexts ship once per worker as workloads and the "
+            "pool persists across experiments"
         ),
         "scale": scale,
         "seed": seed,
@@ -91,6 +104,12 @@ def record(
     }
     out = out or RESULTS_DIR / "BENCH_runtime.json"
     out.parent.mkdir(exist_ok=True)
+    if out.exists():
+        # benchmarks/ipc_baseline.py folds its headline numbers into
+        # this file; keep them across regenerations.
+        previous = json.loads(out.read_text(encoding="utf-8"))
+        if "ipc" in previous:
+            baseline["ipc"] = previous["ipc"]
     out.write_text(json.dumps(baseline, indent=2) + "\n", encoding="utf-8")
     print(f"wrote {out}")
     return baseline

@@ -16,7 +16,11 @@ sweep point can fan its trials out across worker processes:
 
 * :func:`complexity_specs` emits one :class:`~repro.runtime.TrialSpec`
   per trial, each carrying its own seed derived up front from the
-  master seed — the rejection-sampling hot loop is the parallel unit;
+  master seed — the rejection-sampling hot loop is the parallel unit.
+  The shared context (graph, router, pair, factory, conditioning) is
+  frozen into one :class:`~repro.runtime.Workload` for the whole group,
+  so a spec's wire form is its ``(trial, seed)`` tail plus a content
+  id: the graph ships to each worker once, not once per trial;
 * :func:`run_trial` is the pure per-trial kernel (one percolation draw,
   one conditioning check, at most one routing attempt) executed by a
   :class:`~repro.runtime.TrialRunner`, in any process;
@@ -44,7 +48,7 @@ from repro.percolation.models import (
     PercolationModel,
     TablePercolation,
 )
-from repro.runtime import TrialRunner, TrialSpec
+from repro.runtime import TrialRunner, TrialSpec, Workload
 from repro.util.rng import derive_seed
 from repro.util.stats import Summary, proportion_ci, summarize
 
@@ -252,28 +256,32 @@ def complexity_specs(
     derivation the classic inline loop used, so the emitted stream
     reproduces it bit for bit).  Spec keys are ``key + (t,)``; pass the
     sweep-point label as ``key`` so error reports identify the point.
+
+    The measurement context — graph, router, pair, budget, factory,
+    conditioning — is emitted once as a shared
+    :class:`~repro.runtime.Workload` referenced by every spec of the
+    group, so a spec pickles to its per-trial ``(t, seed)`` tail plus a
+    16-byte content id however large the graph is.  The returned specs
+    keep the workload alive; see the ownership contract in
+    :mod:`repro.runtime.workload`.
     """
     _validate(trials, router, budget, conditioning)
     source, target = pair if pair is not None else graph.canonical_pair()
     factory = model_factory or _default_factory(graph)
+    workload = Workload(
+        fn=run_trial,
+        args=(graph, p, router, source, target),
+        kwargs={
+            "budget": budget,
+            "model_factory": factory,
+            "conditioning": conditioning,
+        },
+    )
     return [
         TrialSpec(
             key=tuple(key) + (t,),
-            fn=run_trial,
-            args=(
-                graph,
-                p,
-                router,
-                source,
-                target,
-                t,
-                derive_seed(seed, "complexity", t),
-            ),
-            kwargs={
-                "budget": budget,
-                "model_factory": factory,
-                "conditioning": conditioning,
-            },
+            args=(t, derive_seed(seed, "complexity", t)),
+            workload=workload,
         )
         for t in range(trials)
     ]

@@ -6,11 +6,13 @@ Commands::
     repro info E7                      # claim, reference
     repro run E7 --scale small         # run one experiment, print table
     repro run E1 --workers 4           # parallel trial execution
+    repro run E1 --workers 4 --chunksize 8   # fixed specs per work unit
     repro run all --scale tiny --csv results/
 
 Experiments are deterministic given ``--seed`` — including under
-``--workers N`` (or ``$REPRO_WORKERS``), which parallelises trial
-execution without changing any result; see :mod:`repro.runtime`.
+``--workers N`` (or ``$REPRO_WORKERS``) and any ``--chunksize`` (or
+``$REPRO_CHUNKSIZE``), which parallelise trial execution without
+changing any result; see :mod:`repro.runtime`.
 """
 
 from __future__ import annotations
@@ -94,6 +96,16 @@ def _add_workers_argument(parser: argparse.ArgumentParser) -> None:
             "$REPRO_WORKERS, else 1); results are identical for any N"
         ),
     )
+    parser.add_argument(
+        "--chunksize",
+        type=_positive_int,
+        default=None,
+        metavar="C",
+        help=(
+            "specs per parallel work unit (default: $REPRO_CHUNKSIZE, "
+            "else ~4 chunks per worker); results are identical for any C"
+        ),
+    )
 
 
 def _cmd_list() -> int:
@@ -163,36 +175,41 @@ def _cmd_info(experiment_id: str) -> int:
 
 
 def _cmd_run(
-    experiment_id: str, scale: str, seed: int, csv_dir, workers
+    experiment_id: str, scale: str, seed: int, csv_dir, workers, chunksize
 ) -> int:
     if experiment_id.lower() == "all":
         specs = all_experiments()
     else:
         specs = [get_experiment(experiment_id)]
-    runner = make_runner(workers)
-    for spec in specs:
-        start = time.perf_counter()
-        table = spec(scale=scale, seed=seed, runner=runner)
-        elapsed = time.perf_counter() - start
-        print(table.render())
-        print(f"  ({len(table)} rows, {elapsed:.1f}s, scale={scale})")
-        print()
-        if csv_dir is not None:
-            path = table.to_csv(csv_dir)
-            print(f"  wrote {path}")
+    # The runner (and its worker pool, if parallel) is shared by every
+    # experiment of the invocation, so `run all --workers N` pays pool
+    # start-up once, not once per experiment.
+    with make_runner(workers, chunksize) as runner:
+        for spec in specs:
+            start = time.perf_counter()
+            table = spec(scale=scale, seed=seed, runner=runner)
+            elapsed = time.perf_counter() - start
+            print(table.render())
+            print(f"  ({len(table)} rows, {elapsed:.1f}s, scale={scale})")
+            print()
+            if csv_dir is not None:
+                path = table.to_csv(csv_dir)
+                print(f"  wrote {path}")
     return 0
 
 
-def _cmd_report(scale: str, seed: int, out: str, workers) -> int:
+def _cmd_report(scale: str, seed: int, out: str, workers, chunksize) -> int:
     from pathlib import Path
 
     from repro.experiments.report import render_experiments_markdown
 
-    runner = make_runner(workers)
     sections = []
-    for spec in all_experiments():
-        print(f"running {spec.experiment_id} ({scale}) ...", flush=True)
-        sections.append((spec, spec(scale=scale, seed=seed, runner=runner)))
+    with make_runner(workers, chunksize) as runner:
+        for spec in all_experiments():
+            print(f"running {spec.experiment_id} ({scale}) ...", flush=True)
+            sections.append(
+                (spec, spec(scale=scale, seed=seed, runner=runner))
+            )
     preamble = (
         "# Experiment report (generated)\n\n"
         f"Scale: {scale}; master seed: {seed}.  See DESIGN.md for the "
@@ -216,10 +233,17 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_info(args.experiment)
     if args.command == "run":
         return _cmd_run(
-            args.experiment, args.scale, args.seed, args.csv, args.workers
+            args.experiment,
+            args.scale,
+            args.seed,
+            args.csv,
+            args.workers,
+            args.chunksize,
         )
     if args.command == "report":
-        return _cmd_report(args.scale, args.seed, args.out, args.workers)
+        return _cmd_report(
+            args.scale, args.seed, args.out, args.workers, args.chunksize
+        )
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

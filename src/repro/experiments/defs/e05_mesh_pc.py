@@ -13,7 +13,9 @@ Lemma 8 asserts linear scaling with an exponential tail; we report the
 mean ratio ρ(p) and the fitted tail rate.
 
 Both sweeps run through the trial runner: each ``p`` of each section is
-one :class:`TrialSpec` carrying its own derived seed.
+one :class:`TrialSpec` carrying its own derived seed.  Its arguments are plain scalars, so the unit stays self-contained:
+the heavy objects are built inside the worker, and there is no
+shared payload to ship.
 """
 
 from __future__ import annotations

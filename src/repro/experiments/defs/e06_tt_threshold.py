@@ -12,7 +12,9 @@ single pass evaluates ``Pr[x ~ y in TT_{n,p}]`` at *every* ``p``
 simultaneously — equivalent to (and much cheaper than) per-``p``
 Monte-Carlo with the same hash stream.  Each union–find sweep is one
 :class:`TrialSpec`, using the same per-trial seed derivation as
-``threshold_sample``, so depths fan out trial by trial.
+``threshold_sample``, so depths fan out trial by trial.  Each depth's
+tree is frozen into one shared :class:`Workload`, so a spec ships only
+its derived seed — the graph crosses to each worker once per depth.
 """
 
 from __future__ import annotations
@@ -25,7 +27,7 @@ from repro.experiments.results import ResultTable
 from repro.experiments.spec import ExperimentSpec, pick
 from repro.graphs.double_tree import DoubleBinaryTree
 from repro.percolation.coupled import pair_threshold
-from repro.runtime import SerialRunner, TrialSpec
+from repro.runtime import SerialRunner, TrialSpec, Workload
 from repro.util.rng import derive_seed
 
 COLUMNS = ["depth", "p", "pr_empirical", "pr_exact", "abs_error", "trials"]
@@ -53,6 +55,12 @@ def run(scale: str, seed: int, runner=None) -> ResultTable:
         "(threshold 1/sqrt(2) ~ 0.7071)",
         columns=COLUMNS,
     )
+    sweeps = {
+        depth: Workload(
+            fn=_root_threshold, args=(DoubleBinaryTree(depth),)
+        )
+        for depth in depths
+    }
     groups = [
         (
             depth,
@@ -61,11 +69,12 @@ def run(scale: str, seed: int, runner=None) -> ResultTable:
                 # recorded curves are bit-identical to the pre-runner code.
                 TrialSpec(
                     key=("e6", depth, t),
-                    fn=_root_threshold,
                     args=(
-                        DoubleBinaryTree(depth),
-                        derive_seed(derive_seed(seed, "e6", depth), "coupled", t),
+                        derive_seed(
+                            derive_seed(seed, "e6", depth), "coupled", t
+                        ),
                     ),
+                    workload=sweeps[depth],
                 )
                 for t in range(trials)
             ],

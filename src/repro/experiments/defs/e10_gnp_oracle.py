@@ -8,7 +8,9 @@ is tabulated at the observed ``a``.
 
 Each ``n`` of the sweep is one :class:`TrialSpec` (the comparison size
 also runs the local router inside the same unit), so the scaling-fit
-points arrive in deterministic order whatever the schedule.
+points arrive in deterministic order whatever the schedule.  Its arguments are plain scalars, so the unit stays self-contained:
+the heavy objects are built inside the worker, and there is no
+shared payload to ship.
 """
 
 from __future__ import annotations

@@ -12,7 +12,9 @@ distinct: a giant component with poly(n) diameter exists for
 
 The two scans of each ``n`` (giant fraction, full connectivity) are
 independent :class:`TrialSpec` units, so they parallelise across
-dimensions and sections.
+dimensions and sections.  Its arguments are plain scalars, so the unit stays self-contained:
+the heavy objects are built inside the worker, and there is no
+shared payload to ship.
 """
 
 from __future__ import annotations

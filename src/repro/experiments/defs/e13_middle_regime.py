@@ -13,7 +13,9 @@ sweep of α at fixed n:
   paths is nevertheless expensive past α = 1/2).
 
 Each α of the sweep — structural scan plus both routing measurements —
-is one :class:`TrialSpec`, the heaviest unit in the suite.
+is one :class:`TrialSpec`, the heaviest unit in the suite.  Its arguments are plain scalars, so the unit stays self-contained:
+the heavy objects are built inside the worker, and there is no
+shared payload to ship.
 """
 
 from __future__ import annotations

@@ -13,6 +13,9 @@ the transition should appear near ``α = 1/4`` in site terms — earlier,
 not absent.
 
 Each ``(α, fault model)`` pair is one :class:`TrialSpec` work unit.
+Its arguments are plain scalars, so the unit stays self-contained:
+the heavy objects are built inside the worker, and there is no
+shared payload to ship.
 """
 
 from __future__ import annotations

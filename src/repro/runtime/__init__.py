@@ -27,6 +27,47 @@ Two consequences:
 * ``--workers N`` covers the entire suite; there is no legacy
   ``run(scale, seed)`` path left.
 
+The workload protocol (shared payloads)
+---------------------------------------
+
+Per-trial parameters are a few scalars; the measurement *context* —
+graph, router, percolation factory, conditioning config — is shared by
+every trial of a sweep point and can be orders of magnitude larger
+(explicit topologies store their structure).  The runtime therefore
+splits the two:
+
+* a :class:`~repro.runtime.workload.Workload` freezes the shared
+  context once per group, content-addressed by a stable id (a digest of
+  its pickled contents);
+* each :class:`TrialSpec` references the workload and carries only its
+  per-trial tail — ``key``, ``(trial, trial_seed)`` — so its wire form
+  costs bytes proportional to the tail, never to the graph.
+
+**Shipping:** payloads travel to each worker process at most once.  A
+pool created while a batch is in hand ships the batch's payload table
+through the worker initializer; workloads appearing in later batches
+reach already-running workers by first-touch (the worker reports a
+:class:`~repro.runtime.workload.WorkloadMissError`, the pool resubmits
+the chunk with the payload attached, the worker caches it for life).
+Content addressing stands in for invalidation: payloads are immutable,
+so a different payload is a different id, and a cached entry can go
+unused but never stale.
+
+**Ownership:** the emitter (e.g.
+:func:`repro.core.complexity.complexity_specs`) owns its workloads and
+must keep them alive — via the specs referencing them — until their
+trials finish; runners resolve ids against live objects and never
+deep-copy payloads.
+
+**Pool reuse:** :class:`ProcessPoolRunner` keeps its pool alive across
+``run``/``run_grouped`` calls, so consecutive batches pay neither
+process start-up nor payload re-pickling.  ``close()`` (or a ``with``
+block) reaps the workers.
+
+This split is also the seam for distributed runners: a remote executor
+implements the same ``TrialRunner`` ABC, ships each ``Workload`` to a
+node once (keyed by content id), and streams the slim specs.
+
 Seed-derivation contract
 ------------------------
 
@@ -39,9 +80,9 @@ it computes.  That guarantee rests on three rules:
    ``derive_seed(point_seed, "complexity", trial)`` (see
    :func:`repro.util.rng.derive_seed`) — never of global RNG state,
    scheduling order, or process identity.
-2. A spec's ``fn`` must be an importable module-level callable and its
-   arguments plain picklable values, so the same work unit can execute
-   in any process.
+2. A spec's kernel must be an importable module-level callable and its
+   arguments (shared workload and per-trial tail alike) plain picklable
+   values, so the same work unit can execute in any process.
 3. Runners return results in submission order (``run_grouped``
    re-slices by group, preserving each group's trial order), so
    downstream assembly (``ComplexityMeasurement`` record streams,
@@ -51,15 +92,20 @@ it computes.  That guarantee rests on three rules:
 Together these make ``SerialRunner`` and ``ProcessPoolRunner`` produce
 **identical** ``ResultTable``\\ s for the same master seed — enforced
 for every registered experiment by ``tests/experiments/test_parity.py``
-and at the kernel level by ``tests/core/test_trial_split.py``.
+(including under a ``spawn`` multiprocessing context, where nothing is
+inherited and every payload must ship explicitly) and at the kernel
+level by ``tests/core/test_trial_split.py``.
 
 Choosing a runner
 -----------------
 
 :func:`make_runner` resolves the worker count from an explicit argument,
 else the ``REPRO_WORKERS`` environment variable, else 1, and returns a
-``SerialRunner`` for one worker or a ``ProcessPoolRunner`` otherwise.
-The CLI exposes the same knob as ``repro run ... --workers N``.
+``SerialRunner`` for one worker or a ``ProcessPoolRunner`` otherwise;
+the chunk size resolves the same way (argument, else
+``REPRO_CHUNKSIZE``, else the automatic four-chunks-per-worker split).
+The CLI exposes both knobs as ``repro run ... --workers N
+--chunksize C``.
 """
 
 from repro.runtime.runner import (
@@ -67,9 +113,11 @@ from repro.runtime.runner import (
     SerialRunner,
     TrialRunner,
     make_runner,
+    resolve_chunksize,
     resolve_workers,
 )
 from repro.runtime.trial import TrialExecutionError, TrialResult, TrialSpec
+from repro.runtime.workload import Workload, WorkloadMissError, WorkloadRef
 
 __all__ = [
     "ProcessPoolRunner",
@@ -78,6 +126,10 @@ __all__ = [
     "TrialResult",
     "TrialRunner",
     "TrialSpec",
+    "Workload",
+    "WorkloadMissError",
+    "WorkloadRef",
     "make_runner",
+    "resolve_chunksize",
     "resolve_workers",
 ]

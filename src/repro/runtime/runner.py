@@ -8,6 +8,17 @@ then reassembles results by chunk offset — so completion order never
 leaks into the output (see the package docstring for the full
 determinism contract).
 
+The pool is **persistent**: it spins up on the first batch that needs
+parallelism and is reused by every later ``run``/``run_grouped`` call
+on the same runner, so consecutive batches stop paying process
+start-up.  Shared payloads (:mod:`repro.runtime.workload`) ship to each
+worker at most once — via the pool initializer for workloads known when
+the pool spawns, and via a first-touch miss/resubmit round-trip for
+workloads that appear later.  Call :meth:`ProcessPoolRunner.close` (or
+use the runner as a context manager) to reap the workers; an unclosed
+pool is torn down when the runner is garbage-collected or the
+interpreter exits.
+
 Experiments whose sweeps consist of many independent measurements use
 :meth:`TrialRunner.run_grouped` to flatten all their per-trial specs
 into **one** batch: a single sweep point's trials then interleave with
@@ -19,23 +30,38 @@ from __future__ import annotations
 
 import os
 from abc import ABC, abstractmethod
-from collections.abc import Iterable, Sequence
-from concurrent.futures import ProcessPoolExecutor, as_completed
+from collections.abc import Iterable, Mapping, Sequence
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    ProcessPoolExecutor,
+    wait,
+)
 from concurrent.futures.process import BrokenProcessPool
 from typing import Any
 
 from repro.runtime.trial import TrialExecutionError, TrialResult, TrialSpec
+from repro.runtime.workload import (
+    Workload,
+    WorkloadMissError,
+    WorkloadRef,
+    install_workloads,
+    resolve_workload,
+)
 
 __all__ = [
     "ProcessPoolRunner",
     "SerialRunner",
     "TrialRunner",
     "make_runner",
+    "resolve_chunksize",
     "resolve_workers",
 ]
 
 #: Environment variable consulted when no worker count is given.
 WORKERS_ENV = "REPRO_WORKERS"
+
+#: Environment variable consulted when no chunk size is given.
+CHUNKSIZE_ENV = "REPRO_CHUNKSIZE"
 
 #: Target number of chunks handed to each worker (load-balance factor).
 _CHUNKS_PER_WORKER = 4
@@ -62,16 +88,46 @@ def resolve_workers(workers: int | None = None) -> int:
     return workers
 
 
-def make_runner(workers: int | None = None) -> TrialRunner:
+def resolve_chunksize(chunksize: int | None = None) -> int | None:
+    """Resolve a chunk size: argument, else ``$REPRO_CHUNKSIZE``, else None.
+
+    ``None`` means "let the runner balance the batch itself" (about
+    four chunks per worker).  Mirrors :func:`resolve_workers`, including
+    validation of the environment value.
+
+    >>> resolve_chunksize(16)
+    16
+    """
+    if chunksize is None:
+        raw = os.environ.get(CHUNKSIZE_ENV, "").strip()
+        if not raw:
+            return None
+        try:
+            chunksize = int(raw)
+        except ValueError:
+            raise ValueError(
+                f"${CHUNKSIZE_ENV} must be an integer, got {raw!r}"
+            ) from None
+    if chunksize < 1:
+        raise ValueError(f"chunksize must be >= 1, got {chunksize}")
+    return chunksize
+
+
+def make_runner(
+    workers: int | None = None, chunksize: int | None = None
+) -> TrialRunner:
     """Build the runner for a worker count (see :func:`resolve_workers`).
 
     One worker gives the zero-overhead :class:`SerialRunner`; more give
-    a :class:`ProcessPoolRunner`.
+    a :class:`ProcessPoolRunner`.  ``chunksize`` (argument, else
+    ``$REPRO_CHUNKSIZE``) fixes the pool's specs-per-work-unit instead
+    of the automatic four-chunks-per-worker split.
     """
     count = resolve_workers(workers)
+    size = resolve_chunksize(chunksize)
     if count == 1:
         return SerialRunner()
-    return ProcessPoolRunner(workers=count)
+    return ProcessPoolRunner(workers=count, chunksize=size)
 
 
 class TrialRunner(ABC):
@@ -83,6 +139,15 @@ class TrialRunner(ABC):
     @abstractmethod
     def run(self, specs: Iterable[TrialSpec]) -> list[TrialResult]:
         """Execute every spec; return results in submission order."""
+
+    def close(self) -> None:
+        """Release any resources held by the runner (default: none)."""
+
+    def __enter__(self) -> "TrialRunner":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     def run_values(self, specs: Iterable[TrialSpec]) -> list[Any]:
         """Like :meth:`run` but unwraps each result's ``value``."""
@@ -129,13 +194,35 @@ class SerialRunner(TrialRunner):
         return "SerialRunner()"
 
 
-def _execute_chunk(chunk: Sequence[TrialSpec]) -> list[TrialResult]:
-    """Worker entry point: execute one chunk of consecutive specs."""
+def _execute_chunk(
+    chunk: Sequence[TrialSpec],
+    payloads: Mapping[str, Workload] | None = None,
+) -> list[TrialResult]:
+    """Worker entry point: execute one chunk of consecutive specs.
+
+    ``payloads`` carries workloads this worker reported missing (the
+    first-touch resubmission); they are cached for the rest of the
+    worker's life.  A chunk whose workload ids are still unresolved
+    raises :class:`WorkloadMissError` *before* executing anything, so a
+    resubmitted chunk always recomputes from scratch — trials are pure,
+    making the retry invisible in the results.
+    """
+    if payloads:
+        install_workloads(payloads)
+    missing = set()
+    for spec in chunk:
+        if isinstance(spec.workload, WorkloadRef):
+            try:
+                resolve_workload(spec.workload.workload_id)
+            except WorkloadMissError:
+                missing.add(spec.workload.workload_id)
+    if missing:
+        raise WorkloadMissError(tuple(sorted(missing)))
     return [spec.execute() for spec in chunk]
 
 
 class ProcessPoolRunner(TrialRunner):
-    """Run trials on a pool of worker processes.
+    """Run trials on a persistent pool of worker processes.
 
     Parameters
     ----------
@@ -163,11 +250,90 @@ class ProcessPoolRunner(TrialRunner):
             raise ValueError(f"chunksize must be >= 1, got {chunksize}")
         self.chunksize = chunksize
         self.mp_context = mp_context
+        self._pool: ProcessPoolExecutor | None = None
+        # The worker initializer's payload table.  The dict *instance*
+        # is fixed for the pool's lifetime (it is what initargs
+        # references); run() fills it for the duration of a batch and
+        # empties it afterwards, so a worker spawning mid-batch starts
+        # with the batch's workloads cached, while the runner retains
+        # no payload between batches (the emitter owns payload
+        # lifetime, not the pool).
+        self._init_payloads: dict[str, Workload] = {}
+
+    # -- pool lifecycle ---------------------------------------------------
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        """Return the live pool, creating it on first parallel batch.
+
+        Workers read ``_init_payloads`` as they spawn (fork snapshots
+        it; spawn pickles it per worker), so the batch in hand pays no
+        first-touch round-trips.  Workloads of *later* batches reach
+        the already-running workers via first-touch instead.
+        """
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.workers,
+                mp_context=self.mp_context,
+                initializer=install_workloads,
+                initargs=(self._init_payloads,),
+            )
+        return self._pool
+
+    def _discard_pool(self) -> None:
+        """Tear the pool down without waiting (error/interrupt path)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+
+    def close(self) -> None:
+        """Shut the pool down and reap its worker processes."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True, cancel_futures=True)
+            self._pool = None
+
+    # -- scheduling -------------------------------------------------------
 
     def _pick_chunksize(self, total: int) -> int:
         if self.chunksize is not None:
             return self.chunksize
         return max(1, -(-total // (self.workers * _CHUNKS_PER_WORKER)))
+
+    @staticmethod
+    def _batch_payloads(
+        specs: Sequence[TrialSpec],
+    ) -> dict[str, Workload]:
+        """The workload table of a batch: every payload, by content id."""
+        return {
+            spec.workload.workload_id: spec.workload
+            for spec in specs
+            if isinstance(spec.workload, Workload)
+        }
+
+    @staticmethod
+    def _resolve_miss(
+        workload_id: str, batch: Mapping[str, Workload]
+    ) -> Workload:
+        """Find the payload for a worker-reported miss, parent-side.
+
+        The batch table covers every directly-referenced workload; the
+        constructed-workload registry covers specs nested inside other
+        specs.  Failing both means the emitter dropped the workload
+        while its specs were still running — an ownership-contract bug,
+        reported as such.
+        """
+        workload = batch.get(workload_id)
+        if workload is not None:
+            return workload
+        try:
+            return resolve_workload(workload_id)
+        except WorkloadMissError:
+            raise TrialExecutionError(
+                ("<pool>",),
+                f"worker requested workload {workload_id} but no live "
+                "Workload with that id exists in the parent; the "
+                "emitting code must keep workloads alive while their "
+                "specs run (see repro.runtime.workload)",
+            ) from None
 
     def run(self, specs: Iterable[TrialSpec]) -> list[TrialResult]:
         specs = list(specs)
@@ -181,37 +347,80 @@ class ProcessPoolRunner(TrialRunner):
         if self.workers == 1 or len(chunks) == 1:
             # A single worker, or a batch that folds into one chunk
             # (e.g. fewer trials than an explicit chunksize): there is
-            # no parallelism to extract, so skip pool start-up entirely
+            # no parallelism to extract, so skip the pool entirely
             # rather than shipping the lone chunk to a worker.
             return [spec.execute() for spec in specs]
+        payloads = self._batch_payloads(specs)
         results: list[TrialResult | None] = [None] * len(specs)
-        pool_workers = min(self.workers, len(chunks))
+        # Per chunk offset: ids already shipped with a resubmission.
+        # Retries are cumulative — a retry carries every id its chunk
+        # has ever reported missing — so the worker that executes it
+        # (whichever one) installs them all, and a repeat report of a
+        # shipped id is impossible.  Each miss therefore names at
+        # least one *new* id (nested specs can reveal them in stages),
+        # which bounds retries by the chunk's distinct workloads.
+        shipped: dict[int, set[str]] = {}
+        pending: dict = {}
         try:
-            with ProcessPoolExecutor(
-                max_workers=pool_workers, mp_context=self.mp_context
-            ) as pool:
-                futures = {
-                    pool.submit(_execute_chunk, chunk): start
-                    for start, chunk in chunks
-                }
-                try:
-                    for future in as_completed(futures):
-                        start = futures[future]
-                        for offset, result in enumerate(future.result()):
+            self._init_payloads.update(payloads)
+            pool = self._ensure_pool()
+            for start, chunk in chunks:
+                pending[pool.submit(_execute_chunk, chunk)] = (start, chunk)
+            while pending:
+                done, _ = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    start, chunk = pending.pop(future)
+                    try:
+                        chunk_results = future.result()
+                    except WorkloadMissError as miss:
+                        already = shipped.setdefault(start, set())
+                        if already and not (
+                            set(miss.workload_ids) - already
+                        ):
+                            raise TrialExecutionError(
+                                ("<pool>",),
+                                "workload shipping did not converge "
+                                f"for chunk at offset {start} (ids "
+                                f"{miss.workload_ids} were already "
+                                "shipped); this is a runtime bug",
+                            ) from miss
+                        already.update(miss.workload_ids)
+                        # Ship only what this chunk is known to need —
+                        # never the whole batch table, which would
+                        # re-pickle every payload once per missing
+                        # chunk on a warm pool.
+                        needed = {
+                            workload_id: self._resolve_miss(
+                                workload_id, payloads
+                            )
+                            for workload_id in sorted(already)
+                        }
+                        pending[
+                            pool.submit(_execute_chunk, chunk, needed)
+                        ] = (start, chunk)
+                    else:
+                        for offset, result in enumerate(chunk_results):
                             results[start + offset] = result
-                except BaseException:
-                    # Fail fast — including on Ctrl-C: drop queued
-                    # chunks instead of finishing a long sweep before
-                    # surfacing the error.
-                    pool.shutdown(wait=False, cancel_futures=True)
-                    raise
         except BrokenProcessPool as exc:
+            self._discard_pool()
             raise TrialExecutionError(
                 ("<pool>",),
                 "a worker process died before finishing its chunk "
                 "(crash or kill); re-run serially to isolate the trial",
             ) from exc
+        except BaseException:
+            # Fail fast — including on Ctrl-C: drop queued chunks (and
+            # the pool, whose queue state is now suspect) instead of
+            # finishing a long sweep before surfacing the error.
+            self._discard_pool()
+            raise
+        finally:
+            self._init_payloads.clear()
         return results  # type: ignore[return-value]
 
     def __repr__(self) -> str:
-        return f"ProcessPoolRunner(workers={self.workers})"
+        state = "live" if self._pool is not None else "cold"
+        return (
+            f"ProcessPoolRunner(workers={self.workers}, "
+            f"chunksize={self.chunksize}, pool={state})"
+        )

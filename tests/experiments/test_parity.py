@@ -10,10 +10,15 @@ the ``SerialRunner`` — rendered text (the persisted record), the
 It is also the gate for the per-trial migration: every definition now
 emits :class:`TrialSpec` work units (there is no legacy ``run(scale,
 seed)`` path left), so a new experiment registered without honouring
-the seed-derivation contract fails here immediately.
+the seed-derivation contract fails here immediately.  The spawn-context
+case re-runs a registry sample on a pool that inherits *nothing* from
+the parent, so every shared payload must travel through the workload
+shipping protocol — fork-masked cache bugs fail there.
 """
 
+import multiprocessing
 import os
+import pickle
 
 import pytest
 
@@ -31,14 +36,33 @@ ALL_IDS = [spec.experiment_id for spec in all_experiments()]
 def test_parallel_matches_serial(experiment_id):
     spec = get_experiment(experiment_id)
     serial = spec(scale="tiny", seed=11, runner=SerialRunner())
-    parallel = spec(
-        scale="tiny",
-        seed=11,
-        runner=ProcessPoolRunner(workers=2, chunksize=1),
-    )
+    with ProcessPoolRunner(workers=2, chunksize=1) as runner:
+        parallel = spec(scale="tiny", seed=11, runner=runner)
     assert serial.render() == parallel.render()
     assert repr(serial.rows) == repr(parallel.rows)
     assert serial.notes == parallel.notes
+
+
+@pytest.mark.parametrize("experiment_id", ["E1", "E6", "E12"])
+def test_spawn_context_matches_serial(experiment_id):
+    # A spawn pool starts each worker from a blank interpreter: no
+    # fork-inherited globals, so the workload cache must be populated
+    # purely by the shipping protocol (initializer + first-touch).
+    # E1 covers complexity_specs emission, E6/E12 the defs that build
+    # their own workloads (E12 carries the explicit RandomMatchingCycle,
+    # the fattest payload in the registry).
+    spec = get_experiment(experiment_id)
+    serial = spec(scale="tiny", seed=11, runner=SerialRunner())
+    runner = ProcessPoolRunner(
+        workers=2,
+        chunksize=1,
+        mp_context=multiprocessing.get_context("spawn"),
+    )
+    with runner:
+        spawned = spec(scale="tiny", seed=11, runner=runner)
+    assert serial.render() == spawned.render()
+    assert repr(serial.rows) == repr(spawned.rows)
+    assert serial.notes == spawned.notes
 
 
 def _pid_stamped(spec: TrialSpec):
@@ -46,13 +70,9 @@ def _pid_stamped(spec: TrialSpec):
     return (os.getpid(), spec.execute().value)
 
 
-def test_single_sweep_point_distributes_across_workers():
-    # One E1-style (n, alpha, router) sweep point at small scale: its
-    # trials are independent TrialSpecs, so the rejection-sampling loop
-    # itself must spread over the pool — the per-trial migration's whole
-    # point.  Wrap each trial to record the executing pid.
+def _point_specs():
     point_seed = derive_seed(11, "e1", 8, 0.3, "waypoint")
-    specs = complexity_specs(
+    return complexity_specs(
         Hypercube(8),
         p=8**-0.3,
         router=WaypointRouter(),
@@ -60,8 +80,33 @@ def test_single_sweep_point_distributes_across_workers():
         seed=point_seed,
         key=("e1", 8, 0.3, "waypoint"),
     )
+
+
+def test_specs_reference_one_shared_workload():
+    # The emission API: one Workload per sweep point, slim per-trial
+    # tails.  A spec's wire form must cost bytes independent of the
+    # graph — the payload travels separately, once per worker.
+    specs = _point_specs()
     assert len(specs) == 14
-    assert all(spec.fn is run_trial for spec in specs)
+    assert all(spec.fn is None for spec in specs)
+    assert all(spec.workload.fn is run_trial for spec in specs)
+    ids = {spec.workload_id for spec in specs}
+    assert len(ids) == 1
+    slim = len(pickle.dumps(specs[0]))
+    payload = len(pickle.dumps(specs[0].workload))
+    assert slim < 512  # key + (trial, seed) + a 32-hex-char content id
+    assert payload > slim  # the context is the heavy part, and it moved
+
+
+def test_single_sweep_point_distributes_across_workers():
+    # One E1-style (n, alpha, router) sweep point at small scale: its
+    # trials are independent TrialSpecs, so the rejection-sampling loop
+    # itself must spread over the pool — the per-trial migration's whole
+    # point.  Wrap each trial to record the executing pid.  The wrapped
+    # specs nest a workload-referencing spec inside a plain one, which
+    # also exercises the nested first-touch path (the payload is
+    # invisible to the pool's batch scan).
+    specs = _point_specs()
     wrapped = [
         TrialSpec(key=spec.key, fn=_pid_stamped, args=(spec,))
         for spec in specs
@@ -75,12 +120,13 @@ def test_single_sweep_point_distributes_across_workers():
     # attempt, only the both-workers-participated observation may need
     # another roll.
     seen_both = False
-    for _ in range(5):
-        outcomes = runner.run_values(wrapped)
-        assert repr([record for _, record in outcomes]) == golden
-        pids = {pid for pid, _ in outcomes}
-        assert os.getpid() not in pids  # every trial ran out-of-process
-        if len(pids) == 2:
-            seen_both = True
-            break
+    with runner:
+        for _ in range(5):
+            outcomes = runner.run_values(wrapped)
+            assert repr([record for _, record in outcomes]) == golden
+            pids = {pid for pid, _ in outcomes}
+            assert os.getpid() not in pids  # every trial ran out-of-process
+            if len(pids) == 2:
+                seen_both = True
+                break
     assert seen_both  # ...and both workers took part

@@ -11,6 +11,7 @@ from repro.runtime import (
     TrialResult,
     TrialSpec,
     make_runner,
+    resolve_chunksize,
     resolve_workers,
 )
 from repro.util.rng import uniform_for
@@ -59,6 +60,26 @@ class TestTrialSpec:
         assert err.value.key == ("bad", 7)
         assert "ValueError" in str(err.value)
         assert "boom 7" in str(err.value)
+
+    def test_failure_detail_carries_traceback(self):
+        # The original exception's frames must survive in text form —
+        # they are all a pool failure ever reports back.
+        spec = TrialSpec(key=("bad", 7), fn=_fail, args=(7,))
+        with pytest.raises(TrialExecutionError) as err:
+            spec.execute()
+        assert "Traceback (most recent call last)" in err.value.detail
+        assert "_fail" in err.value.detail  # the failing frame is named
+
+    def test_pool_failure_detail_carries_worker_traceback(self):
+        # Same guarantee across the process boundary: the frame that
+        # raised inside the worker appears in the parent-side error.
+        specs = _specs(4) + [TrialSpec(key=("bad", 1), fn=_fail, args=(1,))]
+        with ProcessPoolRunner(workers=2, chunksize=1) as runner:
+            with pytest.raises(TrialExecutionError) as err:
+                runner.run(specs)
+        assert err.value.key == ("bad", 1)
+        assert "Traceback (most recent call last)" in err.value.detail
+        assert "_fail" in err.value.detail
 
 
 class TestSerialRunner:
@@ -222,3 +243,40 @@ class TestWorkerResolution:
         runner = make_runner(3)
         assert isinstance(runner, ProcessPoolRunner)
         assert runner.workers == 3
+
+
+class TestChunksizeResolution:
+    def test_explicit_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CHUNKSIZE", "7")
+        assert resolve_chunksize(2) == 2
+
+    def test_env_fallback(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CHUNKSIZE", "5")
+        assert resolve_chunksize() == 5
+
+    def test_default_is_auto(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CHUNKSIZE", raising=False)
+        assert resolve_chunksize() is None
+
+    def test_env_garbage_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CHUNKSIZE", "lots")
+        with pytest.raises(ValueError):
+            resolve_chunksize()
+
+    def test_nonpositive_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CHUNKSIZE", "0")
+        with pytest.raises(ValueError):
+            resolve_chunksize()
+        with pytest.raises(ValueError):
+            resolve_chunksize(-3)
+
+    def test_make_runner_threads_chunksize(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CHUNKSIZE", raising=False)
+        assert make_runner(3, 9).chunksize == 9
+        monkeypatch.setenv("REPRO_CHUNKSIZE", "4")
+        assert make_runner(3).chunksize == 4
+        assert make_runner(3, 9).chunksize == 9  # argument beats env
+
+    def test_serial_runner_ignores_chunksize(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CHUNKSIZE", "4")
+        assert isinstance(make_runner(1), SerialRunner)

@@ -1,0 +1,247 @@
+"""Tests for the shared-payload workload protocol.
+
+Covers the content-addressed :class:`Workload`, the slim wire form of
+workload-referencing specs, worker-side cache population (initializer
+and first-touch, fork and spawn), pool persistence across batches, and
+the ownership contract's failure mode.
+"""
+
+import multiprocessing
+import pickle
+
+import pytest
+
+from repro.runtime import (
+    ProcessPoolRunner,
+    SerialRunner,
+    TrialExecutionError,
+    TrialSpec,
+    Workload,
+    WorkloadMissError,
+    WorkloadRef,
+)
+from repro.runtime.workload import resolve_workload
+
+SPAWN = multiprocessing.get_context("spawn")
+
+
+# Worker kernels live at module level so they pickle by reference.
+def _tagged(payload, tag, t, seed):
+    return (len(payload), tag, t, seed)
+
+
+def _nested_execute(spec):
+    return spec.execute().value
+
+
+def _heavy(n=4096):
+    """A payload big enough that fat-vs-slim is unmistakable."""
+    return list(range(n))
+
+
+def _specs(workload, count, tag="a"):
+    return [
+        TrialSpec(key=(tag, t), args=(t, t * 31), workload=workload)
+        for t in range(count)
+    ]
+
+
+class TestWorkload:
+    def test_content_addressed_id(self):
+        a = Workload(fn=_tagged, args=(_heavy(), "x"))
+        b = Workload(fn=_tagged, args=(_heavy(), "x"))
+        c = Workload(fn=_tagged, args=(_heavy(), "y"))
+        assert a.workload_id == b.workload_id
+        assert a.workload_id != c.workload_id
+
+    def test_id_stable_across_processes(self):
+        # The id is a digest of pickled content, so a worker process
+        # computes the identical id for the identical payload.
+        w = Workload(fn=_tagged, args=(_heavy(), "x"))
+        with ProcessPoolRunner(workers=2, chunksize=1) as runner:
+            remote = runner.run_values(
+                [
+                    TrialSpec(key=("id", i), fn=_remote_id, args=("x",))
+                    for i in range(2)
+                ]
+            )
+        assert remote == [w.workload_id, w.workload_id]
+
+    def test_call_merges_shared_and_trial_arguments(self):
+        w = Workload(fn=_tagged, args=(_heavy(8), "x"))
+        assert w.call(3, 7) == (8, "x", 3, 7)
+
+    def test_unpicklable_payload_rejected_at_construction(self):
+        with pytest.raises(TypeError, match="not picklable"):
+            Workload(fn=_tagged, args=(lambda: None, "x"))
+
+    def test_spec_requires_exactly_one_of_fn_and_workload(self):
+        w = Workload(fn=_tagged, args=((), "x"))
+        with pytest.raises(ValueError):
+            TrialSpec(key=("k",))
+        with pytest.raises(ValueError):
+            TrialSpec(key=("k",), fn=_tagged, workload=w)
+
+    def test_resolve_falls_back_to_constructed_registry(self):
+        w = Workload(fn=_tagged, args=(_heavy(16), "z"))
+        assert resolve_workload(w.workload_id) is w
+
+    def test_resolve_unknown_id_raises_miss(self):
+        with pytest.raises(WorkloadMissError):
+            resolve_workload("no-such-id")
+
+
+def _remote_id(tag):
+    return Workload(fn=_tagged, args=(_heavy(), tag)).workload_id
+
+
+class TestWireForm:
+    def test_spec_pickles_slim(self):
+        w = Workload(fn=_tagged, args=(_heavy(), "x"))
+        spec = _specs(w, 1)[0]
+        slim = len(pickle.dumps(spec))
+        fat = len(
+            pickle.dumps(
+                TrialSpec(key=spec.key, fn=_tagged, args=(_heavy(), "x", 0, 0))
+            )
+        )
+        assert slim < 512
+        assert fat > 10 * slim  # the whole point of the protocol
+
+    def test_roundtrip_resolves_against_live_workload(self):
+        w = Workload(fn=_tagged, args=(_heavy(8), "x"))
+        spec = _specs(w, 1)[0]
+        clone = pickle.loads(pickle.dumps(spec))
+        assert isinstance(clone.workload, WorkloadRef)
+        assert clone.workload_id == w.workload_id
+        assert clone.execute().value == spec.execute().value
+
+    def test_roundtrip_without_live_workload_misses(self):
+        ref = WorkloadRef("0123456789abcdef0123456789abcdef")
+        spec = TrialSpec(key=("orphan",), workload=ref)
+        with pytest.raises(WorkloadMissError):
+            spec.execute()
+
+
+class TestShipping:
+    @pytest.mark.parametrize("mp_context", [None, SPAWN])
+    def test_pool_matches_serial(self, mp_context):
+        w = Workload(fn=_tagged, args=(_heavy(), "x"))
+        specs = _specs(w, 12)
+        serial = SerialRunner().run(specs)
+        with ProcessPoolRunner(
+            workers=2, chunksize=2, mp_context=mp_context
+        ) as runner:
+            assert runner.run(specs) == serial
+
+    @pytest.mark.parametrize("mp_context", [None, SPAWN])
+    def test_persistent_pool_survives_new_workloads(self, mp_context):
+        # Batch 1's payloads ship via the pool initializer; batch 2
+        # arrives after the workers exist, so its payload must travel
+        # first-touch — on spawn nothing is inherited, making this the
+        # sharpest test of the miss/resubmit half of the protocol.
+        with ProcessPoolRunner(
+            workers=2, chunksize=1, mp_context=mp_context
+        ) as runner:
+            first = Workload(fn=_tagged, args=(_heavy(), "first"))
+            out1 = runner.run_values(_specs(first, 6, tag="f"))
+            pool = runner._pool
+            assert pool is not None
+            second = Workload(fn=_tagged, args=(_heavy(), "second"))
+            out2 = runner.run_values(_specs(second, 6, tag="s"))
+            assert runner._pool is pool  # no restart between batches
+        assert out1 == SerialRunner().run_values(_specs(first, 6, tag="f"))
+        assert out2 == SerialRunner().run_values(_specs(second, 6, tag="s"))
+
+    def test_many_distinct_nested_workloads_converge(self):
+        # Regression: each spec nests a *different* workload, all
+        # invisible to the batch scan, so every payload must travel by
+        # execute-time first-touch.  Retries are cumulative per chunk,
+        # which is what guarantees convergence however the chunks
+        # bounce between workers.
+        workloads = [
+            Workload(fn=_tagged, args=(_heavy(64), f"w{i}"))
+            for i in range(8)
+        ]
+        inner = [
+            TrialSpec(key=("n", i), args=(i, 0), workload=w)
+            for i, w in enumerate(workloads)
+        ]
+        outer = [
+            TrialSpec(key=spec.key, fn=_nested_execute, args=(spec,))
+            for spec in inner
+        ]
+        expected = [spec.execute().value for spec in inner]
+        with ProcessPoolRunner(
+            workers=2, chunksize=4, mp_context=SPAWN
+        ) as runner:
+            assert runner.run_values(outer) == expected
+
+    def test_nested_spec_first_touch_under_spawn(self):
+        # A workload-referencing spec nested inside a plain spec is
+        # invisible to the pool's batch scan; the miss surfaces at
+        # execute time and must still be answered by resubmission.
+        w = Workload(fn=_tagged, args=(_heavy(), "nested"))
+        inner = _specs(w, 6, tag="n")
+        outer = [
+            TrialSpec(key=spec.key, fn=_nested_execute, args=(spec,))
+            for spec in inner
+        ]
+        with ProcessPoolRunner(
+            workers=2, chunksize=1, mp_context=SPAWN
+        ) as runner:
+            assert runner.run_values(outer) == [
+                spec.execute().value for spec in inner
+            ]
+
+    def test_mixed_plain_and_workload_specs_in_one_batch(self):
+        w = Workload(fn=_tagged, args=(_heavy(16), "m"))
+        specs = []
+        for t in range(10):
+            if t % 2:
+                specs.append(
+                    TrialSpec(
+                        key=("plain", t), fn=_tagged, args=((), "p", t, 0)
+                    )
+                )
+            else:
+                specs.append(
+                    TrialSpec(key=("wl", t), args=(t, 0), workload=w)
+                )
+        serial = SerialRunner().run(specs)
+        with ProcessPoolRunner(workers=2, chunksize=3) as runner:
+            assert runner.run(specs) == serial
+
+    def test_dropped_workload_is_an_ownership_error(self):
+        # The emitter must keep workloads alive while specs run: a
+        # bare ref whose payload no longer exists anywhere is reported
+        # as the contract violation it is, not a crash or a hang.
+        ref = WorkloadRef("feedfacefeedfacefeedfacefeedface")
+        specs = [
+            TrialSpec(key=("orphan", t), args=(t,), workload=ref)
+            for t in range(4)
+        ]
+        with ProcessPoolRunner(
+            workers=2, chunksize=1, mp_context=SPAWN
+        ) as runner:
+            with pytest.raises(TrialExecutionError, match="ownership|alive"):
+                runner.run(specs)
+
+
+class TestPoolLifecycle:
+    def test_close_is_idempotent_and_pool_rebuilds(self):
+        runner = ProcessPoolRunner(workers=2, chunksize=1)
+        w = Workload(fn=_tagged, args=(_heavy(16), "x"))
+        assert runner.run_values(_specs(w, 4))
+        runner.close()
+        assert runner._pool is None
+        runner.close()  # no-op
+        # a closed runner is still usable; it just pays start-up again
+        assert runner.run_values(_specs(w, 4))
+        runner.close()
+
+    def test_inline_paths_never_build_a_pool(self):
+        w = Workload(fn=_tagged, args=(_heavy(16), "x"))
+        runner = ProcessPoolRunner(workers=4, chunksize=64)
+        assert runner.run_values(_specs(w, 5))  # folds into one chunk
+        assert runner._pool is None
