@@ -105,11 +105,13 @@ def record(
     out = out or RESULTS_DIR / "BENCH_runtime.json"
     out.parent.mkdir(exist_ok=True)
     if out.exists():
-        # benchmarks/ipc_baseline.py folds its headline numbers into
-        # this file; keep them across regenerations.
+        # benchmarks/ipc_baseline.py and benchmarks/cluster_baseline.py
+        # fold their headline numbers into this file; keep them across
+        # regenerations.
         previous = json.loads(out.read_text(encoding="utf-8"))
-        if "ipc" in previous:
-            baseline["ipc"] = previous["ipc"]
+        for section in ("ipc", "cluster"):
+            if section in previous:
+                baseline[section] = previous[section]
     out.write_text(json.dumps(baseline, indent=2) + "\n", encoding="utf-8")
     print(f"wrote {out}")
     return baseline

@@ -7,12 +7,17 @@ Commands::
     repro run E7 --scale small         # run one experiment, print table
     repro run E1 --workers 4           # parallel trial execution
     repro run E1 --workers 4 --chunksize 8   # fixed specs per work unit
+    repro run E1 --backend cluster     # trials on TCP worker nodes
     repro run all --scale tiny --csv results/
+    repro worker serve --port 7101     # one cluster worker node
 
 Experiments are deterministic given ``--seed`` — including under
-``--workers N`` (or ``$REPRO_WORKERS``) and any ``--chunksize`` (or
-``$REPRO_CHUNKSIZE``), which parallelise trial execution without
-changing any result; see :mod:`repro.runtime`.
+``--workers N`` (or ``$REPRO_WORKERS``), any ``--chunksize`` (or
+``$REPRO_CHUNKSIZE``) and any ``--backend`` (or ``$REPRO_BACKEND``),
+which parallelise trial execution without changing any result; see
+:mod:`repro.runtime`.  ``--backend cluster`` distributes trials over
+the ``repro worker serve`` nodes named by ``$REPRO_CLUSTER_NODES``
+(``host:port,host:port``), or spawns localhost nodes when unset.
 """
 
 from __future__ import annotations
@@ -24,7 +29,7 @@ from collections.abc import Sequence
 
 from repro.experiments.registry import all_experiments, get_experiment
 from repro.experiments.spec import SCALES
-from repro.runtime import make_runner
+from repro.runtime import available_backends, make_runner
 
 __all__ = ["build_parser", "main"]
 
@@ -70,6 +75,39 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", metavar="FILE", default="EXPERIMENTS.generated.md"
     )
     _add_workers_argument(report)
+
+    worker = sub.add_parser(
+        "worker", help="cluster worker-node commands"
+    )
+    worker_sub = worker.add_subparsers(dest="worker_command", required=True)
+    serve = worker_sub.add_parser(
+        "serve",
+        help="serve trial chunks over TCP for ClusterRunner coordinators",
+    )
+    serve.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help=(
+            "interface to bind (default loopback; the protocol carries "
+            "pickles, so only listen where coordinators are trusted)"
+        ),
+    )
+    serve.add_argument(
+        "--port",
+        type=_port_int,
+        default=0,
+        help="TCP port; 0 picks an ephemeral port, announced on stdout",
+    )
+    serve.add_argument(
+        "--path",
+        action="append",
+        default=[],
+        metavar="DIR",
+        help=(
+            "extra import-path entries for unpickling work units whose "
+            "kernels live outside the installed package (repeatable)"
+        ),
+    )
     return parser
 
 
@@ -82,6 +120,20 @@ def _positive_int(text: str) -> int:
         ) from None
     if value < 1:
         raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
+def _port_int(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"must be a TCP port number, got {text!r}"
+        ) from None
+    if not 0 <= value <= 65535:
+        raise argparse.ArgumentTypeError(
+            f"port must be in [0, 65535], got {value}"
+        )
     return value
 
 
@@ -104,6 +156,17 @@ def _add_workers_argument(parser: argparse.ArgumentParser) -> None:
         help=(
             "specs per parallel work unit (default: $REPRO_CHUNKSIZE, "
             "else ~4 chunks per worker); results are identical for any C"
+        ),
+    )
+    parser.add_argument(
+        "--backend",
+        choices=available_backends(),
+        default=None,
+        metavar="B",
+        help=(
+            "runner backend: one of %(choices)s (default: "
+            "$REPRO_BACKEND, else auto); results are identical for any "
+            "backend"
         ),
     )
 
@@ -175,16 +238,22 @@ def _cmd_info(experiment_id: str) -> int:
 
 
 def _cmd_run(
-    experiment_id: str, scale: str, seed: int, csv_dir, workers, chunksize
+    experiment_id: str,
+    scale: str,
+    seed: int,
+    csv_dir,
+    workers,
+    chunksize,
+    backend,
 ) -> int:
     if experiment_id.lower() == "all":
         specs = all_experiments()
     else:
         specs = [get_experiment(experiment_id)]
-    # The runner (and its worker pool, if parallel) is shared by every
-    # experiment of the invocation, so `run all --workers N` pays pool
-    # start-up once, not once per experiment.
-    with make_runner(workers, chunksize) as runner:
+    # The runner (and its worker pool or cluster connections, if
+    # parallel) is shared by every experiment of the invocation, so
+    # `run all --workers N` pays start-up once, not once per experiment.
+    with make_runner(workers, chunksize, backend=backend) as runner:
         for spec in specs:
             start = time.perf_counter()
             table = spec(scale=scale, seed=seed, runner=runner)
@@ -198,13 +267,15 @@ def _cmd_run(
     return 0
 
 
-def _cmd_report(scale: str, seed: int, out: str, workers, chunksize) -> int:
+def _cmd_report(
+    scale: str, seed: int, out: str, workers, chunksize, backend
+) -> int:
     from pathlib import Path
 
     from repro.experiments.report import render_experiments_markdown
 
     sections = []
-    with make_runner(workers, chunksize) as runner:
+    with make_runner(workers, chunksize, backend=backend) as runner:
         for spec in all_experiments():
             print(f"running {spec.experiment_id} ({scale}) ...", flush=True)
             sections.append(
@@ -220,6 +291,15 @@ def _cmd_report(scale: str, seed: int, out: str, workers, chunksize) -> int:
         encoding="utf-8",
     )
     print(f"wrote {out}")
+    return 0
+
+
+def _cmd_worker_serve(host: str, port: int, paths) -> int:
+    from repro.runtime.cluster import serve
+
+    for path in reversed(paths):
+        sys.path.insert(0, path)
+    serve(host, port)
     return 0
 
 
@@ -239,10 +319,22 @@ def main(argv: Sequence[str] | None = None) -> int:
             args.csv,
             args.workers,
             args.chunksize,
+            args.backend,
         )
     if args.command == "report":
         return _cmd_report(
-            args.scale, args.seed, args.out, args.workers, args.chunksize
+            args.scale,
+            args.seed,
+            args.out,
+            args.workers,
+            args.chunksize,
+            args.backend,
+        )
+    if args.command == "worker":
+        if args.worker_command == "serve":
+            return _cmd_worker_serve(args.host, args.port, args.path)
+        raise AssertionError(
+            f"unhandled worker command {args.worker_command!r}"
         )
     raise AssertionError(f"unhandled command {args.command!r}")
 

@@ -54,8 +54,12 @@ class ExperimentSpec:
         """Run the experiment; returns its :class:`ResultTable`.
 
         ``runner`` is a :class:`repro.runtime.TrialRunner` deciding how
-        the experiment's trial sweep executes (``None`` → resolve from
-        ``$REPRO_WORKERS``, defaulting to serial).
+        the experiment's trial sweep executes (``None`` → resolve the
+        backend and worker count from ``$REPRO_BACKEND`` /
+        ``$REPRO_WORKERS``, defaulting to serial).  A runner the spec
+        creates for itself is closed before returning — pools and
+        cluster connections never outlive the call; pass an explicit
+        runner to share it across experiments.
         """
         if scale not in SCALES:
             raise ValueError(
@@ -64,8 +68,10 @@ class ExperimentSpec:
         if runner is None:
             from repro.runtime import make_runner
 
-            runner = make_runner()
-        table = self.run(scale, seed, runner=runner)
+            with make_runner() as default_runner:
+                table = self.run(scale, seed, runner=default_runner)
+        else:
+            table = self.run(scale, seed, runner=runner)
         if not isinstance(table, ResultTable):
             raise TypeError(
                 f"experiment {self.experiment_id} returned {type(table)!r}"

@@ -64,9 +64,33 @@ deep-copy payloads.
 process start-up nor payload re-pickling.  ``close()`` (or a ``with``
 block) reaps the workers.
 
-This split is also the seam for distributed runners: a remote executor
-implements the same ``TrialRunner`` ABC, ships each ``Workload`` to a
-node once (keyed by content id), and streams the slim specs.
+This split is also the seam for distributed runners — and the cluster
+backend walks through it: :class:`~repro.runtime.cluster.ClusterRunner`
+ships each ``Workload`` to a TCP worker node once (keyed by content
+id, tracked per node), streams the slim specs in chunks, and streams
+results back, with disconnected nodes' chunks requeued to survivors.
+
+Runner backends
+---------------
+
+Construction is pluggable (:mod:`repro.runtime.backends`):
+:func:`make_runner` looks the backend up in a registry — ``auto`` (the
+serial/process split, the default), ``serial``, ``process`` and
+``cluster`` ship in-tree — selected by argument, else the
+``REPRO_BACKEND`` environment variable.  :func:`register_backend` adds
+a backend; the contract every factory must honour (determinism versus
+``SerialRunner``, ``run_grouped`` flattening, workload first-touch
+shipping, crash/traceback propagation, chunking edge cases) is
+enforced by the conformance suite in
+``tests/runtime/test_backend_conformance.py``, which parametrises over
+the registry — a new backend is gated on passing it.
+
+The cluster backend's hand-shake, wire framing, fault tolerance and
+ownership story (unchanged: emitters keep workloads alive while their
+specs run) are documented in :mod:`repro.runtime.cluster`; worker
+nodes start with ``repro worker serve`` and are named by
+``$REPRO_CLUSTER_NODES``, or spawned on localhost automatically when
+that is unset.
 
 Seed-derivation contract
 ------------------------
@@ -100,19 +124,26 @@ Choosing a runner
 -----------------
 
 :func:`make_runner` resolves the worker count from an explicit argument,
-else the ``REPRO_WORKERS`` environment variable, else 1, and returns a
-``SerialRunner`` for one worker or a ``ProcessPoolRunner`` otherwise;
-the chunk size resolves the same way (argument, else
-``REPRO_CHUNKSIZE``, else the automatic four-chunks-per-worker split).
-The CLI exposes both knobs as ``repro run ... --workers N
---chunksize C``.
+else the ``REPRO_WORKERS`` environment variable, else 1; the chunk size
+resolves the same way (argument, else ``REPRO_CHUNKSIZE``, else the
+automatic four-chunks-per-worker split), and the backend likewise
+(argument, else ``REPRO_BACKEND``, else ``auto``).  All three knobs are
+validated uniformly on every construction path — a zero or garbage
+environment value raises instead of being silently accepted.  The CLI
+exposes them as ``repro run ... --workers N --chunksize C
+--backend B``.
 """
 
+from repro.runtime.backends import (
+    available_backends,
+    make_runner,
+    register_backend,
+    resolve_backend,
+)
 from repro.runtime.runner import (
     ProcessPoolRunner,
     SerialRunner,
     TrialRunner,
-    make_runner,
     resolve_chunksize,
     resolve_workers,
 )
@@ -120,6 +151,7 @@ from repro.runtime.trial import TrialExecutionError, TrialResult, TrialSpec
 from repro.runtime.workload import Workload, WorkloadMissError, WorkloadRef
 
 __all__ = [
+    "ClusterRunner",
     "ProcessPoolRunner",
     "SerialRunner",
     "TrialExecutionError",
@@ -129,7 +161,24 @@ __all__ = [
     "Workload",
     "WorkloadMissError",
     "WorkloadRef",
+    "available_backends",
     "make_runner",
+    "register_backend",
+    "resolve_backend",
     "resolve_chunksize",
     "resolve_workers",
 ]
+
+
+def __getattr__(name):
+    # ClusterRunner is exported lazily (PEP 562) so the common
+    # serial/process paths never pay the socket/subprocess machinery's
+    # import cost; `from repro.runtime import ClusterRunner` still
+    # works, it just loads repro.runtime.cluster on first use.
+    if name == "ClusterRunner":
+        from repro.runtime.cluster import ClusterRunner
+
+        return ClusterRunner
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}"
+    )

@@ -1,0 +1,1112 @@
+"""Socket cluster executor: trials on TCP worker nodes.
+
+The third runner backend.  A :class:`ClusterRunner` (coordinator)
+connects to ``repro worker serve`` node processes — on this machine or
+any other — and speaks the shared-payload workload protocol of
+:mod:`repro.runtime.workload` end-to-end over TCP:
+
+* slim ``(trial, seed)`` specs stream to nodes in **chunks** (a spec's
+  pickled wire form collapses its workload to a 16-byte content id);
+* each content-addressed :class:`~repro.runtime.workload.Workload`
+  ships to a node **once** — the coordinator tracks per-node shipped
+  ids and attaches unseen payloads to the first chunk that needs them;
+  a worker that still meets an unknown id (nested specs reveal them in
+  stages) reports a first-touch miss and the chunk is resubmitted with
+  the payload attached, exactly as the process pool does;
+* trial results stream back per chunk and are reassembled by offset
+  (:class:`ChunkBoard`), so completion order never leaks into the
+  output and the determinism contract holds: byte-identical
+  ``ResultTable``\\ s versus ``SerialRunner`` for the same master seed;
+* a trial that raises on a node comes back as a
+  :class:`~repro.runtime.trial.TrialExecutionError` with the node-side
+  traceback preserved in ``detail``.
+
+Fault tolerance is at the **batch** level: a node that disconnects
+mid-batch (crash, kill, network) has its outstanding chunk requeued to
+the surviving nodes.  Trials are pure functions of their spec, so a
+re-executed chunk reproduces its results exactly and the retry is
+invisible in the output.  Each chunk carries a retry budget
+(``retries`` requeues); exhausting it — or losing every node — raises
+a clean ``TrialExecutionError`` naming the lost chunks.  The trigger
+is a *broken connection*: a node that wedges while its socket stays
+open (deadlocked trial, paused VM, partition with no RST) blocks its
+chunk indefinitely, exactly as a hung trial blocks the process pool —
+heartbeat-based detection is a ROADMAP follow-on.
+
+Node discovery
+--------------
+
+``ClusterRunner(nodes=...)`` takes ``"host:port"`` strings; with no
+argument it reads ``$REPRO_CLUSTER_NODES`` (comma-separated).  With
+neither, the runner is **self-managed**: it spawns ``workers`` (default
+2) localhost ``repro worker serve`` subprocesses on first use and reaps
+them on ``close()``.  External nodes are shared infrastructure — many
+runners may connect to them in turn (a node's workload cache persists
+for its lifetime, so a payload still ships once per *node*, not once
+per runner) — and ``close()`` never shuts them down.
+
+Wire format
+-----------
+
+Frames are ``b"RPRO" + big-endian uint32 length + pickle payload``;
+:func:`encode_frame` / :class:`FrameReader` implement framing
+independently of sockets (and are property-tested over torn and
+partial reads).  Messages are ``(kind, body)`` tuples; the handshake is
+``("hello", {"version"})`` → ``("welcome", {"version", "pid"})``, then
+``("chunk", {"chunk", "specs", "payloads"})`` answered by one of
+``("done", {"chunk", "results"})``, ``("miss", {"chunk",
+"workload_ids"})`` or ``("failed", {"chunk", "key", "detail"})``.
+
+**Security note:** frames carry pickles, which execute arbitrary code
+on unpickling.  A worker node must only listen where its coordinator
+is trusted — the default bind is loopback; anything wider belongs on a
+private network you control.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import queue
+import struct
+import socket
+import subprocess
+import sys
+import threading
+import time
+import weakref
+from collections import deque
+from collections.abc import Iterable, Sequence
+from pathlib import Path
+
+from repro.runtime.runner import (
+    TrialRunner,
+    _execute_chunk,
+    batch_payloads,
+    pick_chunksize,
+    resolve_chunksize,
+    resolve_miss_payload,
+    resolve_workers,
+    split_chunks,
+)
+from repro.runtime.trial import TrialExecutionError, TrialResult, TrialSpec
+from repro.runtime.workload import Workload, WorkloadMissError
+
+__all__ = [
+    "ChunkBoard",
+    "ClusterRunner",
+    "FrameReader",
+    "LocalNode",
+    "MessageStream",
+    "NODES_ENV",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "encode_frame",
+    "parse_nodes",
+    "serve",
+    "spawn_local_nodes",
+]
+
+#: Environment variable naming the worker nodes ("host:port,host:port").
+NODES_ENV = "REPRO_CLUSTER_NODES"
+
+#: Nodes a self-managed runner spawns when nothing names a count.
+DEFAULT_LOCAL_NODES = 2
+
+#: Bumped on any incompatible wire change; checked in the handshake.
+PROTOCOL_VERSION = 1
+
+#: Stdout line a worker prints once its socket is bound (the spawner
+#: parses it to learn an ephemeral port).
+READY_PREFIX = "REPRO-WORKER LISTENING "
+
+_MAGIC = b"RPRO"
+_HEADER = struct.Struct(">4sI")
+
+#: Upper bound on a single frame; a length beyond this means a corrupt
+#: or hostile stream, not a real batch.
+MAX_FRAME_BYTES = 1 << 31
+
+
+class ProtocolError(RuntimeError):
+    """The byte stream violated the cluster wire protocol."""
+
+
+# --------------------------------------------------------------------------
+# Framing (socket-independent; property-tested)
+# --------------------------------------------------------------------------
+
+
+def encode_frame(message) -> bytes:
+    """Serialise one message into a self-delimiting frame."""
+    payload = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+    return _HEADER.pack(_MAGIC, len(payload)) + payload
+
+
+class FrameReader:
+    """Incremental frame decoder tolerant of arbitrary read boundaries.
+
+    ``feed`` accepts whatever bytes arrived — half a header, three
+    frames and a torn fourth — buffers the remainder, and returns every
+    message completed so far, in order.
+    """
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+
+    @property
+    def mid_frame(self) -> bool:
+        """True when buffered bytes form an incomplete frame."""
+        return bool(self._buffer)
+
+    def feed(self, data: bytes) -> list:
+        self._buffer.extend(data)
+        messages = []
+        while len(self._buffer) >= _HEADER.size:
+            magic, length = _HEADER.unpack_from(self._buffer)
+            if magic != _MAGIC:
+                raise ProtocolError(
+                    f"bad frame magic {bytes(magic)!r}; peer is not "
+                    "speaking the repro cluster protocol"
+                )
+            if length > MAX_FRAME_BYTES:
+                raise ProtocolError(
+                    f"frame length {length} exceeds the "
+                    f"{MAX_FRAME_BYTES}-byte cap"
+                )
+            end = _HEADER.size + length
+            if len(self._buffer) < end:
+                break
+            payload = bytes(self._buffer[_HEADER.size : end])
+            del self._buffer[:end]
+            messages.append(pickle.loads(payload))
+        return messages
+
+
+class MessageStream:
+    """A connected socket carrying framed messages, both directions."""
+
+    def __init__(self, sock: socket.socket) -> None:
+        self._sock = sock
+        self._reader = FrameReader()
+        self._pending: deque = deque()
+
+    def send(self, message) -> None:
+        self._sock.sendall(encode_frame(message))
+
+    def settimeout(self, timeout: float | None) -> None:
+        """Bound blocking sends/recvs (None restores blocking mode)."""
+        self._sock.settimeout(timeout)
+
+    def recv(self):
+        """Block for the next message.
+
+        Raises :class:`ConnectionError` on orderly EOF between frames
+        and :class:`ProtocolError` on EOF that tears a frame in half.
+        """
+        while not self._pending:
+            data = self._sock.recv(1 << 16)
+            if not data:
+                if self._reader.mid_frame:
+                    raise ProtocolError("connection closed mid-frame")
+                raise ConnectionError("connection closed by peer")
+            self._pending.extend(self._reader.feed(data))
+        return self._pending.popleft()
+
+    def close(self) -> None:
+        try:
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        self._sock.close()
+
+
+def parse_nodes(nodes) -> tuple[tuple[str, int], ...]:
+    """Normalise node addresses to ``((host, port), ...)``.
+
+    Accepts a comma-separated string (the ``$REPRO_CLUSTER_NODES``
+    form), an iterable of ``"host:port"`` strings, or an iterable of
+    ``(host, port)`` pairs — rejecting empty hosts and out-of-range
+    ports uniformly.
+
+    >>> parse_nodes("127.0.0.1:7101, 127.0.0.1:7102")
+    (('127.0.0.1', 7101), ('127.0.0.1', 7102))
+    """
+    if isinstance(nodes, str):
+        # Empty segments (trailing comma, doubled separator — easy
+        # shell/templating artifacts) are skipped, not errors.
+        nodes = [part for part in nodes.split(",") if part.strip()]
+    out = []
+    for node in nodes:
+        if isinstance(node, str):
+            text = node.strip()
+            host, sep, port_text = text.rpartition(":")
+            if not sep:
+                raise ValueError(
+                    f"node address {text!r} is not 'host:port'"
+                )
+            try:
+                port = int(port_text)
+            except ValueError:
+                raise ValueError(
+                    f"node address {text!r} has a non-integer port"
+                ) from None
+        else:
+            host, port = node
+        host = str(host).strip()
+        if not host:
+            raise ValueError(f"node address {node!r} has an empty host")
+        if not 1 <= int(port) <= 65535:
+            raise ValueError(
+                f"node address {node!r} has out-of-range port {port}"
+            )
+        out.append((host, int(port)))
+    if not out:
+        raise ValueError("no cluster node addresses given")
+    return tuple(out)
+
+
+# --------------------------------------------------------------------------
+# Worker node (the `repro worker serve` side)
+# --------------------------------------------------------------------------
+
+
+def _handle_connection(conn: socket.socket, stop: threading.Event) -> None:
+    """Serve one coordinator connection until it hangs up."""
+    stream = MessageStream(conn)
+    try:
+        while True:
+            try:
+                message = stream.recv()
+            except (ConnectionError, ProtocolError, OSError):
+                return
+            kind, body = message
+            if kind == "hello":
+                if body.get("version") != PROTOCOL_VERSION:
+                    stream.send(
+                        (
+                            "error",
+                            {
+                                "detail": (
+                                    "protocol version mismatch: node "
+                                    f"speaks {PROTOCOL_VERSION}, "
+                                    f"coordinator sent "
+                                    f"{body.get('version')!r}"
+                                )
+                            },
+                        )
+                    )
+                    return
+                stream.send(
+                    (
+                        "welcome",
+                        {"version": PROTOCOL_VERSION, "pid": os.getpid()},
+                    )
+                )
+            elif kind == "chunk":
+                reply = _run_chunk_message(body)
+                try:
+                    stream.send(reply)
+                except (ConnectionError, OSError):
+                    raise
+                except Exception as exc:
+                    # The reply itself would not serialise — e.g. a
+                    # trial returned an unpicklable value.  Framing
+                    # pickles before any byte hits the socket, so the
+                    # connection is still clean: report the real cause
+                    # instead of dying and looking like a lost node.
+                    import traceback
+
+                    stream.send(
+                        (
+                            "failed",
+                            {
+                                "chunk": body["chunk"],
+                                "key": ("<node>",),
+                                "detail": (
+                                    "chunk reply could not be "
+                                    f"serialised: {type(exc).__name__}: "
+                                    f"{exc}\n{traceback.format_exc()}"
+                                ),
+                            },
+                        )
+                    )
+            elif kind == "shutdown":
+                stream.send(("bye", {}))
+                stop.set()
+                return
+            else:
+                stream.send(
+                    ("error", {"detail": f"unknown message kind {kind!r}"})
+                )
+                return
+    finally:
+        stream.close()
+
+
+def _run_chunk_message(body: dict):
+    """Execute one chunk message; build the reply frame."""
+    chunk_id = body["chunk"]
+    try:
+        results = _execute_chunk(body["specs"], body.get("payloads") or None)
+    except WorkloadMissError as miss:
+        return (
+            "miss",
+            {"chunk": chunk_id, "workload_ids": miss.workload_ids},
+        )
+    except TrialExecutionError as err:
+        return (
+            "failed",
+            {"chunk": chunk_id, "key": err.key, "detail": err.detail},
+        )
+    except Exception as exc:  # defensive: never kill the node silently
+        import traceback
+
+        return (
+            "failed",
+            {
+                "chunk": chunk_id,
+                "key": ("<node>",),
+                "detail": (
+                    f"{type(exc).__name__}: {exc}\n"
+                    f"{traceback.format_exc()}"
+                ),
+            },
+        )
+    return ("done", {"chunk": chunk_id, "results": results})
+
+
+def serve(
+    host: str = "127.0.0.1",
+    port: int = 0,
+    *,
+    ready_stream=None,
+) -> None:
+    """Run a worker node: execute trial chunks for cluster coordinators.
+
+    Binds ``host:port`` (``port=0`` picks an ephemeral port), announces
+    ``REPRO-WORKER LISTENING host:port`` on ``ready_stream`` (default
+    stdout), then serves coordinator connections — each on its own
+    thread — until a coordinator sends ``shutdown`` or the process is
+    signalled.  The node's workload cache
+    (:func:`repro.runtime.workload.install_workloads`) persists across
+    connections, so a payload ships to the node once per *node
+    lifetime* however many runners use it.
+    """
+    if not 0 <= port <= 65535:
+        raise ValueError(f"port must be in [0, 65535], got {port}")
+    stop = threading.Event()
+    server = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    server.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+    try:
+        server.bind((host, port))
+        server.listen()
+        bound_host, bound_port = server.getsockname()[:2]
+        out = ready_stream if ready_stream is not None else sys.stdout
+        print(f"{READY_PREFIX}{bound_host}:{bound_port}", file=out, flush=True)
+        server.settimeout(0.2)  # poll so the shutdown flag is noticed
+        while not stop.is_set():
+            try:
+                conn, _addr = server.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                break
+            threading.Thread(
+                target=_handle_connection,
+                args=(conn, stop),
+                daemon=True,
+                name="repro-worker-conn",
+            ).start()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.close()
+
+
+# --------------------------------------------------------------------------
+# Local node processes (self-managed clusters, tests, benchmarks)
+# --------------------------------------------------------------------------
+
+
+class LocalNode:
+    """A ``repro worker serve`` subprocess on this machine."""
+
+    def __init__(
+        self, proc: subprocess.Popen, host: str, port: int
+    ) -> None:
+        self.proc = proc
+        self.host = host
+        self.port = port
+        #: Most recent output lines, for post-mortem diagnostics; the
+        #: drain thread keeps the pipe from ever filling (a full 64KB
+        #: pipe would block a chatty node mid-write and hang its run).
+        self.output_tail: deque[str] = deque(maxlen=50)
+        self._drainer = threading.Thread(
+            target=self._drain, daemon=True, name=f"repro-node-drain-{port}"
+        )
+        self._drainer.start()
+
+    def _drain(self) -> None:
+        try:
+            for line in self.proc.stdout:
+                self.output_tail.append(line)
+        except ValueError:
+            pass  # stdout closed by terminate()
+
+    @property
+    def address(self) -> str:
+        return f"{self.host}:{self.port}"
+
+    def terminate(self) -> None:
+        """Stop the node process (idempotent)."""
+        if self.proc.poll() is None:
+            self.proc.terminate()
+            try:
+                self.proc.wait(timeout=5)
+            except subprocess.TimeoutExpired:
+                self.proc.kill()
+                self.proc.wait()
+        if self.proc.stdout is not None:
+            self.proc.stdout.close()
+
+    def __repr__(self) -> str:
+        state = "live" if self.proc.poll() is None else "dead"
+        return f"LocalNode({self.address}, {state})"
+
+
+def _terminate_nodes(nodes: Sequence[LocalNode]) -> None:
+    for node in nodes:
+        node.terminate()
+
+
+def _worker_env(extra_paths: Iterable[str] = ()) -> dict:
+    """Subprocess env whose PYTHONPATH can import repro + extras."""
+    src_root = Path(__file__).resolve().parents[2]
+    env = dict(os.environ)
+    paths = [str(src_root), *[str(p) for p in extra_paths]]
+    existing = env.get("PYTHONPATH")
+    if existing:
+        paths.append(existing)
+    env["PYTHONPATH"] = os.pathsep.join(paths)
+    return env
+
+
+def _read_ready_line(proc: subprocess.Popen) -> tuple[str, int]:
+    lines = []
+    while True:
+        line = proc.stdout.readline()
+        if not line:
+            proc.wait()
+            raise RuntimeError(
+                "worker node exited before announcing its address "
+                f"(exit code {proc.returncode}); output:\n"
+                + "".join(lines)
+            )
+        if line.startswith(READY_PREFIX):
+            host, _, port_text = (
+                line[len(READY_PREFIX) :].strip().rpartition(":")
+            )
+            return host, int(port_text)
+        lines.append(line)
+
+
+def spawn_local_nodes(
+    count: int, *, extra_paths: Iterable[str] = ()
+) -> list[LocalNode]:
+    """Spawn ``count`` localhost worker nodes on ephemeral ports.
+
+    ``extra_paths`` adds directories to each node's import path
+    (``repro worker serve --path``), for work units whose kernels live
+    outside the installed package.  On any spawn failure every
+    already-started node is reaped before the error propagates.
+    """
+    if count < 1:
+        raise ValueError(f"node count must be >= 1, got {count}")
+    command = [sys.executable, "-u", "-m", "repro", "worker", "serve",
+               "--host", "127.0.0.1", "--port", "0"]
+    for path in extra_paths:
+        command += ["--path", str(path)]
+    env = _worker_env(extra_paths)
+    nodes: list[LocalNode] = []
+    try:
+        for _ in range(count):
+            proc = subprocess.Popen(
+                command,
+                stdout=subprocess.PIPE,
+                stderr=subprocess.STDOUT,
+                env=env,
+                text=True,
+            )
+            host, port = _read_ready_line(proc)
+            nodes.append(LocalNode(proc, host, port))
+    except BaseException:
+        _terminate_nodes(nodes)
+        raise
+    return nodes
+
+
+# --------------------------------------------------------------------------
+# Coordinator
+# --------------------------------------------------------------------------
+
+
+class ChunkBoard:
+    """Reassembles chunk results into submission order, thread-safely.
+
+    Chunks complete in whatever order nodes finish (and a requeued
+    chunk may even complete twice — trials are pure, so duplicates are
+    identical and placement is idempotent); the board keys everything
+    by batch offset so the final list is always in submission order.
+    """
+
+    def __init__(self, total: int) -> None:
+        self._results: list = [None] * total
+        self._placed = [False] * total
+        self._filled = 0
+        self._lock = threading.Lock()
+
+    def place(self, start: int, results: Sequence) -> None:
+        if start < 0 or start + len(results) > len(self._results):
+            raise ProtocolError(
+                f"chunk at offset {start} with {len(results)} results "
+                f"overflows a {len(self._results)}-trial batch"
+            )
+        with self._lock:
+            for offset, result in enumerate(results):
+                index = start + offset
+                if not self._placed[index]:
+                    self._placed[index] = True
+                    self._filled += 1
+                self._results[index] = result
+
+    @property
+    def complete(self) -> bool:
+        return self._filled == len(self._results)
+
+    def results(self) -> list:
+        if not self.complete:
+            missing = sum(1 for placed in self._placed if not placed)
+            raise RuntimeError(f"batch incomplete: {missing} trials unplaced")
+        return list(self._results)
+
+
+class _Task:
+    """One chunk in flight, with its retry and shipping history."""
+
+    __slots__ = ("start", "chunk", "attempts", "shipped")
+
+    def __init__(self, start: int, chunk: list) -> None:
+        self.start = start
+        self.chunk = chunk
+        self.attempts = 0  # requeues consumed so far
+        self.shipped: set[str] = set()  # ids this chunk reported missing
+
+    def describe(self) -> str:
+        first, last = self.chunk[0].key, self.chunk[-1].key
+        span = f"{first!r}" if len(self.chunk) == 1 else f"{first!r}..{last!r}"
+        return f"offset {self.start} (keys {span})"
+
+
+class _RunState:
+    """Completion/failure bookkeeping shared by the node threads."""
+
+    def __init__(self, total_chunks: int, live_nodes: int, retries: int):
+        self.total = total_chunks
+        self.retries = retries
+        self.completed = 0
+        self.live = live_nodes
+        self.failure: BaseException | None = None
+        self._cond = threading.Condition()
+
+    @property
+    def finished(self) -> bool:
+        return self.failure is not None or self.completed == self.total
+
+    def chunk_done(self) -> None:
+        with self._cond:
+            self.completed += 1
+            self._cond.notify_all()
+
+    def fail(self, exc: BaseException) -> None:
+        with self._cond:
+            if self.failure is None:
+                self.failure = exc
+            self._cond.notify_all()
+
+    def node_exit(self) -> None:
+        with self._cond:
+            self.live -= 1
+            self._cond.notify_all()
+
+    def wait(self) -> None:
+        """Block until done, failed, or every node thread has exited."""
+        with self._cond:
+            while not self.finished and self.live > 0:
+                self._cond.wait(timeout=0.5)
+
+
+class _Node:
+    """Coordinator-side handle on one worker node connection."""
+
+    def __init__(self, address: tuple[str, int]) -> None:
+        self.address = address
+        self.stream: MessageStream | None = None
+        self.known_ids: set[str] = set()  # payloads this node has cached
+        self.alive = False
+        self.local: LocalNode | None = None  # backing self-managed proc
+        # Healing backoff: a node that keeps refusing to come back is
+        # not re-dialed (at full connect_timeout) before every batch.
+        self.heal_backoff = 0.0
+        self.heal_at = 0.0  # monotonic deadline for the next attempt
+
+    def connect(self, timeout: float) -> None:
+        sock = socket.create_connection(self.address, timeout=timeout)
+        self.stream = MessageStream(sock)  # handshake under the timeout
+        try:
+            self.stream.send(("hello", {"version": PROTOCOL_VERSION}))
+            kind, body = self.stream.recv()
+        except socket.timeout:
+            self.stream.close()
+            raise ProtocolError(
+                f"handshake with {self.address[0]}:{self.address[1]} "
+                f"timed out after {timeout}s"
+            ) from None
+        if kind != "welcome" or body.get("version") != PROTOCOL_VERSION:
+            detail = body.get("detail", f"unexpected {kind!r} reply")
+            self.stream.close()
+            raise ProtocolError(
+                f"handshake with {self.address[0]}:{self.address[1]} "
+                f"failed: {detail}"
+            )
+        self.stream.settimeout(None)
+        self.alive = True
+
+    def close(self) -> None:
+        self.alive = False
+        if self.stream is not None:
+            self.stream.close()
+            self.stream = None
+
+
+class ClusterRunner(TrialRunner):
+    """Run trials on TCP worker nodes (``repro worker serve``).
+
+    Parameters
+    ----------
+    nodes:
+        Worker addresses — a ``"host:port,host:port"`` string or an
+        iterable of ``"host:port"`` / ``(host, port)``.  Default: the
+        ``$REPRO_CLUSTER_NODES`` environment variable; with neither,
+        the runner self-manages ``workers`` localhost node processes.
+    workers:
+        Node count for the self-managed case (argument, else
+        ``$REPRO_WORKERS``, else 2); ignored when ``nodes`` names the
+        cluster, whose size wins.
+    chunksize:
+        Specs per chunk (argument, else ``$REPRO_CHUNKSIZE``, else
+        about four chunks per node).
+    retries:
+        Requeues a chunk survives when nodes disconnect mid-batch
+        before the run fails naming it.
+    connect_timeout:
+        Seconds allowed for each node connection + handshake.
+
+    Connections (and self-managed node processes) are lazy and
+    persistent, mirroring :class:`ProcessPoolRunner`'s pool: the first
+    parallel batch pays them, later batches reuse them, ``close()`` (or
+    a ``with`` block) releases them.  A node lost mid-batch is healed
+    before the *next* batch — reconnected at its address (external) or
+    respawned (self-managed) — so a transient loss does not shrink the
+    cluster for the runner's lifetime.  Errors tear connections down;
+    external nodes themselves are never shut down by a coordinator.
+    """
+
+    def __init__(
+        self,
+        nodes=None,
+        workers: int | None = None,
+        chunksize: int | None = None,
+        retries: int = 2,
+        connect_timeout: float = 10.0,
+    ) -> None:
+        if nodes is None:
+            raw = os.environ.get(NODES_ENV, "").strip()
+            nodes = raw or None
+        self._addresses = parse_nodes(nodes) if nodes is not None else None
+        if self._addresses is not None:
+            # The named cluster's size wins, but the workers knob is
+            # still *validated* — REPRO_WORKERS=0 must raise here as it
+            # does on every other construction path.
+            resolve_workers(workers)
+            self.workers = len(self._addresses)
+            self._spawn_count = 0
+        else:
+            self._spawn_count = resolve_workers(
+                workers, default=DEFAULT_LOCAL_NODES
+            )
+            self.workers = self._spawn_count
+        self.chunksize = resolve_chunksize(chunksize)
+        if not isinstance(retries, int) or retries < 0:
+            raise ValueError(f"retries must be an integer >= 0, got {retries}")
+        self.retries = retries
+        self.connect_timeout = float(connect_timeout)
+        self._nodes: list[_Node] | None = None
+        # Self-managed node processes.  The list object is shared with
+        # the GC finalizer and mutated in place, so whatever is spawned
+        # at collection time is what gets reaped.
+        self._local: list[LocalNode] = []
+        self._finalizer = weakref.finalize(
+            self, _terminate_nodes, self._local
+        )
+
+    # -- node lifecycle ---------------------------------------------------
+
+    def _spawn_one(self) -> LocalNode:
+        local = spawn_local_nodes(1)[0]
+        self._local.append(local)
+        return local
+
+    def _drop_local(self, local: LocalNode) -> None:
+        local.terminate()
+        try:
+            self._local.remove(local)
+        except ValueError:
+            pass
+
+    def _connect_all(self) -> list[_Node]:
+        nodes: list[_Node] = []
+        try:
+            if self._addresses is not None:
+                for address in self._addresses:
+                    node = _Node(address)
+                    node.connect(self.connect_timeout)
+                    nodes.append(node)
+            else:
+                for _ in range(self._spawn_count):
+                    local = self._spawn_one()
+                    node = _Node((local.host, local.port))
+                    node.local = local
+                    node.connect(self.connect_timeout)
+                    nodes.append(node)
+        except BaseException:
+            for node in nodes:
+                node.close()
+            self._reap_local()
+            raise
+        self._nodes = nodes
+        return nodes
+
+    def _heal_nodes(self) -> None:
+        """Best-effort recovery of nodes lost in an earlier batch.
+
+        External nodes are reconnected at their address (an operator
+        may have restarted them; the fresh connection assumes an empty
+        payload cache, which at worst re-ships — content addressing
+        makes that redundant, never wrong).  Self-managed processes are
+        respawned.  A node that stays down just stays out of the pool;
+        survivors carry the batch, and repeated failures back off
+        exponentially so a permanently-dead address is not re-dialed
+        (at full ``connect_timeout``) before every batch of a long
+        sweep.
+        """
+        for index, node in enumerate(self._nodes):
+            if node.alive:
+                continue
+            if time.monotonic() < node.heal_at:
+                continue  # still backing off this address
+            if node.local is not None:
+                self._drop_local(node.local)
+                try:
+                    local = self._spawn_one()
+                except (RuntimeError, OSError):
+                    self._note_heal_failure(node)
+                    continue
+                fresh = _Node((local.host, local.port))
+                fresh.local = local
+            else:
+                fresh = _Node(node.address)
+            try:
+                fresh.connect(self.connect_timeout)
+            except (OSError, ProtocolError):
+                if fresh.local is not None:
+                    self._drop_local(fresh.local)
+                self._note_heal_failure(node)
+                continue
+            self._nodes[index] = fresh
+
+    @staticmethod
+    def _note_heal_failure(node: _Node) -> None:
+        node.heal_backoff = min(max(1.0, node.heal_backoff * 2), 60.0)
+        node.heal_at = time.monotonic() + node.heal_backoff
+
+    def _ensure_nodes(self) -> list[_Node]:
+        """Connected live nodes: connect/spawn on first use, heal after
+        losses, full restart only when nothing survived."""
+        if self._nodes is None:
+            return self._connect_all()
+        if any(not node.alive for node in self._nodes):
+            self._heal_nodes()
+        live = [node for node in self._nodes if node.alive]
+        if live:
+            return live
+        self._discard_nodes()
+        return self._connect_all()
+
+    def _reap_local(self) -> None:
+        _terminate_nodes(self._local)
+        del self._local[:]
+
+    def _discard_nodes(self) -> None:
+        """Drop connections (and self-managed processes) immediately."""
+        if self._nodes is not None:
+            for node in self._nodes:
+                node.close()
+            self._nodes = None
+        self._reap_local()
+
+    def close(self) -> None:
+        """Release connections; stop self-managed node processes.
+
+        External nodes just see the connection close and keep serving
+        (they are shared infrastructure); self-managed nodes get a
+        graceful ``shutdown`` and then the subprocess is reaped.
+        """
+        if self._nodes is not None and self._local:
+            for node in self._nodes:
+                if node.alive and node.stream is not None:
+                    try:
+                        node.stream.settimeout(2.0)
+                        node.stream.send(("shutdown", {}))
+                        node.stream.recv()  # ("bye", {})
+                    except (ConnectionError, ProtocolError, OSError):
+                        pass
+        self._discard_nodes()
+
+    # -- scheduling -------------------------------------------------------
+
+    def run(self, specs: Iterable[TrialSpec]) -> list[TrialResult]:
+        specs = list(specs)
+        if not specs:
+            return []
+        size = pick_chunksize(len(specs), self.workers, self.chunksize)
+        chunks = split_chunks(specs, size)
+        if self._addresses is None and (
+            self.workers == 1 or len(chunks) == 1
+        ):
+            # No parallelism to extract and the nodes would be this
+            # machine anyway: run inline, exactly as the process pool
+            # does for a single chunk.  Explicitly-named nodes are
+            # different — the user asked for the work to run *there*
+            # (imports, memory, data locality may only exist on the
+            # node) — so every non-empty batch ships, however small.
+            return [spec.execute() for spec in specs]
+        nodes = self._ensure_nodes()
+        payload_table = batch_payloads(specs)
+        board = ChunkBoard(len(specs))
+        tasks: queue.Queue = queue.Queue()
+        for start, chunk in chunks:
+            tasks.put(_Task(start, chunk))
+        state = _RunState(
+            total_chunks=len(chunks),
+            live_nodes=len(nodes),
+            retries=self.retries,
+        )
+        threads = [
+            threading.Thread(
+                target=self._node_loop,
+                args=(node, tasks, board, state, payload_table),
+                daemon=True,
+                name=f"repro-cluster-{node.address[0]}:{node.address[1]}",
+            )
+            for node in nodes
+        ]
+        for thread in threads:
+            thread.start()
+        try:
+            state.wait()
+        except BaseException:
+            # Fail fast on Ctrl-C: drop connections (which unblocks any
+            # thread mid-recv) instead of finishing the sweep first.
+            self._discard_nodes()
+            raise
+        failure = state.failure
+        if failure is None and not board.complete:
+            lost = []
+            while True:
+                try:
+                    lost.append(tasks.get_nowait())
+                except queue.Empty:
+                    break
+            described = "; ".join(task.describe() for task in lost)
+            failure = TrialExecutionError(
+                ("<cluster>",),
+                f"all cluster nodes lost with {len(lost)} chunk(s) "
+                f"unfinished: {described or 'chunks still in flight'}",
+            )
+        if failure is not None:
+            self._discard_nodes()  # unblocks threads stuck in recv
+            for thread in threads:
+                thread.join(timeout=5)
+            raise failure
+        for thread in threads:
+            thread.join(timeout=5)
+        return board.results()
+
+    def _node_loop(self, node, tasks, board, state, payload_table) -> None:
+        """One thread per node: pull chunks, ship, collect, requeue."""
+        try:
+            while True:
+                if state.finished:
+                    return
+                try:
+                    task = tasks.get(timeout=0.05)
+                except queue.Empty:
+                    continue
+                if state.finished:
+                    return
+                try:
+                    self._run_chunk_on_node(
+                        node, task, board, state, payload_table
+                    )
+                except TrialExecutionError as exc:
+                    # Parent-side resolution failure (ownership bug).
+                    state.fail(exc)
+                    return
+                except (ConnectionError, ProtocolError, OSError) as exc:
+                    node.close()
+                    if state.finished:
+                        return
+                    if task.attempts >= state.retries:
+                        state.fail(
+                            TrialExecutionError(
+                                ("<cluster>",),
+                                f"chunk at {task.describe()} lost after "
+                                f"{task.attempts + 1} node failure(s) "
+                                f"(retry cap {state.retries}): {exc}",
+                            )
+                        )
+                    else:
+                        task.attempts += 1
+                        tasks.put(task)
+                    return  # this node is gone; the thread retires
+                except Exception as exc:
+                    # Not a transport fault: the chunk itself is the
+                    # problem (e.g. a spec that does not pickle).  A
+                    # requeue would poison every node in turn and a
+                    # silent thread death would hang the run, so fail
+                    # fast naming the chunk.  The connection may hold
+                    # a half-written frame, so drop it too.
+                    node.close()
+                    state.fail(
+                        TrialExecutionError(
+                            ("<cluster>",),
+                            f"chunk at {task.describe()} could not be "
+                            f"shipped or collected: "
+                            f"{type(exc).__name__}: {exc}",
+                        )
+                    )
+                    return
+        finally:
+            state.node_exit()
+
+    @staticmethod
+    def _ship_chunk(node: _Node, task: _Task, payloads: dict) -> None:
+        """Send one chunk message; record what the node now caches."""
+        node.stream.send(
+            (
+                "chunk",
+                {
+                    "chunk": task.start,
+                    "specs": task.chunk,
+                    "payloads": payloads,
+                },
+            )
+        )
+        node.known_ids.update(payloads)
+
+    def _run_chunk_on_node(
+        self, node, task, board, state, payload_table
+    ) -> None:
+        """Ship one chunk to one node and see it through to a result."""
+        payloads = {}
+        for spec in task.chunk:
+            workload = spec.workload
+            if (
+                isinstance(workload, Workload)
+                and workload.workload_id not in node.known_ids
+            ):
+                payloads[workload.workload_id] = workload
+        for workload_id in sorted(task.shipped):
+            # Ids an earlier node reported missing: pre-ship them to a
+            # node that has not seen them rather than waiting for the
+            # same miss again.
+            if (
+                workload_id not in node.known_ids
+                and workload_id not in payloads
+            ):
+                payloads[workload_id] = resolve_miss_payload(
+                    workload_id, payload_table, scheduler="<cluster>"
+                )
+        self._ship_chunk(node, task, payloads)
+        while True:
+            kind, body = node.stream.recv()
+            if kind == "done":
+                results = body["results"]
+                if len(results) != len(task.chunk):
+                    # A short reply would leave trials unplaced (and be
+                    # misreported later); a long one could overwrite a
+                    # neighbouring chunk.  Either way the node is not
+                    # speaking the protocol: drop it, requeue the chunk.
+                    raise ProtocolError(
+                        f"node {node.address[0]}:{node.address[1]} "
+                        f"returned {len(results)} results for a "
+                        f"{len(task.chunk)}-spec chunk"
+                    )
+                board.place(task.start, results)
+                state.chunk_done()
+                return
+            if kind == "miss":
+                missing = tuple(body["workload_ids"])
+                new_ids = set(missing) - node.known_ids
+                if not new_ids:
+                    state.fail(
+                        TrialExecutionError(
+                            ("<cluster>",),
+                            "workload shipping did not converge for "
+                            f"chunk at {task.describe()} (ids {missing} "
+                            "were already shipped to "
+                            f"{node.address[0]}:{node.address[1]}); "
+                            "this is a runtime bug",
+                        )
+                    )
+                    return
+                task.shipped.update(missing)
+                extra = {
+                    workload_id: resolve_miss_payload(
+                        workload_id, payload_table, scheduler="<cluster>"
+                    )
+                    for workload_id in sorted(new_ids)
+                }
+                self._ship_chunk(node, task, extra)
+                continue
+            if kind == "failed":
+                state.fail(
+                    TrialExecutionError(tuple(body["key"]), body["detail"])
+                )
+                return
+            raise ProtocolError(
+                f"unexpected reply kind {kind!r} from "
+                f"{node.address[0]}:{node.address[1]}"
+            )
+
+    def __repr__(self) -> str:
+        if self._addresses is not None:
+            where = ",".join(f"{h}:{p}" for h, p in self._addresses)
+        else:
+            where = f"self-managed x{self._spawn_count}"
+        state = "live" if self._nodes else "cold"
+        return (
+            f"ClusterRunner(nodes={where}, chunksize={self.chunksize}, "
+            f"retries={self.retries}, {state})"
+        )

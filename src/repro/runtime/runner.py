@@ -24,6 +24,13 @@ Experiments whose sweeps consist of many independent measurements use
 into **one** batch: a single sweep point's trials then interleave with
 every other point's across the pool, instead of parallelism stopping at
 the point boundary.
+
+Runner *construction* lives in :mod:`repro.runtime.backends` (the
+backend registry behind ``make_runner``); this module provides the
+in-process runners plus the chunking/payload helpers every batch
+scheduler shares — :func:`pick_chunksize`, :func:`split_chunks`,
+:func:`batch_payloads` and :func:`resolve_miss_payload` are also what
+the socket executor in :mod:`repro.runtime.cluster` builds on.
 """
 
 from __future__ import annotations
@@ -52,9 +59,12 @@ __all__ = [
     "ProcessPoolRunner",
     "SerialRunner",
     "TrialRunner",
-    "make_runner",
+    "batch_payloads",
+    "pick_chunksize",
     "resolve_chunksize",
+    "resolve_miss_payload",
     "resolve_workers",
+    "split_chunks",
 ]
 
 #: Environment variable consulted when no worker count is given.
@@ -67,29 +77,57 @@ CHUNKSIZE_ENV = "REPRO_CHUNKSIZE"
 _CHUNKS_PER_WORKER = 4
 
 
-def resolve_workers(workers: int | None = None) -> int:
-    """Resolve a worker count: argument, else ``$REPRO_WORKERS``, else 1.
+def _resolve_positive(value, env_var: str, what: str, default):
+    """Shared argument/environment resolution with uniform validation.
+
+    Every knob that means "a positive count" resolves the same way:
+    explicit argument beats the environment variable beats ``default``
+    — and **both** the argument and the environment value are rejected
+    when they are not integers >= 1.  Centralising this closes the
+    paths where an env-supplied ``0`` used to slip through unvalidated
+    (e.g. a directly-constructed runner that never consulted the env).
+    """
+    if value is None:
+        raw = os.environ.get(env_var, "").strip()
+        if not raw:
+            return default
+        try:
+            value = int(raw)
+        except ValueError:
+            raise ValueError(
+                f"${env_var} must be an integer, got {raw!r}"
+            ) from None
+        if value < 1:
+            raise ValueError(
+                f"${env_var} must be >= 1, got {raw!r}"
+            )
+        return value
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ValueError(f"{what} must be an integer, got {value!r}")
+    if value < 1:
+        raise ValueError(f"{what} must be >= 1, got {value}")
+    return value
+
+
+def resolve_workers(workers: int | None = None, *, default: int = 1) -> int:
+    """Resolve a worker count: argument, else ``$REPRO_WORKERS``, else
+    ``default`` (1).
+
+    Arguments and environment values validate identically: anything
+    that is not an integer >= 1 raises :class:`ValueError` on every
+    construction path.
 
     >>> resolve_workers(3)
     3
     """
-    if workers is None:
-        raw = os.environ.get(WORKERS_ENV, "").strip()
-        if not raw:
-            return 1
-        try:
-            workers = int(raw)
-        except ValueError:
-            raise ValueError(
-                f"${WORKERS_ENV} must be an integer, got {raw!r}"
-            ) from None
-    if workers < 1:
-        raise ValueError(f"worker count must be >= 1, got {workers}")
-    return workers
+    return _resolve_positive(workers, WORKERS_ENV, "worker count", default)
 
 
-def resolve_chunksize(chunksize: int | None = None) -> int | None:
-    """Resolve a chunk size: argument, else ``$REPRO_CHUNKSIZE``, else None.
+def resolve_chunksize(
+    chunksize: int | None = None, *, default: int | None = None
+) -> int | None:
+    """Resolve a chunk size: argument, else ``$REPRO_CHUNKSIZE``, else
+    ``default`` (None).
 
     ``None`` means "let the runner balance the batch itself" (about
     four chunks per worker).  Mirrors :func:`resolve_workers`, including
@@ -98,36 +136,75 @@ def resolve_chunksize(chunksize: int | None = None) -> int | None:
     >>> resolve_chunksize(16)
     16
     """
-    if chunksize is None:
-        raw = os.environ.get(CHUNKSIZE_ENV, "").strip()
-        if not raw:
-            return None
-        try:
-            chunksize = int(raw)
-        except ValueError:
-            raise ValueError(
-                f"${CHUNKSIZE_ENV} must be an integer, got {raw!r}"
-            ) from None
-    if chunksize < 1:
-        raise ValueError(f"chunksize must be >= 1, got {chunksize}")
-    return chunksize
+    return _resolve_positive(chunksize, CHUNKSIZE_ENV, "chunksize", default)
 
 
-def make_runner(
-    workers: int | None = None, chunksize: int | None = None
-) -> TrialRunner:
-    """Build the runner for a worker count (see :func:`resolve_workers`).
-
-    One worker gives the zero-overhead :class:`SerialRunner`; more give
-    a :class:`ProcessPoolRunner`.  ``chunksize`` (argument, else
-    ``$REPRO_CHUNKSIZE``) fixes the pool's specs-per-work-unit instead
-    of the automatic four-chunks-per-worker split.
+def pick_chunksize(
+    total: int, workers: int, chunksize: int | None = None
+) -> int:
+    """The specs-per-chunk for a batch: explicit size, else balance the
+    batch into about four chunks per worker.
     """
-    count = resolve_workers(workers)
-    size = resolve_chunksize(chunksize)
-    if count == 1:
-        return SerialRunner()
-    return ProcessPoolRunner(workers=count, chunksize=size)
+    if chunksize is not None:
+        return chunksize
+    return max(1, -(-total // (workers * _CHUNKS_PER_WORKER)))
+
+
+def split_chunks(
+    specs: Sequence, size: int
+) -> list[tuple[int, list]]:
+    """Split a batch into ``(start_offset, chunk)`` pairs of ``size``.
+
+    The offsets are what let any scheduler reassemble results in
+    submission order however chunks complete.
+
+    >>> split_chunks(["a", "b", "c"], 2)
+    [(0, ['a', 'b']), (2, ['c'])]
+    """
+    if size < 1:
+        raise ValueError(f"chunksize must be >= 1, got {size}")
+    return [
+        (start, list(specs[start : start + size]))
+        for start in range(0, len(specs), size)
+    ]
+
+
+def batch_payloads(specs: Sequence[TrialSpec]) -> dict[str, Workload]:
+    """The workload table of a batch: every payload, by content id."""
+    return {
+        spec.workload.workload_id: spec.workload
+        for spec in specs
+        if isinstance(spec.workload, Workload)
+    }
+
+
+def resolve_miss_payload(
+    workload_id: str,
+    batch: Mapping[str, Workload],
+    scheduler: str = "<pool>",
+) -> Workload:
+    """Find the payload for a worker-reported miss, scheduler-side.
+
+    The batch table covers every directly-referenced workload; the
+    constructed-workload registry covers specs nested inside other
+    specs.  Failing both means the emitter dropped the workload
+    while its specs were still running — an ownership-contract bug,
+    reported as such (keyed by ``scheduler`` so the error names the
+    runner that actually hit it).
+    """
+    workload = batch.get(workload_id)
+    if workload is not None:
+        return workload
+    try:
+        return resolve_workload(workload_id)
+    except WorkloadMissError:
+        raise TrialExecutionError(
+            (scheduler,),
+            f"worker requested workload {workload_id} but no live "
+            "Workload with that id exists in the parent; the "
+            "emitting code must keep workloads alive while their "
+            "specs run (see repro.runtime.workload)",
+        ) from None
 
 
 class TrialRunner(ABC):
@@ -227,14 +304,21 @@ class ProcessPoolRunner(TrialRunner):
     Parameters
     ----------
     workers:
-        Pool size; defaults to ``os.cpu_count()``.
+        Pool size; defaults to ``$REPRO_WORKERS`` if set, else
+        ``os.cpu_count()``.
     chunksize:
-        Specs per work unit.  Default: splits the batch into about
-        4 chunks per worker, a standard balance between scheduling
-        slack (small chunks) and IPC overhead (large chunks).
+        Specs per work unit; defaults to ``$REPRO_CHUNKSIZE`` if set,
+        else splits the batch into about 4 chunks per worker, a
+        standard balance between scheduling slack (small chunks) and
+        IPC overhead (large chunks).
     mp_context:
         A :mod:`multiprocessing` context, e.g. for forcing ``spawn``
         in tests; platform default when ``None``.
+
+    Both knobs resolve through the shared argument/env validators, so
+    an invalid environment value (``REPRO_CHUNKSIZE=0``, say) is
+    rejected here exactly as it is in ``make_runner`` — never silently
+    ignored.
     """
 
     def __init__(
@@ -243,12 +327,10 @@ class ProcessPoolRunner(TrialRunner):
         chunksize: int | None = None,
         mp_context=None,
     ) -> None:
-        if workers is None:
-            workers = os.cpu_count() or 1
-        self.workers = resolve_workers(workers)
-        if chunksize is not None and chunksize < 1:
-            raise ValueError(f"chunksize must be >= 1, got {chunksize}")
-        self.chunksize = chunksize
+        self.workers = resolve_workers(
+            workers, default=os.cpu_count() or 1
+        )
+        self.chunksize = resolve_chunksize(chunksize)
         self.mp_context = mp_context
         self._pool: ProcessPoolExecutor | None = None
         # The worker initializer's payload table.  The dict *instance*
@@ -294,63 +376,21 @@ class ProcessPoolRunner(TrialRunner):
     # -- scheduling -------------------------------------------------------
 
     def _pick_chunksize(self, total: int) -> int:
-        if self.chunksize is not None:
-            return self.chunksize
-        return max(1, -(-total // (self.workers * _CHUNKS_PER_WORKER)))
-
-    @staticmethod
-    def _batch_payloads(
-        specs: Sequence[TrialSpec],
-    ) -> dict[str, Workload]:
-        """The workload table of a batch: every payload, by content id."""
-        return {
-            spec.workload.workload_id: spec.workload
-            for spec in specs
-            if isinstance(spec.workload, Workload)
-        }
-
-    @staticmethod
-    def _resolve_miss(
-        workload_id: str, batch: Mapping[str, Workload]
-    ) -> Workload:
-        """Find the payload for a worker-reported miss, parent-side.
-
-        The batch table covers every directly-referenced workload; the
-        constructed-workload registry covers specs nested inside other
-        specs.  Failing both means the emitter dropped the workload
-        while its specs were still running — an ownership-contract bug,
-        reported as such.
-        """
-        workload = batch.get(workload_id)
-        if workload is not None:
-            return workload
-        try:
-            return resolve_workload(workload_id)
-        except WorkloadMissError:
-            raise TrialExecutionError(
-                ("<pool>",),
-                f"worker requested workload {workload_id} but no live "
-                "Workload with that id exists in the parent; the "
-                "emitting code must keep workloads alive while their "
-                "specs run (see repro.runtime.workload)",
-            ) from None
+        return pick_chunksize(total, self.workers, self.chunksize)
 
     def run(self, specs: Iterable[TrialSpec]) -> list[TrialResult]:
         specs = list(specs)
         if not specs:
             return []
         size = self._pick_chunksize(len(specs))
-        chunks = [
-            (start, specs[start : start + size])
-            for start in range(0, len(specs), size)
-        ]
+        chunks = split_chunks(specs, size)
         if self.workers == 1 or len(chunks) == 1:
             # A single worker, or a batch that folds into one chunk
             # (e.g. fewer trials than an explicit chunksize): there is
             # no parallelism to extract, so skip the pool entirely
             # rather than shipping the lone chunk to a worker.
             return [spec.execute() for spec in specs]
-        payloads = self._batch_payloads(specs)
+        payloads = batch_payloads(specs)
         results: list[TrialResult | None] = [None] * len(specs)
         # Per chunk offset: ids already shipped with a resubmission.
         # Retries are cumulative — a retry carries every id its chunk
@@ -390,7 +430,7 @@ class ProcessPoolRunner(TrialRunner):
                         # re-pickle every payload once per missing
                         # chunk on a warm pool.
                         needed = {
-                            workload_id: self._resolve_miss(
+                            workload_id: resolve_miss_payload(
                                 workload_id, payloads
                             )
                             for workload_id in sorted(already)

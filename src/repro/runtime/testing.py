@@ -1,0 +1,146 @@
+"""Backend-conformance kit: kernels and node helpers for runner tests.
+
+The conformance suite (``tests/runtime/test_backend_conformance.py``)
+runs one set of behavioural tests against **every** registered backend
+— in-process, forked pool, spawned pool, TCP cluster node.  Its work
+units must therefore be importable *by reference* in any process,
+including a ``repro worker serve`` node that never saw the test file:
+that is why the kernels live here, inside the installed package,
+rather than in the test modules themselves.  A future backend's tests
+should build their batches from this kit too.
+
+Nothing here is imported by the runtime proper.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+
+from repro.runtime.trial import TrialSpec
+from repro.runtime.workload import Workload, installed_workload_ids
+from repro.util.rng import uniform_for
+
+__all__ = [
+    "boom",
+    "cached_workload_ids",
+    "exit_hard",
+    "exit_once_then",
+    "local_nodes",
+    "make_workload",
+    "process_id",
+    "seeded_specs",
+    "seeded_uniform",
+    "shared_uniform",
+    "square",
+    "square_specs",
+    "unpicklable_value",
+    "workload_specs",
+]
+
+
+# -- kernels (module-level so they pickle by reference) --------------------
+
+
+def square(x):
+    return x * x
+
+
+def seeded_uniform(seed, label):
+    """A value that only the seed contract can make deterministic."""
+    return uniform_for(seed, label)
+
+
+def shared_uniform(payload, label, trial, seed):
+    """Workload kernel: shared ``(payload, label)`` + per-trial tail."""
+    return (len(payload), label, trial, uniform_for(seed, (label, trial)))
+
+
+def boom(x):
+    raise ValueError(f"boom {x}")
+
+
+def exit_hard(code=3):  # pragma: no cover - kills its own process
+    """Die without raising: simulates a crashed/killed worker node."""
+    os._exit(code)
+
+
+def exit_once_then(value, latch_path):
+    """Die the first time any process runs this; return ``value`` after.
+
+    The latch file makes the fault one-shot across a whole cluster:
+    the first node to execute the spec creates the latch and dies
+    mid-batch, and the retried chunk — on whatever node — finds the
+    latch and completes normally.  Trials stay pure *given the latch
+    state*, which is exactly what the requeue test needs.
+    """
+    try:
+        with open(latch_path, "x"):
+            pass
+    except FileExistsError:
+        return value
+    os._exit(3)  # pragma: no cover - kills its own process
+
+
+def cached_workload_ids(*_args):
+    """Report which workload payloads this process has been shipped."""
+    return sorted(installed_workload_ids())
+
+
+def process_id(*_args):
+    """Report the executing process — proves where a trial really ran."""
+    return os.getpid()
+
+
+def unpicklable_value(*_args):
+    """Return a value no runner can ship back with plain pickle."""
+    return lambda: None
+
+
+# -- batch builders --------------------------------------------------------
+
+
+def square_specs(count, tag="sq"):
+    return [
+        TrialSpec(key=(tag, i), fn=square, args=(i,)) for i in range(count)
+    ]
+
+
+def seeded_specs(count, label="x"):
+    return [
+        TrialSpec(key=("u", label, i), fn=seeded_uniform, args=(i, label))
+        for i in range(count)
+    ]
+
+
+def make_workload(label, size=2048):
+    """A content-addressed payload big enough that shipping matters."""
+    return Workload(fn=shared_uniform, args=(list(range(size)), label))
+
+
+def workload_specs(workload, count, tag="w"):
+    return [
+        TrialSpec(key=(tag, t), args=(t, t * 31), workload=workload)
+        for t in range(count)
+    ]
+
+
+# -- cluster node helpers --------------------------------------------------
+
+
+@contextmanager
+def local_nodes(count=2, extra_paths=()):
+    """Spawn localhost ``repro worker serve`` nodes; yield addresses.
+
+    Yields ``["host:port", ...]`` ready for ``ClusterRunner(nodes=...)``
+    or ``$REPRO_CLUSTER_NODES``; the node processes are terminated on
+    exit however the block ends.
+    """
+    from repro.runtime.cluster import spawn_local_nodes
+
+    nodes = spawn_local_nodes(count, extra_paths=extra_paths)
+    try:
+        yield [node.address for node in nodes]
+    finally:
+        for node in nodes:
+            node.terminate()

@@ -160,6 +160,38 @@ class TestCLI:
         with pytest.raises(SystemExit):
             main(["run", "A1", "--scale", "galactic"])
 
+    def test_run_with_explicit_serial_backend(self, capsys):
+        from repro.experiments.cli import main
+
+        assert main(["run", "A1", "--scale", "tiny", "--backend", "serial"]) == 0
+        assert "[A1]" in capsys.readouterr().out
+
+    def test_backend_choice_enforced(self):
+        from repro.experiments.cli import main
+
+        with pytest.raises(SystemExit):
+            main(["run", "A1", "--backend", "warp-drive"])
+
+    def test_worker_serve_parser(self):
+        from repro.experiments.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["worker", "serve", "--port", "7101", "--path", "/x"]
+        )
+        assert args.command == "worker"
+        assert args.worker_command == "serve"
+        assert args.host == "127.0.0.1"
+        assert args.port == 7101
+        assert args.path == ["/x"]
+
+    def test_worker_serve_port_validated(self):
+        from repro.experiments.cli import build_parser
+
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["worker", "serve", "--port", "70000"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["worker", "serve", "--port", "nope"])
+
     def test_thresholds_command(self, capsys):
         from repro.experiments.cli import main
 

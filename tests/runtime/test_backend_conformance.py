@@ -1,0 +1,242 @@
+"""Backend conformance: the gate every runner backend must pass.
+
+One parametrized suite, run against **every** registered backend — the
+parameters come straight from :func:`repro.runtime.available_backends`,
+so registering a backend subjects it to these tests automatically (the
+``auto`` alias is skipped; it constructs one of the others).  Covered:
+determinism versus ``SerialRunner``, ``run_grouped`` flattening,
+workload first-touch shipping (batch-scanned and nested), crash and
+traceback propagation, and the chunking edge cases (empty batch,
+chunk > batch, single spec).
+
+The cluster backend runs against a session-scoped pair of localhost
+``repro worker serve`` node processes; work units come from
+:mod:`repro.runtime.testing` so any node process can unpickle them by
+reference.  This suite is the ROADMAP-documented bar for adding a
+backend: a new name in the registry that cannot pass it does not ship.
+"""
+
+import pytest
+
+from repro.runtime import (
+    ClusterRunner,
+    SerialRunner,
+    TrialExecutionError,
+    TrialSpec,
+    available_backends,
+    make_runner,
+)
+from repro.runtime import testing as kit
+from repro.runtime.cluster import NODES_ENV
+from repro.runtime.trial import TrialResult
+
+BACKENDS = sorted(set(available_backends()) - {"auto"})
+
+
+def test_expected_backends_registered():
+    assert {"serial", "process", "cluster"} <= set(available_backends())
+
+
+@pytest.fixture(scope="session")
+def cluster_addresses():
+    """Two localhost worker nodes shared by the whole session."""
+    with kit.local_nodes(2) as addresses:
+        yield addresses
+
+
+@pytest.fixture(params=BACKENDS)
+def new_runner(request, cluster_addresses, monkeypatch):
+    """A factory for runners of one backend; closes everything made.
+
+    Construction goes through ``make_runner`` so the registry path is
+    part of what conformance certifies.  The cluster backend is pointed
+    at the session nodes via ``$REPRO_CLUSTER_NODES`` — external-node
+    mode, whose ``close()`` leaves the nodes serving.
+    """
+    if request.param == "cluster":
+        monkeypatch.setenv(NODES_ENV, ",".join(cluster_addresses))
+    else:
+        monkeypatch.delenv(NODES_ENV, raising=False)
+    monkeypatch.delenv("REPRO_BACKEND", raising=False)
+    monkeypatch.delenv("REPRO_WORKERS", raising=False)
+    monkeypatch.delenv("REPRO_CHUNKSIZE", raising=False)
+    created = []
+
+    def _make(workers=2, chunksize=2):
+        runner = make_runner(workers, chunksize, backend=request.param)
+        created.append(runner)
+        return runner
+
+    yield _make
+    for runner in created:
+        runner.close()
+
+
+class TestConformance:
+    def test_empty_batch(self, new_runner):
+        assert new_runner().run([]) == []
+
+    def test_single_spec(self, new_runner):
+        results = new_runner().run(kit.square_specs(1))
+        assert results == [TrialResult(key=("sq", 0), value=0)]
+
+    def test_chunk_larger_than_batch(self, new_runner):
+        runner = new_runner(workers=2, chunksize=64)
+        assert runner.run_values(kit.square_specs(5)) == [0, 1, 4, 9, 16]
+
+    def test_chunksize_one_preserves_order(self, new_runner):
+        runner = new_runner(workers=2, chunksize=1)
+        specs = kit.seeded_specs(11, label="order")
+        assert runner.run(specs) == SerialRunner().run(specs)
+
+    def test_matches_serial_on_seeded_trials(self, new_runner):
+        specs = kit.seeded_specs(12, label="det")
+        assert new_runner().run(specs) == SerialRunner().run(specs)
+
+    def test_results_in_submission_order(self, new_runner):
+        results = new_runner(chunksize=1).run(kit.square_specs(9))
+        assert [r.key for r in results] == [("sq", i) for i in range(9)]
+        assert [r.value for r in results] == [i * i for i in range(9)]
+
+    def test_run_grouped_flattens_and_regroups(self, new_runner):
+        groups = [
+            ("squares", kit.square_specs(4)),
+            ("empty", []),
+            ("uniforms", kit.seeded_specs(3, label="g")),
+        ]
+        out = new_runner(chunksize=1).run_grouped(groups)
+        assert out == SerialRunner().run_grouped(groups)
+        assert out["empty"] == []
+
+    def test_workload_specs_match_serial(self, new_runner):
+        workload = kit.make_workload("conf-shipping")
+        specs = kit.workload_specs(workload, 10)
+        assert new_runner(chunksize=1).run(specs) == SerialRunner().run(specs)
+
+    def test_second_batch_workload_first_touch(self, new_runner):
+        # Batch 1 establishes the workers/nodes; batch 2's payload
+        # appears only afterwards, so it must travel by first-touch
+        # (or per-node shipping) rather than any start-up snapshot.
+        runner = new_runner(chunksize=1)
+        first = kit.make_workload("conf-first")
+        second = kit.make_workload("conf-second")
+        out1 = runner.run(kit.workload_specs(first, 6, tag="f"))
+        out2 = runner.run(kit.workload_specs(second, 6, tag="s"))
+        assert out1 == SerialRunner().run(kit.workload_specs(first, 6, tag="f"))
+        assert out2 == SerialRunner().run(kit.workload_specs(second, 6, tag="s"))
+
+    def test_trial_error_carries_key_and_traceback(self, new_runner):
+        specs = kit.square_specs(4) + [
+            TrialSpec(key=("bad", 7), fn=kit.boom, args=(7,))
+        ]
+        with pytest.raises(TrialExecutionError) as err:
+            new_runner(chunksize=1).run(specs)
+        assert err.value.key == ("bad", 7)
+        assert "Traceback (most recent call last)" in err.value.detail
+        assert "boom" in err.value.detail
+
+    def test_mixed_plain_and_workload_batch(self, new_runner):
+        workload = kit.make_workload("conf-mixed")
+        specs = []
+        for t in range(10):
+            if t % 2:
+                specs.append(
+                    TrialSpec(key=("plain", t), fn=kit.square, args=(t,))
+                )
+            else:
+                specs.append(
+                    TrialSpec(key=("wl", t), args=(t, t), workload=workload)
+                )
+        assert new_runner(chunksize=3).run(specs) == SerialRunner().run(specs)
+
+
+class TestClusterExperimentParity:
+    """Cluster-vs-serial byte parity at the ResultTable level.
+
+    E1 exercises ``complexity_specs`` emission; E12 carries the fattest
+    explicit-graph payload in the registry.  ``chunksize=1`` maximises
+    interleaving across the two nodes — the adversarial schedule.
+    """
+
+    @pytest.mark.parametrize("experiment_id", ["E1", "E12"])
+    def test_cluster_matches_serial(self, cluster_addresses, experiment_id):
+        from repro.experiments.registry import get_experiment
+
+        spec = get_experiment(experiment_id)
+        serial = spec(scale="tiny", seed=11, runner=SerialRunner())
+        with ClusterRunner(nodes=cluster_addresses, chunksize=1) as runner:
+            clustered = spec(scale="tiny", seed=11, runner=runner)
+        assert serial.render() == clustered.render()
+        assert repr(serial.rows) == repr(clustered.rows)
+        assert serial.notes == clustered.notes
+
+
+class TestClusterSpecifics:
+    """Cluster behaviours beyond the shared conformance bar."""
+
+    def test_payload_ships_to_each_node_once(self, cluster_addresses):
+        workload = kit.make_workload("ship-once")
+        with ClusterRunner(nodes=cluster_addresses, chunksize=1) as runner:
+            runner.run(kit.workload_specs(workload, 6, tag="a"))
+            shipped = {
+                node.address: set(node.known_ids) for node in runner._nodes
+            }
+            # Whichever node(s) took chunks got the payload (under a
+            # loaded scheduler one node can drain the whole queue, so
+            # only the union is guaranteed)...
+            assert workload.workload_id in set().union(*shipped.values())
+            # ...and the same payload again reships nothing to anyone.
+            runner.run(kit.workload_specs(workload, 6, tag="b"))
+            assert {
+                node.address: set(node.known_ids) for node in runner._nodes
+            } == shipped
+
+    def test_nodes_cache_payloads_for_their_lifetime(self, cluster_addresses):
+        # A *new* runner against the same node: the node-side cache
+        # (ship once per node, not once per runner) must answer, which
+        # the worker reports via the installed-ids kernel.  One node,
+        # so queue scheduling cannot route around the assertion.
+        one_node = cluster_addresses[:1]
+        workload = kit.make_workload("cache-live")
+        with ClusterRunner(nodes=one_node, chunksize=1) as first:
+            first.run(kit.workload_specs(workload, 4))
+        probes = [
+            TrialSpec(key=("ids", i), fn=kit.cached_workload_ids, args=(i,))
+            for i in range(4)
+        ]
+        with ClusterRunner(nodes=one_node, chunksize=1) as second:
+            for ids in second.run_values(probes):
+                assert workload.workload_id in ids
+
+    def test_close_leaves_external_nodes_serving(self, cluster_addresses):
+        specs = kit.square_specs(6)
+        with ClusterRunner(nodes=cluster_addresses, chunksize=1) as runner:
+            assert runner.run_values(specs) == [i * i for i in range(6)]
+        # close() ran; the shared nodes must still accept a new runner.
+        with ClusterRunner(nodes=cluster_addresses, chunksize=1) as runner:
+            assert runner.run_values(specs) == [i * i for i in range(6)]
+
+    def test_single_external_node_still_executes_remotely(self):
+        # One *named* node is not "no parallelism": the user asked for
+        # the work to run there, so multi-chunk batches must ship to
+        # it rather than silently executing on the coordinator.
+        import os
+
+        with kit.local_nodes(1) as addresses:
+            probes = [
+                TrialSpec(key=("pid", i), fn=kit.process_id, args=(i,))
+                for i in range(6)
+            ]
+            with ClusterRunner(nodes=addresses, chunksize=1) as runner:
+                pids = set(runner.run_values(probes))
+        assert os.getpid() not in pids
+        assert len(pids) == 1
+
+    def test_single_chunk_runs_inline_without_nodes(self, monkeypatch):
+        # Mirrors the pool's inline path: a batch that folds into one
+        # chunk must not connect (or spawn) anything.
+        monkeypatch.delenv(NODES_ENV, raising=False)
+        runner = ClusterRunner(workers=2, chunksize=64)
+        assert runner.run_values(kit.square_specs(5)) == [0, 1, 4, 9, 16]
+        assert runner._nodes is None
+        assert runner._local == []

@@ -1,0 +1,269 @@
+"""Fault injection for the cluster executor.
+
+These tests run self-managed clusters (the runner spawns its own
+localhost node processes) so killing nodes cannot disturb the
+session-shared nodes of the conformance suite.  Faults are injected
+from inside trials — :func:`repro.runtime.testing.exit_hard` kills the
+node that executes it, :func:`~repro.runtime.testing.exit_once_then`
+kills exactly one node cluster-wide and then behaves — which is how a
+crashed or OOM-killed node looks to the coordinator: a dead socket
+mid-batch.
+"""
+
+import socket
+import threading
+
+import pytest
+
+from repro.runtime import (
+    ClusterRunner,
+    SerialRunner,
+    TrialExecutionError,
+    TrialSpec,
+)
+from repro.runtime import testing as kit
+from repro.runtime.cluster import (
+    NODES_ENV,
+    PROTOCOL_VERSION,
+    MessageStream,
+    ProtocolError,
+)
+from repro.runtime.trial import TrialResult
+
+
+@pytest.fixture(autouse=True)
+def _self_managed_only(monkeypatch):
+    monkeypatch.delenv(NODES_ENV, raising=False)
+    monkeypatch.delenv("REPRO_WORKERS", raising=False)
+    monkeypatch.delenv("REPRO_CHUNKSIZE", raising=False)
+
+
+def test_node_death_mid_batch_completes_on_survivor(tmp_path):
+    # One node dies executing the killer spec; its outstanding chunk is
+    # requeued to the surviving node and the batch finishes with
+    # results identical to serial execution of the same (pure) trials.
+    latch = tmp_path / "latch"
+    seeded = kit.seeded_specs(8, label="fault")
+    killer = TrialSpec(
+        key=("kill",), fn=kit.exit_once_then, args=(7.5, str(latch))
+    )
+    batch = seeded[:4] + [killer] + seeded[4:]
+    latch.touch()  # serial reference: the pure, post-fault behaviour
+    expected = SerialRunner().run(batch)
+    latch.unlink()
+    with ClusterRunner(workers=2, chunksize=1, retries=2) as runner:
+        assert runner.run(batch) == expected
+
+
+def test_workload_batch_survives_node_death(tmp_path):
+    # Same requeue, but with a shared payload in play: the surviving
+    # node must already have (or be reshipped) the workload for the
+    # requeued chunk.
+    latch = tmp_path / "latch"
+    workload = kit.make_workload("fault-payload")
+    specs = kit.workload_specs(workload, 8)
+    killer = TrialSpec(
+        key=("kill",), fn=kit.exit_once_then, args=(1.0, str(latch))
+    )
+    batch = specs[:3] + [killer] + specs[3:]
+    latch.touch()
+    expected = SerialRunner().run(batch)
+    latch.unlink()
+    with ClusterRunner(workers=2, chunksize=1, retries=2) as runner:
+        assert runner.run(batch) == expected
+
+
+def test_retry_cap_exhaustion_names_the_lost_chunk():
+    batch = kit.square_specs(6) + [
+        TrialSpec(key=("die", 0), fn=kit.exit_hard)
+    ]
+    with ClusterRunner(workers=2, chunksize=1, retries=0) as runner:
+        with pytest.raises(TrialExecutionError) as err:
+            runner.run(batch)
+    message = str(err.value)
+    assert "retry cap" in message
+    assert "die" in message  # the lost chunk is named by its keys
+
+
+def test_all_nodes_lost_reports_unfinished_chunks():
+    # A generous retry cap, but the killer takes out every node it
+    # reaches: the run must fail naming what never finished rather
+    # than hang waiting for nodes that no longer exist.
+    batch = kit.square_specs(4) + [TrialSpec(key=("die",), fn=kit.exit_hard)]
+    with ClusterRunner(workers=2, chunksize=1, retries=10) as runner:
+        with pytest.raises(TrialExecutionError, match="nodes lost"):
+            runner.run(batch)
+
+
+def test_partial_node_loss_heals_before_next_batch(tmp_path):
+    # One node dies mid-batch; the batch completes on the survivor.
+    # The *next* batch must not run on a permanently shrunken cluster:
+    # the dead self-managed node is respawned first.
+    latch = tmp_path / "latch"
+    killer = TrialSpec(
+        key=("kill",), fn=kit.exit_once_then, args=(0.0, str(latch))
+    )
+    with ClusterRunner(workers=2, chunksize=1, retries=2) as runner:
+        runner.run(kit.square_specs(6) + [killer])
+        assert sum(node.alive for node in runner._nodes) == 1
+        assert runner.run_values(kit.square_specs(6)) == [
+            i * i for i in range(6)
+        ]
+        assert sum(node.alive for node in runner._nodes) == 2
+
+
+def test_unshippable_chunk_fails_instead_of_hanging():
+    # A spec whose arguments cannot pickle is the chunk's fault, not a
+    # node fault: the run must raise promptly (naming the chunk), not
+    # requeue it around the cluster or strand the coordinator.
+    bad = TrialSpec(key=("unpicklable",), fn=kit.square, args=(lambda: 1,))
+    with ClusterRunner(workers=2, chunksize=1) as runner:
+        with pytest.raises(TrialExecutionError, match="could not be shipped"):
+            runner.run(kit.square_specs(6) + [bad])
+
+
+def test_unpicklable_result_surfaces_the_real_cause():
+    # A trial whose *result* will not pickle executes fine on the node
+    # but its reply cannot be framed; the node must report that as a
+    # trial failure naming the serialisation error — not die and make
+    # the coordinator misdiagnose a lost node.
+    bad = TrialSpec(key=("badvalue",), fn=kit.unpicklable_value, args=(0,))
+    with ClusterRunner(workers=2, chunksize=1, retries=0) as runner:
+        with pytest.raises(TrialExecutionError) as err:
+            runner.run(kit.square_specs(6) + [bad])
+    assert "could not be serialised" in err.value.detail
+    assert "Pickl" in err.value.detail or "pickle" in err.value.detail
+
+
+def test_runner_recovers_after_failed_run():
+    # A run that lost its nodes discards them; the next run respawns a
+    # fresh self-managed cluster and succeeds.
+    runner = ClusterRunner(workers=2, chunksize=1, retries=0)
+    with runner:
+        with pytest.raises(TrialExecutionError):
+            runner.run(
+                kit.square_specs(4)
+                + [TrialSpec(key=("die",), fn=kit.exit_hard)]
+            )
+        assert runner.run_values(kit.square_specs(6)) == [
+            i * i for i in range(6)
+        ]
+
+
+def test_close_is_idempotent_and_runner_reusable():
+    runner = ClusterRunner(workers=2, chunksize=1)
+    assert runner.run_values(kit.square_specs(6)) == [i * i for i in range(6)]
+    runner.close()
+    assert runner._nodes is None
+    runner.close()  # no-op
+    # a closed runner is still usable; it just pays start-up again
+    assert runner.run_values(kit.square_specs(6)) == [i * i for i in range(6)]
+    runner.close()
+
+
+def _serve_rogue(server: socket.socket) -> None:
+    """A fake in-process node that answers every chunk one result short."""
+    try:
+        conn, _ = server.accept()
+    except OSError:
+        return
+    stream = MessageStream(conn)
+    try:
+        while True:
+            try:
+                kind, body = stream.recv()
+            except (ConnectionError, ProtocolError, OSError):
+                return
+            if kind == "hello":
+                stream.send(
+                    ("welcome", {"version": PROTOCOL_VERSION, "pid": 0})
+                )
+            elif kind == "chunk":
+                fabricated = [
+                    TrialResult(key=spec.key, value=0)
+                    for spec in body["specs"]
+                ][:-1]
+                stream.send(
+                    ("done", {"chunk": body["chunk"], "results": fabricated})
+                )
+            else:
+                return
+    finally:
+        stream.close()
+
+
+def test_short_done_reply_is_a_protocol_failure():
+    # A node that returns fewer results than the chunk holds is not
+    # speaking the protocol; the run must fail cleanly (via the
+    # retry-cap path, since the rogue answer discredits the node), not
+    # report a completed batch with holes or overwrite neighbours.
+    servers = []
+    threads = []
+    addresses = []
+    for _ in range(2):
+        server = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        server.bind(("127.0.0.1", 0))
+        server.listen()
+        servers.append(server)
+        addresses.append(f"127.0.0.1:{server.getsockname()[1]}")
+        thread = threading.Thread(
+            target=_serve_rogue, args=(server,), daemon=True
+        )
+        thread.start()
+        threads.append(thread)
+    try:
+        runner = ClusterRunner(nodes=addresses, chunksize=2, retries=0)
+        with runner:
+            with pytest.raises(TrialExecutionError, match="retry cap"):
+                runner.run(kit.square_specs(8))
+    finally:
+        for server in servers:
+            server.close()
+
+
+class TestClusterConfig:
+    def test_default_node_count_is_two(self):
+        assert ClusterRunner().workers == 2
+
+    def test_workers_env_names_the_node_count(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "3")
+        assert ClusterRunner().workers == 3
+
+    def test_explicit_nodes_win_over_workers(self):
+        runner = ClusterRunner(nodes="h1:7000,h2:7000,h3:7000", workers=9)
+        assert runner.workers == 3
+
+    def test_nodes_env_consulted(self, monkeypatch):
+        monkeypatch.setenv(NODES_ENV, "hostA:7001,hostB:7002")
+        runner = ClusterRunner()
+        assert runner.workers == 2
+        assert runner._addresses == (("hostA", 7001), ("hostB", 7002))
+
+    def test_malformed_nodes_env_rejected(self, monkeypatch):
+        monkeypatch.setenv(NODES_ENV, "hostA:7001,hostB")
+        with pytest.raises(ValueError):
+            ClusterRunner()
+
+    def test_negative_retries_rejected(self):
+        with pytest.raises(ValueError):
+            ClusterRunner(retries=-1)
+
+    def test_zero_workers_rejected(self):
+        with pytest.raises(ValueError):
+            ClusterRunner(workers=0)
+
+    def test_chunksize_env_validated(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CHUNKSIZE", "0")
+        with pytest.raises(ValueError):
+            ClusterRunner(workers=2)
+
+    def test_connection_refused_is_a_clean_error(self):
+        # Nothing listens on these ports; construction is lazy, the
+        # first parallel batch surfaces the connection failure.
+        runner = ClusterRunner(
+            nodes="127.0.0.1:1,127.0.0.1:2",
+            chunksize=1,
+            connect_timeout=0.5,
+        )
+        with pytest.raises(OSError):
+            runner.run(kit.square_specs(8))

@@ -1,0 +1,175 @@
+"""Property tests for the cluster wire protocol.
+
+The framing layer (:func:`encode_frame` / :class:`FrameReader`) is
+deliberately socket-free, so hypothesis can drive it over arbitrary
+payloads and arbitrary read boundaries: every split of a frame stream
+must decode to the same messages in the same order, a torn tail must
+stay pending rather than decode to garbage, and wrong magic must be
+rejected.  Chunk reassembly (:class:`ChunkBoard`) gets the same
+treatment: any completion order — and duplicated completions, which
+requeued chunks can produce — must rebuild the batch in trial order.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runtime.cluster import (
+    ChunkBoard,
+    FrameReader,
+    ProtocolError,
+    encode_frame,
+    parse_nodes,
+)
+from repro.runtime.runner import pick_chunksize, split_chunks
+
+# Arbitrary picklable message payloads (no NaN: equality-checked).
+payloads = st.recursive(
+    st.none()
+    | st.booleans()
+    | st.integers()
+    | st.floats(allow_nan=False)
+    | st.text(max_size=20)
+    | st.binary(max_size=64),
+    lambda children: st.lists(children, max_size=4)
+    | st.tuples(children, children)
+    | st.dictionaries(st.text(max_size=8), children, max_size=4),
+    max_leaves=12,
+)
+
+
+class TestFraming:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        messages=st.lists(payloads, max_size=6),
+        splits=st.lists(st.integers(1, 64), min_size=1, max_size=20),
+    )
+    def test_roundtrip_under_arbitrary_splits(self, messages, splits):
+        blob = b"".join(encode_frame(m) for m in messages)
+        reader = FrameReader()
+        decoded = []
+        position = 0
+        index = 0
+        while position < len(blob):
+            step = splits[index % len(splits)]
+            index += 1
+            decoded.extend(reader.feed(blob[position : position + step]))
+            position += step
+        assert decoded == messages
+        assert not reader.mid_frame
+
+    @settings(max_examples=60, deadline=None)
+    @given(message=payloads, cut=st.integers(min_value=1, max_value=1 << 16))
+    def test_torn_tail_stays_pending(self, message, cut):
+        blob = encode_frame(message)
+        cut = min(cut, len(blob) - 1)
+        reader = FrameReader()
+        assert reader.feed(blob[:-cut]) == []
+        assert reader.mid_frame
+        # Feeding the rest completes the frame exactly once.
+        assert reader.feed(blob[-cut:]) == [message]
+        assert not reader.mid_frame
+
+    @settings(max_examples=40, deadline=None)
+    @given(first=payloads, second=payloads)
+    def test_frames_do_not_bleed_into_each_other(self, first, second):
+        reader = FrameReader()
+        decoded = reader.feed(encode_frame(first) + encode_frame(second))
+        assert decoded == [first, second]
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(ProtocolError, match="magic"):
+            FrameReader().feed(b"XXXX\x00\x00\x00\x01z")
+
+    def test_oversize_frame_rejected(self):
+        header = b"RPRO" + (0xFFFFFFFF).to_bytes(4, "big")
+        with pytest.raises(ProtocolError, match="cap"):
+            FrameReader().feed(header)
+
+
+@st.composite
+def completion_orders(draw):
+    """A batch, a chunking of it, and a permuted completion order."""
+    values = draw(st.lists(st.integers(), min_size=1, max_size=40))
+    size = draw(st.integers(min_value=1, max_value=len(values) + 5))
+    chunks = split_chunks(values, size)
+    order = draw(st.permutations(chunks))
+    return values, order
+
+
+class TestReassembly:
+    @settings(max_examples=80, deadline=None)
+    @given(case=completion_orders())
+    def test_out_of_order_completion_rebuilds_trial_order(self, case):
+        values, order = case
+        board = ChunkBoard(len(values))
+        for start, chunk in order:
+            board.place(start, chunk)
+        assert board.complete
+        assert board.results() == values
+
+    @settings(max_examples=40, deadline=None)
+    @given(case=completion_orders())
+    def test_duplicate_completion_is_idempotent(self, case):
+        # A chunk requeued after a node death can complete twice (the
+        # first "done" raced the disconnect); placement must not care.
+        values, order = case
+        board = ChunkBoard(len(values))
+        for start, chunk in order:
+            board.place(start, chunk)
+            board.place(start, chunk)
+        assert board.complete
+        assert board.results() == values
+
+    def test_incomplete_board_refuses_results(self):
+        board = ChunkBoard(3)
+        board.place(0, [10])
+        assert not board.complete
+        with pytest.raises(RuntimeError, match="incomplete"):
+            board.results()
+
+    def test_overflowing_chunk_rejected(self):
+        board = ChunkBoard(3)
+        with pytest.raises(ProtocolError, match="overflows"):
+            board.place(2, [1, 2])
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        total=st.integers(min_value=1, max_value=500),
+        workers=st.integers(min_value=1, max_value=16),
+    )
+    def test_auto_chunking_always_covers_the_batch(self, total, workers):
+        size = pick_chunksize(total, workers)
+        chunks = split_chunks(list(range(total)), size)
+        assert all(chunk for _, chunk in chunks)
+        assert [v for _, chunk in chunks for v in chunk] == list(range(total))
+
+
+class TestParseNodes:
+    def test_env_string_form(self):
+        assert parse_nodes(" 127.0.0.1:7101 ,localhost:7102") == (
+            ("127.0.0.1", 7101),
+            ("localhost", 7102),
+        )
+
+    def test_pair_form(self):
+        assert parse_nodes([("h", 80)]) == (("h", 80),)
+
+    def test_trailing_comma_tolerated(self):
+        # An easy shell artifact; empty segments are skipped, not fatal.
+        assert parse_nodes("h1:7001,h2:7002,") == (
+            ("h1", 7001),
+            ("h2", 7002),
+        )
+
+    @pytest.mark.parametrize(
+        "bad",
+        ["nocolon", "host:notaport", "host:0", "host:70000", ":7101", ""],
+    )
+    def test_malformed_rejected(self, bad):
+        with pytest.raises(ValueError):
+            parse_nodes(bad)
+
+    def test_empty_list_rejected(self):
+        with pytest.raises(ValueError, match="no cluster node"):
+            parse_nodes([])

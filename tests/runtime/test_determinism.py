@@ -43,11 +43,20 @@ class TestSpecRunnerThreading:
         assert table.rows == [{"runner": "ProcessPoolRunner"}]
 
     def test_default_runner_resolved_from_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BACKEND", raising=False)
         monkeypatch.setenv("REPRO_WORKERS", "1")
         assert self._spec()(scale="tiny").rows == [{"runner": "SerialRunner"}]
 
     def test_env_worker_count_builds_pool(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BACKEND", raising=False)
         monkeypatch.setenv("REPRO_WORKERS", "3")
+        assert self._spec()(scale="tiny").rows == [
+            {"runner": "ProcessPoolRunner"}
+        ]
+
+    def test_env_backend_reaches_default_runner(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "process")
+        monkeypatch.setenv("REPRO_WORKERS", "1")
         assert self._spec()(scale="tiny").rows == [
             {"runner": "ProcessPoolRunner"}
         ]

@@ -5,16 +5,27 @@ import os
 import pytest
 
 from repro.runtime import (
+    ClusterRunner,
     ProcessPoolRunner,
     SerialRunner,
     TrialExecutionError,
     TrialResult,
     TrialSpec,
+    available_backends,
     make_runner,
+    register_backend,
+    resolve_backend,
     resolve_chunksize,
     resolve_workers,
 )
+from repro.runtime.backends import unregister_backend
 from repro.util.rng import uniform_for
+
+
+@pytest.fixture
+def pinned_backend(monkeypatch):
+    """Neutralise $REPRO_BACKEND for tests asserting construction types."""
+    monkeypatch.delenv("REPRO_BACKEND", raising=False)
 
 
 # Worker functions must live at module level so they pickle by reference.
@@ -225,7 +236,7 @@ class TestWorkerResolution:
         monkeypatch.setenv("REPRO_WORKERS", "5")
         assert resolve_workers() == 5
 
-    def test_default_is_serial(self, monkeypatch):
+    def test_default_is_serial(self, monkeypatch, pinned_backend):
         monkeypatch.delenv("REPRO_WORKERS", raising=False)
         assert resolve_workers() == 1
         assert isinstance(make_runner(), SerialRunner)
@@ -235,11 +246,46 @@ class TestWorkerResolution:
         with pytest.raises(ValueError):
             resolve_workers()
 
+    def test_env_zero_rejected_everywhere(self, monkeypatch):
+        # Regression for the uniform-validation contract: an
+        # env-supplied 0 must raise on EVERY construction path, not
+        # just through the resolvers — including a directly-built
+        # pool that previously never consulted the variable.
+        monkeypatch.setenv("REPRO_WORKERS", "0")
+        with pytest.raises(ValueError):
+            resolve_workers()
+        with pytest.raises(ValueError):
+            make_runner()
+        with pytest.raises(ValueError):
+            ProcessPoolRunner()
+
+    def test_env_negative_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "-2")
+        with pytest.raises(ValueError):
+            resolve_workers()
+
+    def test_env_float_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "2.5")
+        with pytest.raises(ValueError):
+            resolve_workers()
+
+    def test_argument_float_rejected(self):
+        # The uniform contract covers arguments too: a float must
+        # raise at the call site, not defer the crash to the pool.
+        with pytest.raises(ValueError):
+            resolve_workers(2.5)
+        with pytest.raises(ValueError):
+            ProcessPoolRunner(workers=2.5)
+        with pytest.raises(ValueError):
+            resolve_chunksize(3.0)
+        with pytest.raises(ValueError):
+            resolve_workers(True)
+
     def test_nonpositive_rejected(self):
         with pytest.raises(ValueError):
             resolve_workers(0)
 
-    def test_make_runner_parallel(self):
+    def test_make_runner_parallel(self, pinned_backend):
         runner = make_runner(3)
         assert isinstance(runner, ProcessPoolRunner)
         assert runner.workers == 3
@@ -270,13 +316,110 @@ class TestChunksizeResolution:
         with pytest.raises(ValueError):
             resolve_chunksize(-3)
 
-    def test_make_runner_threads_chunksize(self, monkeypatch):
+    def test_env_zero_rejected_by_direct_construction(self, monkeypatch):
+        # Regression: ProcessPoolRunner(chunksize=None) used to ignore
+        # $REPRO_CHUNKSIZE entirely, silently accepting an invalid 0
+        # in the environment; it now resolves (and validates) it.
+        monkeypatch.setenv("REPRO_CHUNKSIZE", "0")
+        with pytest.raises(ValueError):
+            ProcessPoolRunner(workers=2)
+
+    def test_env_reaches_direct_construction(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CHUNKSIZE", "5")
+        assert ProcessPoolRunner(workers=2).chunksize == 5
+        assert ProcessPoolRunner(workers=2, chunksize=7).chunksize == 7
+
+    def test_make_runner_threads_chunksize(self, monkeypatch, pinned_backend):
         monkeypatch.delenv("REPRO_CHUNKSIZE", raising=False)
         assert make_runner(3, 9).chunksize == 9
         monkeypatch.setenv("REPRO_CHUNKSIZE", "4")
         assert make_runner(3).chunksize == 4
         assert make_runner(3, 9).chunksize == 9  # argument beats env
 
-    def test_serial_runner_ignores_chunksize(self, monkeypatch):
+    def test_serial_runner_ignores_chunksize(self, monkeypatch, pinned_backend):
         monkeypatch.setenv("REPRO_CHUNKSIZE", "4")
         assert isinstance(make_runner(1), SerialRunner)
+
+
+class TestBackendRegistry:
+    def test_builtins_registered(self):
+        assert {"auto", "serial", "process", "cluster"} <= set(
+            available_backends()
+        )
+
+    def test_explicit_backend_beats_worker_count(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "4")
+        assert isinstance(make_runner(backend="serial"), SerialRunner)
+
+    def test_process_backend_even_for_one_worker(self, pinned_backend):
+        runner = make_runner(1, backend="process")
+        assert isinstance(runner, ProcessPoolRunner)
+        assert runner.workers == 1
+
+    def test_cluster_backend_constructs_lazily(self, monkeypatch):
+        # Construction must not connect or spawn anything yet.
+        monkeypatch.delenv("REPRO_CLUSTER_NODES", raising=False)
+        runner = make_runner(2, backend="cluster")
+        assert isinstance(runner, ClusterRunner)
+        assert runner.workers == 2
+        assert runner._nodes is None
+
+    def test_env_selects_backend(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "process")
+        assert isinstance(make_runner(1), ProcessPoolRunner)
+        monkeypatch.setenv("REPRO_BACKEND", "serial")
+        assert isinstance(make_runner(5), SerialRunner)
+
+    def test_argument_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "process")
+        assert isinstance(make_runner(1, backend="auto"), SerialRunner)
+
+    def test_unknown_backend_rejected_with_listing(self, pinned_backend):
+        with pytest.raises(ValueError, match="serial"):
+            resolve_backend("warp-drive")
+        with pytest.raises(ValueError):
+            make_runner(backend="warp-drive")
+
+    def test_env_unknown_backend_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "bogus")
+        with pytest.raises(ValueError):
+            make_runner()
+
+    def test_backend_name_normalised(self, pinned_backend):
+        assert resolve_backend(" Serial ") == "serial"
+
+    def test_serial_backend_still_validates_knobs(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "0")
+        with pytest.raises(ValueError):
+            make_runner(backend="serial")
+
+    def test_register_conflict_and_replace(self):
+        try:
+            with pytest.raises(ValueError):
+                register_backend("serial", lambda **kw: SerialRunner())
+            register_backend(
+                "serial", lambda **kw: SerialRunner(), replace=True
+            )
+            assert isinstance(make_runner(backend="serial"), SerialRunner)
+        finally:
+            from repro.runtime.backends import _serial_factory
+
+            register_backend("serial", _serial_factory, replace=True)
+
+    def test_custom_backend_round_trip(self):
+        class _Custom(SerialRunner):
+            pass
+
+        try:
+            register_backend("custom-x", lambda **kw: _Custom())
+            assert "custom-x" in available_backends()
+            assert isinstance(make_runner(backend="custom-x"), _Custom)
+        finally:
+            unregister_backend("custom-x")
+        with pytest.raises(ValueError):
+            resolve_backend("custom-x")
+
+    @pytest.mark.parametrize("name", ["", "Bad Name", "UPPER", "1two", None])
+    def test_invalid_names_rejected(self, name):
+        with pytest.raises((ValueError, TypeError)):
+            register_backend(name, lambda **kw: SerialRunner())
