@@ -10,6 +10,7 @@ Commands::
     repro run E1 --backend cluster     # trials on TCP worker nodes
     repro run all --scale tiny --csv results/
     repro worker serve --port 7101     # one cluster worker node
+    repro worker serve --port 7101 --node-workers 8   # 8-wide node pool
 
 Experiments are deterministic given ``--seed`` — including under
 ``--workers N`` (or ``$REPRO_WORKERS``), any ``--chunksize`` (or
@@ -17,7 +18,12 @@ Experiments are deterministic given ``--seed`` — including under
 which parallelise trial execution without changing any result; see
 :mod:`repro.runtime`.  ``--backend cluster`` distributes trials over
 the ``repro worker serve`` nodes named by ``$REPRO_CLUSTER_NODES``
-(``host:port,host:port``), or spawns localhost nodes when unset.
+(``host:port,host:port``), or spawns localhost nodes when unset; each
+node executes chunks on a local pool (``--node-workers``, default CPU
+count), the coordinator pipelines chunks per connection
+(``--pipeline-depth`` / ``$REPRO_PIPELINE_DEPTH``) and requeues the
+chunks of a node that goes silent past the heartbeat deadline
+(``--heartbeat`` / ``$REPRO_HEARTBEAT`` seconds; 0 disables).
 """
 
 from __future__ import annotations
@@ -108,6 +114,28 @@ def build_parser() -> argparse.ArgumentParser:
             "kernels live outside the installed package (repeatable)"
         ),
     )
+    serve.add_argument(
+        "--node-workers",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help=(
+            "local execution-pool size: trials run on this many worker "
+            "processes concurrently (default: $REPRO_NODE_WORKERS, "
+            "else os.cpu_count())"
+        ),
+    )
+    serve.add_argument(
+        "--cache-cap",
+        type=_nonnegative_int,
+        default=None,
+        metavar="N",
+        help=(
+            "LRU cap on the node's workload-payload cache, in entries; "
+            "0 = unbounded (default: $REPRO_NODE_CACHE, else 256); "
+            "evicted payloads are re-shipped transparently on demand"
+        ),
+    )
     return parser
 
 
@@ -120,6 +148,34 @@ def _positive_int(text: str) -> int:
         ) from None
     if value < 1:
         raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
+def _nonnegative_int(text: str) -> int:
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"must be an integer >= 0, got {text!r}"
+        ) from None
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {value}")
+    return value
+
+
+def _nonnegative_float(text: str) -> float:
+    import math
+
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"must be a number of seconds, got {text!r}"
+        ) from None
+    if not math.isfinite(value) or value < 0:
+        raise argparse.ArgumentTypeError(
+            f"must be a finite number >= 0, got {text}"
+        )
     return value
 
 
@@ -167,6 +223,28 @@ def _add_workers_argument(parser: argparse.ArgumentParser) -> None:
             "runner backend: one of %(choices)s (default: "
             "$REPRO_BACKEND, else auto); results are identical for any "
             "backend"
+        ),
+    )
+    parser.add_argument(
+        "--pipeline-depth",
+        type=_positive_int,
+        default=None,
+        metavar="D",
+        help=(
+            "cluster backend: chunks kept in flight per node "
+            "connection (sets $REPRO_PIPELINE_DEPTH; default 2); "
+            "results are identical for any D"
+        ),
+    )
+    parser.add_argument(
+        "--heartbeat",
+        type=_nonnegative_float,
+        default=None,
+        metavar="S",
+        help=(
+            "cluster backend: seconds of node silence before the node "
+            "is declared lost and its chunks requeue (sets "
+            "$REPRO_HEARTBEAT; default 10; 0 disables supervision)"
         ),
     )
 
@@ -294,13 +372,26 @@ def _cmd_report(
     return 0
 
 
-def _cmd_worker_serve(host: str, port: int, paths) -> int:
+def _cmd_worker_serve(
+    host: str, port: int, paths, node_workers, cache_cap
+) -> int:
     from repro.runtime.cluster import serve
 
     for path in reversed(paths):
         sys.path.insert(0, path)
-    serve(host, port)
+    serve(host, port, node_workers=node_workers, cache_cap=cache_cap)
     return 0
+
+
+def _apply_cluster_env(args) -> None:
+    """Forward the cluster-only run/report flags through their env
+    vars (the one channel every construction path already honours)."""
+    import os
+
+    if getattr(args, "pipeline_depth", None) is not None:
+        os.environ["REPRO_PIPELINE_DEPTH"] = str(args.pipeline_depth)
+    if getattr(args, "heartbeat", None) is not None:
+        os.environ["REPRO_HEARTBEAT"] = repr(args.heartbeat)
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -312,6 +403,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.command == "info":
         return _cmd_info(args.experiment)
     if args.command == "run":
+        _apply_cluster_env(args)
         return _cmd_run(
             args.experiment,
             args.scale,
@@ -322,6 +414,7 @@ def main(argv: Sequence[str] | None = None) -> int:
             args.backend,
         )
     if args.command == "report":
+        _apply_cluster_env(args)
         return _cmd_report(
             args.scale,
             args.seed,
@@ -332,7 +425,13 @@ def main(argv: Sequence[str] | None = None) -> int:
         )
     if args.command == "worker":
         if args.worker_command == "serve":
-            return _cmd_worker_serve(args.host, args.port, args.path)
+            return _cmd_worker_serve(
+                args.host,
+                args.port,
+                args.path,
+                args.node_workers,
+                args.cache_cap,
+            )
         raise AssertionError(
             f"unhandled worker command {args.worker_command!r}"
         )

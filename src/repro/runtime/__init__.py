@@ -67,8 +67,13 @@ block) reaps the workers.
 This split is also the seam for distributed runners — and the cluster
 backend walks through it: :class:`~repro.runtime.cluster.ClusterRunner`
 ships each ``Workload`` to a TCP worker node once (keyed by content
-id, tracked per node), streams the slim specs in chunks, and streams
-results back, with disconnected nodes' chunks requeued to survivors.
+id, tracked per node; the node keeps payloads in a capped LRU cache
+and evicted ids are re-shipped transparently), pipelines slim spec
+chunks to each node (``$REPRO_PIPELINE_DEPTH`` in flight per
+connection), and streams results back.  Nodes execute chunks on their
+own process pools (``repro worker serve --node-workers``), and
+heartbeat supervision (``$REPRO_HEARTBEAT``) requeues the chunks of a
+node that disconnects *or* silently wedges to the survivors.
 
 Runner backends
 ---------------

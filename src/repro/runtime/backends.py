@@ -22,7 +22,12 @@ variable, else ``"auto"``.  Four backends ship in-tree:
     the pool path in tests and CI.
 ``cluster``
     The TCP socket executor (:mod:`repro.runtime.cluster`): trials run
-    on ``repro worker serve`` node processes, local or remote.
+    on ``repro worker serve`` node processes, local or remote, each
+    executing chunks on its own process pool (``--node-workers``).
+    The coordinator-only knobs — chunks in flight per connection and
+    the heartbeat deadline — resolve from ``$REPRO_PIPELINE_DEPTH``
+    and ``$REPRO_HEARTBEAT`` at construction, exactly as the worker
+    and chunk-size knobs resolve from theirs.
 
 Backend contract
 ----------------

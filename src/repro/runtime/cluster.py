@@ -7,12 +7,15 @@ any other — and speaks the shared-payload workload protocol of
 
 * slim ``(trial, seed)`` specs stream to nodes in **chunks** (a spec's
   pickled wire form collapses its workload to a 16-byte content id);
+  the coordinator keeps up to ``pipeline_depth`` chunks in flight per
+  connection, so a node starts its next chunk without waiting a
+  round-trip after finishing one;
 * each content-addressed :class:`~repro.runtime.workload.Workload`
   ships to a node **once** — the coordinator tracks per-node shipped
   ids and attaches unseen payloads to the first chunk that needs them;
-  a worker that still meets an unknown id (nested specs reveal them in
-  stages) reports a first-touch miss and the chunk is resubmitted with
-  the payload attached, exactly as the process pool does;
+  a node that still meets an unknown id (nested specs reveal them in
+  stages, or its LRU cache evicted the payload) reports a first-touch
+  miss and the chunk is resubmitted with the payload attached;
 * trial results stream back per chunk and are reassembled by offset
   (:class:`ChunkBoard`), so completion order never leaks into the
   output and the determinism contract holds: byte-identical
@@ -21,29 +24,62 @@ any other — and speaks the shared-payload workload protocol of
   :class:`~repro.runtime.trial.TrialExecutionError` with the node-side
   traceback preserved in ``detail``.
 
+Node-side execution pool
+------------------------
+
+A node executes chunks on a **process pool** of ``--node-workers``
+local workers (default ``os.cpu_count()``), so one many-core remote
+machine runs many trials concurrently and pipelined chunks overlap
+instead of queueing.  The connection thread only dispatches and
+replies — it never executes trials — so heartbeats are answered
+promptly however busy the pool is.  A pool worker that dies mid-chunk
+(crash, OOM kill) does not kill the node: the pool is rebuilt and the
+affected chunks are answered with ``lost``, which the coordinator
+requeues through the ordinary retry path.  Each pool worker carries a
+watchdog that exits when its owning node process dies, so a killed or
+wedged node never leaks orphan workers.
+
+Shipped payloads land in a node-wide **LRU cache**
+(:class:`WorkloadCache`, ``--cache-cap`` entries, default
+``256``; ``0`` = unbounded) shared by every connection for the node's
+lifetime.  Eviction is invisible: a chunk that needs an evicted
+payload reports a miss and the coordinator re-ships it — content
+addressing makes the re-ship redundant, never wrong.
+
+Fault tolerance and heartbeats
+------------------------------
+
 Fault tolerance is at the **batch** level: a node that disconnects
-mid-batch (crash, kill, network) has its outstanding chunk requeued to
-the surviving nodes.  Trials are pure functions of their spec, so a
+mid-batch (crash, kill, network) has its outstanding chunks requeued
+to the surviving nodes.  Trials are pure functions of their spec, so a
 re-executed chunk reproduces its results exactly and the retry is
 invisible in the output.  Each chunk carries a retry budget
 (``retries`` requeues); exhausting it — or losing every node — raises
-a clean ``TrialExecutionError`` naming the lost chunks.  The trigger
-is a *broken connection*: a node that wedges while its socket stays
-open (deadlocked trial, paused VM, partition with no RST) blocks its
-chunk indefinitely, exactly as a hung trial blocks the process pool —
-heartbeat-based detection is a ROADMAP follow-on.
+a clean ``TrialExecutionError`` naming the lost chunks.
+
+A node that **wedges with its socket open** (paused VM, deadlocked
+runtime, partition with no RST) is caught by heartbeat supervision:
+the coordinator sends ``ping`` frames and expects traffic (``pong`` or
+chunk replies) within the ``heartbeat`` deadline (argument, else
+``$REPRO_HEARTBEAT`` seconds, else 10; ``0`` disables).  A silent node
+is declared lost, its connection is dropped and its in-flight chunks
+requeue exactly as if it had crashed.  Every post-handshake socket
+read carries a timeout that feeds this supervision path — no
+coordinator thread ever blocks forever on a wedged node.
 
 Node discovery
 --------------
 
 ``ClusterRunner(nodes=...)`` takes ``"host:port"`` strings; with no
-argument it reads ``$REPRO_CLUSTER_NODES`` (comma-separated).  With
-neither, the runner is **self-managed**: it spawns ``workers`` (default
-2) localhost ``repro worker serve`` subprocesses on first use and reaps
-them on ``close()``.  External nodes are shared infrastructure — many
-runners may connect to them in turn (a node's workload cache persists
-for its lifetime, so a payload still ships once per *node*, not once
-per runner) — and ``close()`` never shuts them down.
+argument it reads ``$REPRO_CLUSTER_NODES`` (comma-separated; duplicate
+addresses are rejected — one node is one entry, use ``--node-workers``
+for more concurrency per node).  With neither, the runner is
+**self-managed**: it spawns ``workers`` (default 2) localhost ``repro
+worker serve`` subprocesses on first use and reaps them on
+``close()``.  External nodes are shared infrastructure — many runners
+may connect to them in turn (a node's workload cache persists for its
+lifetime, so a payload still ships once per *node*, not once per
+runner) — and ``close()`` never shuts them down.
 
 Wire format
 -----------
@@ -51,11 +87,18 @@ Wire format
 Frames are ``b"RPRO" + big-endian uint32 length + pickle payload``;
 :func:`encode_frame` / :class:`FrameReader` implement framing
 independently of sockets (and are property-tested over torn and
-partial reads).  Messages are ``(kind, body)`` tuples; the handshake is
-``("hello", {"version"})`` → ``("welcome", {"version", "pid"})``, then
-``("chunk", {"chunk", "specs", "payloads"})`` answered by one of
-``("done", {"chunk", "results"})``, ``("miss", {"chunk",
-"workload_ids"})`` or ``("failed", {"chunk", "key", "detail"})``.
+partial reads).  :class:`MessageStream` serialises concurrent senders
+with a lock, so replies raced by pool callbacks and pongs never
+interleave mid-frame.  Messages are ``(kind, body)`` tuples; the
+handshake is ``("hello", {"version"})`` → ``("welcome", {"version",
+"pid"})``, then ``("chunk", {"chunk", "specs", "payloads"})`` answered
+by one of ``("done", {"chunk", "results"})``, ``("miss", {"chunk",
+"workload_ids"})``, ``("failed", {"chunk", "key", "detail"})`` or
+``("lost", {"chunk", "reason"})`` (the node abandoned the chunk —
+requeue it elsewhere).  ``("ping", {...})`` → ``("pong", {...})`` may
+interleave at any point; ``("shutdown", {})`` → ``("bye", {})`` asks
+the node to stop: it refuses new chunks (answering ``lost``), finishes
+the chunks in hand, then exits.
 
 **Security note:** frames carry pickles, which execute arbitrary code
 on unpickling.  A worker node must only listen where its coordinator
@@ -65,9 +108,12 @@ private network you control.
 
 from __future__ import annotations
 
+import math
 import os
 import pickle
 import queue
+import select
+import signal
 import struct
 import socket
 import subprocess
@@ -75,13 +121,16 @@ import sys
 import threading
 import time
 import weakref
-from collections import deque
-from collections.abc import Iterable, Sequence
+from collections import OrderedDict, deque
+from collections.abc import Iterable, Mapping, Sequence
+from concurrent.futures import CancelledError, ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from pathlib import Path
 
 from repro.runtime.runner import (
     TrialRunner,
     _execute_chunk,
+    _resolve_positive,
     batch_payloads,
     pick_chunksize,
     resolve_chunksize,
@@ -96,13 +145,23 @@ __all__ = [
     "ChunkBoard",
     "ClusterRunner",
     "FrameReader",
+    "HEARTBEAT_ENV",
     "LocalNode",
     "MessageStream",
     "NODES_ENV",
+    "NODE_CACHE_ENV",
+    "NODE_WORKERS_ENV",
+    "PIPELINE_ENV",
     "PROTOCOL_VERSION",
     "ProtocolError",
+    "WorkloadCache",
     "encode_frame",
+    "node_process_pid",
     "parse_nodes",
+    "resolve_cache_cap",
+    "resolve_heartbeat",
+    "resolve_node_workers",
+    "resolve_pipeline_depth",
     "serve",
     "spawn_local_nodes",
 ]
@@ -110,11 +169,55 @@ __all__ = [
 #: Environment variable naming the worker nodes ("host:port,host:port").
 NODES_ENV = "REPRO_CLUSTER_NODES"
 
+#: Environment variable for the node-side execution pool size.
+NODE_WORKERS_ENV = "REPRO_NODE_WORKERS"
+
+#: Environment variable for chunks in flight per node connection.
+PIPELINE_ENV = "REPRO_PIPELINE_DEPTH"
+
+#: Environment variable for the heartbeat deadline (seconds; 0 = off).
+HEARTBEAT_ENV = "REPRO_HEARTBEAT"
+
+#: Environment variable for the node workload-cache cap (entries; 0 =
+#: unbounded).
+NODE_CACHE_ENV = "REPRO_NODE_CACHE"
+
 #: Nodes a self-managed runner spawns when nothing names a count.
 DEFAULT_LOCAL_NODES = 2
 
+#: Chunks kept in flight per node connection when nothing names a depth.
+DEFAULT_PIPELINE_DEPTH = 2
+
+#: Seconds of silence before a node is presumed wedged (0 disables).
+DEFAULT_HEARTBEAT = 10.0
+
+#: Workload payloads a node caches before evicting least-recently-used.
+DEFAULT_NODE_CACHE = 256
+
+#: Seconds a spawned node gets to announce its READY line.
+DEFAULT_SPAWN_TIMEOUT = 30.0
+
+#: Seconds a shutting-down node waits for in-flight chunks to finish.
+DEFAULT_DRAIN_TIMEOUT = 30.0
+
+#: Bound on a node-side reply send.  Replies go out on the execution
+#: pool's callback thread, which is shared by every connection: with
+#: no bound, one coordinator that stops reading (wedged, partitioned)
+#: would block that thread in ``sendall`` forever and stall chunk
+#: completions for *every* coordinator on a shared node.  A timed-out
+#: send drops only the wedged coordinator's reply; its own retry
+#: machinery re-runs the chunk elsewhere.
+NODE_SEND_TIMEOUT = 60.0
+
+#: Miss/resubmit rounds one chunk may take on one node before the run
+#: is declared non-convergent (legitimate rounds come from nested
+#: workloads revealed in stages and from cache eviction; a chunk that
+#: loops past this is hitting a runtime bug, not a slow reveal).
+MISS_ROUND_CAP = 32
+
 #: Bumped on any incompatible wire change; checked in the handshake.
-PROTOCOL_VERSION = 1
+#: v2: ping/pong heartbeats, the "lost" chunk reply, node-side pools.
+PROTOCOL_VERSION = 2
 
 #: Stdout line a worker prints once its socket is bound (the spawner
 #: parses it to learn an ephemeral port).
@@ -130,6 +233,82 @@ MAX_FRAME_BYTES = 1 << 31
 
 class ProtocolError(RuntimeError):
     """The byte stream violated the cluster wire protocol."""
+
+
+class _NodeLost(ConnectionError):
+    """Heartbeat supervision declared a node dead (socket still open)."""
+
+
+def resolve_node_workers(node_workers: int | None = None) -> int:
+    """Node-side pool size: argument, else ``$REPRO_NODE_WORKERS``,
+    else ``os.cpu_count()``."""
+    return _resolve_positive(
+        node_workers,
+        NODE_WORKERS_ENV,
+        "node worker count",
+        os.cpu_count() or 1,
+    )
+
+
+def resolve_pipeline_depth(depth: int | None = None) -> int:
+    """Chunks in flight per node connection: argument, else
+    ``$REPRO_PIPELINE_DEPTH``, else 2."""
+    return _resolve_positive(
+        depth, PIPELINE_ENV, "pipeline depth", DEFAULT_PIPELINE_DEPTH
+    )
+
+
+def resolve_heartbeat(heartbeat: float | None = None) -> float:
+    """Heartbeat deadline in seconds: argument, else
+    ``$REPRO_HEARTBEAT``, else 10.0.  ``0`` disables supervision."""
+    if heartbeat is None:
+        raw = os.environ.get(HEARTBEAT_ENV, "").strip()
+        if not raw:
+            return DEFAULT_HEARTBEAT
+        try:
+            heartbeat = float(raw)
+        except ValueError:
+            raise ValueError(
+                f"${HEARTBEAT_ENV} must be a number of seconds, got {raw!r}"
+            ) from None
+    if isinstance(heartbeat, bool) or not isinstance(
+        heartbeat, (int, float)
+    ):
+        raise ValueError(
+            f"heartbeat deadline must be a number of seconds, "
+            f"got {heartbeat!r}"
+        )
+    heartbeat = float(heartbeat)
+    if not math.isfinite(heartbeat) or heartbeat < 0:
+        raise ValueError(
+            f"heartbeat deadline must be >= 0 seconds (0 disables), "
+            f"got {heartbeat}"
+        )
+    return heartbeat
+
+
+def resolve_cache_cap(cache_cap: int | None = None) -> int:
+    """Node workload-cache cap in entries: argument, else
+    ``$REPRO_NODE_CACHE``, else 256.  ``0`` means unbounded."""
+    if cache_cap is None:
+        raw = os.environ.get(NODE_CACHE_ENV, "").strip()
+        if not raw:
+            return DEFAULT_NODE_CACHE
+        try:
+            cache_cap = int(raw)
+        except ValueError:
+            raise ValueError(
+                f"${NODE_CACHE_ENV} must be an integer, got {raw!r}"
+            ) from None
+    if isinstance(cache_cap, bool) or not isinstance(cache_cap, int):
+        raise ValueError(
+            f"cache cap must be an integer >= 0, got {cache_cap!r}"
+        )
+    if cache_cap < 0:
+        raise ValueError(
+            f"cache cap must be >= 0 (0 = unbounded), got {cache_cap}"
+        )
+    return cache_cap
 
 
 # --------------------------------------------------------------------------
@@ -184,28 +363,56 @@ class FrameReader:
 
 
 class MessageStream:
-    """A connected socket carrying framed messages, both directions."""
+    """A connected socket carrying framed messages, both directions.
 
-    def __init__(self, sock: socket.socket) -> None:
+    ``send`` is safe under concurrency: a lock serialises senders, so a
+    pool callback replying ``done`` and the connection thread replying
+    ``pong`` can never interleave bytes mid-frame.  ``send_timeout``
+    bounds how long a send may block on a peer that stopped reading
+    (None = forever); a timed-out send leaves the stream torn and
+    raises ``TimeoutError`` (an ``OSError``), which the coordinator
+    treats as a lost node.
+    """
+
+    def __init__(
+        self,
+        sock: socket.socket,
+        send_timeout: float | None = None,
+    ) -> None:
         self._sock = sock
         self._reader = FrameReader()
         self._pending: deque = deque()
+        self._send_lock = threading.Lock()
+        self._send_timeout = send_timeout
 
     def send(self, message) -> None:
-        self._sock.sendall(encode_frame(message))
+        frame = encode_frame(message)  # pickle before any byte ships
+        with self._send_lock:
+            if self._send_timeout is not None:
+                self._sock.settimeout(self._send_timeout)
+            self._sock.sendall(frame)
 
     def settimeout(self, timeout: float | None) -> None:
         """Bound blocking sends/recvs (None restores blocking mode)."""
         self._sock.settimeout(timeout)
 
-    def recv(self):
-        """Block for the next message.
+    def recv(self, timeout: float | None = None):
+        """Return the next message, or ``None`` on ``timeout`` seconds
+        of quiet socket (``timeout=None`` blocks indefinitely, minus
+        any socket-level timeout already set).
 
         Raises :class:`ConnectionError` on orderly EOF between frames
         and :class:`ProtocolError` on EOF that tears a frame in half.
         """
         while not self._pending:
-            data = self._sock.recv(1 << 16)
+            if timeout is not None:
+                self._sock.settimeout(timeout)
+            try:
+                data = self._sock.recv(1 << 16)
+            except TimeoutError:
+                if timeout is not None:
+                    return None
+                raise
             if not data:
                 if self._reader.mid_frame:
                     raise ProtocolError("connection closed mid-frame")
@@ -226,8 +433,11 @@ def parse_nodes(nodes) -> tuple[tuple[str, int], ...]:
 
     Accepts a comma-separated string (the ``$REPRO_CLUSTER_NODES``
     form), an iterable of ``"host:port"`` strings, or an iterable of
-    ``(host, port)`` pairs — rejecting empty hosts and out-of-range
-    ports uniformly.
+    ``(host, port)`` pairs — rejecting empty hosts, out-of-range ports
+    and duplicate addresses uniformly.  A duplicated address would
+    create two independent coordinator-side ledgers (shipped payload
+    ids, once-per-node accounting) for one physical node; one node is
+    one entry — ``--node-workers`` adds concurrency *within* it.
 
     >>> parse_nodes("127.0.0.1:7101, 127.0.0.1:7102")
     (('127.0.0.1', 7101), ('127.0.0.1', 7102))
@@ -263,6 +473,16 @@ def parse_nodes(nodes) -> tuple[tuple[str, int], ...]:
         out.append((host, int(port)))
     if not out:
         raise ValueError("no cluster node addresses given")
+    duplicates = sorted(
+        {address for address in out if out.count(address) > 1}
+    )
+    if duplicates:
+        named = ", ".join(f"{h}:{p}" for h, p in duplicates)
+        raise ValueError(
+            f"duplicate cluster node address(es): {named}; list each "
+            "node once (use --node-workers for more concurrency per "
+            "node)"
+        )
     return tuple(out)
 
 
@@ -270,10 +490,344 @@ def parse_nodes(nodes) -> tuple[tuple[str, int], ...]:
 # Worker node (the `repro worker serve` side)
 # --------------------------------------------------------------------------
 
+#: Pid of the owning `repro worker serve` process, set in each pool
+#: worker by the pool initializer (None outside a node pool).
+_NODE_PID: int | None = None
 
-def _handle_connection(conn: socket.socket, stop: threading.Event) -> None:
-    """Serve one coordinator connection until it hangs up."""
-    stream = MessageStream(conn)
+
+def _orphan_watch(parent_pid: int) -> None:  # pragma: no cover - daemon
+    # Reaps this pool worker if its node dies without pool shutdown
+    # (SIGKILL, wedge-then-kill): re-parenting flips os.getppid().
+    while True:
+        if os.getppid() != parent_pid:
+            os._exit(2)
+        time.sleep(1.0)
+
+
+def _node_pool_init(parent_pid: int) -> None:
+    global _NODE_PID
+    _NODE_PID = parent_pid
+    threading.Thread(
+        target=_orphan_watch,
+        args=(parent_pid,),
+        daemon=True,
+        name="repro-node-orphan-watch",
+    ).start()
+
+
+def node_process_pid() -> int | None:
+    """Pid of the ``repro worker serve`` process that owns this pool
+    worker (None when not running inside a node's execution pool)."""
+    return _NODE_PID
+
+
+class WorkloadCache:
+    """Thread-safe LRU cache of shipped workload payloads, node-wide.
+
+    ``cap=0`` means unbounded (the pre-eviction behaviour).  Eviction
+    is harmless by construction: payloads are content-addressed and the
+    coordinator re-ships an evicted id through the ordinary first-touch
+    miss path, so a bounded cache trades a re-ship round-trip for
+    bounded memory on a months-long shared node.
+    """
+
+    def __init__(self, cap: int = DEFAULT_NODE_CACHE) -> None:
+        if cap < 0:
+            raise ValueError(f"cache cap must be >= 0, got {cap}")
+        self.cap = cap
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[str, Workload] = OrderedDict()
+
+    def install(self, payloads: Mapping[str, Workload]) -> None:
+        """Cache freshly-shipped payloads (most-recently-used)."""
+        with self._lock:
+            for workload_id, workload in payloads.items():
+                self._entries[workload_id] = workload
+                self._entries.move_to_end(workload_id)
+            if self.cap:
+                while len(self._entries) > self.cap:
+                    self._entries.popitem(last=False)
+
+    def lookup(
+        self, workload_ids: Iterable[str]
+    ) -> tuple[dict[str, Workload], tuple[str, ...]]:
+        """Split ids into ``(found payloads, missing ids)``; touching
+        found entries keeps hot payloads resident."""
+        found: dict[str, Workload] = {}
+        missing: list[str] = []
+        with self._lock:
+            for workload_id in workload_ids:
+                workload = self._entries.get(workload_id)
+                if workload is None:
+                    missing.append(workload_id)
+                else:
+                    self._entries.move_to_end(workload_id)
+                    found[workload_id] = workload
+        return found, tuple(sorted(missing))
+
+    def ids(self) -> frozenset[str]:
+        with self._lock:
+            return frozenset(self._entries)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+
+class _NodeServer:
+    """Per-process state behind :func:`serve`: the execution pool, the
+    workload cache and the drain bookkeeping, shared by every
+    connection for the node's lifetime."""
+
+    def __init__(self, workers: int, cache_cap: int) -> None:
+        self.workers = workers
+        self.cache = WorkloadCache(cache_cap)
+        self.stop = threading.Event()
+        self._pool: ProcessPoolExecutor | None = None
+        self._lock = threading.Lock()
+        self._active = 0
+        self._idle = threading.Condition(self._lock)
+
+    def pool(self) -> ProcessPoolExecutor:
+        with self._lock:
+            if self._pool is None:
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self.workers,
+                    initializer=_node_pool_init,
+                    initargs=(os.getpid(),),
+                )
+            return self._pool
+
+    def discard_pool(self, pool: ProcessPoolExecutor) -> None:
+        """Drop ``pool`` if it is still current (post-breakage); the
+        identity check keeps racing callbacks from killing a healthy
+        replacement."""
+        with self._lock:
+            mine = self._pool is pool
+            if mine:
+                self._pool = None
+        if mine:
+            pool.shutdown(wait=False, cancel_futures=True)
+
+    def chunk_started(self) -> None:
+        with self._lock:
+            self._active += 1
+
+    def chunk_finished(self) -> None:
+        with self._idle:
+            self._active -= 1
+            self._idle.notify_all()
+
+    def drain(self, timeout: float) -> bool:
+        """Wait until no chunk is in flight; False on timeout."""
+        deadline = time.monotonic() + timeout
+        with self._idle:
+            while self._active > 0:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return False
+                self._idle.wait(remaining)
+        return True
+
+    def shutdown_pool(self) -> None:
+        with self._lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
+
+
+class _ChunkJob:
+    """One chunk executing on the node pool, with its reply route."""
+
+    __slots__ = ("server", "stream", "chunk_id", "specs", "shipped", "pool")
+
+    def __init__(self, server, stream, chunk_id, specs, shipped) -> None:
+        self.server = server
+        self.stream = stream
+        self.chunk_id = chunk_id
+        self.specs = specs
+        self.shipped = shipped  # payloads attached across resubmits
+        self.pool = None  # executor the live future belongs to
+
+
+def _reply(stream: MessageStream, message, chunk_id) -> None:
+    """Send a chunk reply, surviving a gone coordinator and a reply
+    that will not pickle (reported as the trial failure it is)."""
+    try:
+        stream.send(message)
+    except (ConnectionError, OSError):
+        # Coordinator hung up, or stopped reading long enough to time
+        # the send out; either way its supervision owns the loss.  A
+        # timed-out sendall may have torn a frame, so the stream is
+        # dead: close it (which also unblocks the connection thread)
+        # rather than follow with garbage.
+        stream.close()
+    except Exception as exc:
+        import traceback
+
+        try:
+            stream.send(
+                (
+                    "failed",
+                    {
+                        "chunk": chunk_id,
+                        "key": ("<node>",),
+                        "detail": (
+                            "chunk reply could not be serialised: "
+                            f"{type(exc).__name__}: {exc}\n"
+                            f"{traceback.format_exc()}"
+                        ),
+                    },
+                )
+            )
+        except (ConnectionError, OSError):
+            pass
+
+
+def _submit_job(job: _ChunkJob) -> None:
+    try:
+        pool = job.server.pool()
+        job.pool = pool
+        future = pool.submit(
+            _execute_chunk, job.specs, dict(job.shipped) or None
+        )
+    except Exception as exc:
+        _finish_job(
+            job,
+            (
+                "lost",
+                {
+                    "chunk": job.chunk_id,
+                    "reason": f"node pool unavailable: {exc}",
+                },
+            ),
+        )
+        return
+    future.add_done_callback(lambda f, job=job: _job_done(job, f))
+
+
+def _job_done(job: _ChunkJob, future) -> None:
+    """Pool completion callback: reply, resubmit on a local miss, or
+    abandon the chunk (``lost``) when the pool broke under it."""
+    chunk_id = job.chunk_id
+    try:
+        results = future.result()
+    except WorkloadMissError as miss:
+        found, missing = job.server.cache.lookup(miss.workload_ids)
+        if missing:
+            # The node itself does not hold these (never shipped, or
+            # evicted): first-touch back to the coordinator.
+            _finish_job(
+                job,
+                ("miss", {"chunk": chunk_id, "workload_ids": missing}),
+            )
+            return
+        if not any(wid not in job.shipped for wid in found):
+            import traceback
+
+            _finish_job(
+                job,
+                (
+                    "failed",
+                    {
+                        "chunk": chunk_id,
+                        "key": ("<node>",),
+                        "detail": (
+                            "workload shipping did not converge on the "
+                            f"node pool (ids {sorted(found)} were "
+                            "already attached); this is a runtime "
+                            f"bug\n{traceback.format_exc()}"
+                        ),
+                    },
+                ),
+            )
+            return
+        job.shipped.update(found)
+        _submit_job(job)
+        return
+    except (BrokenProcessPool, CancelledError) as exc:
+        if job.pool is not None:
+            job.server.discard_pool(job.pool)
+        _finish_job(
+            job,
+            (
+                "lost",
+                {
+                    "chunk": chunk_id,
+                    "reason": (
+                        "a node pool worker died mid-chunk "
+                        f"({type(exc).__name__}); pool rebuilt"
+                    ),
+                },
+            ),
+        )
+        return
+    except TrialExecutionError as err:
+        _finish_job(
+            job,
+            (
+                "failed",
+                {"chunk": chunk_id, "key": err.key, "detail": err.detail},
+            ),
+        )
+        return
+    except BaseException as exc:  # defensive: never die silently
+        import traceback
+
+        _finish_job(
+            job,
+            (
+                "failed",
+                {
+                    "chunk": chunk_id,
+                    "key": ("<node>",),
+                    "detail": (
+                        f"{type(exc).__name__}: {exc}\n"
+                        f"{traceback.format_exc()}"
+                    ),
+                },
+            ),
+        )
+        return
+    _finish_job(job, ("done", {"chunk": chunk_id, "results": results}))
+
+
+def _finish_job(job: _ChunkJob, message) -> None:
+    try:
+        _reply(job.stream, message, job.chunk_id)
+    finally:
+        job.server.chunk_finished()
+
+
+def _start_chunk(server: _NodeServer, stream: MessageStream, body) -> None:
+    chunk_id = body["chunk"]
+    payloads = dict(body.get("payloads") or {})
+    if payloads:
+        server.cache.install(payloads)
+    if server.stop.is_set():
+        # Draining for shutdown: the chunks in hand finish, new ones
+        # are refused so the coordinator requeues them elsewhere.
+        _reply(
+            stream,
+            (
+                "lost",
+                {"chunk": chunk_id, "reason": "node draining for shutdown"},
+            ),
+            chunk_id,
+        )
+        return
+    server.chunk_started()
+    _submit_job(_ChunkJob(server, stream, chunk_id, body["specs"], payloads))
+
+
+def _handle_connection(conn: socket.socket, server: _NodeServer) -> None:
+    """Serve one coordinator connection until it hangs up.
+
+    This thread only dispatches: chunks run on the node's process pool
+    and reply from its callbacks, so pings are answered promptly
+    however long the pool's chunks take.
+    """
+    stream = MessageStream(conn, send_timeout=NODE_SEND_TIMEOUT)
     try:
         while True:
             try:
@@ -281,106 +835,66 @@ def _handle_connection(conn: socket.socket, stop: threading.Event) -> None:
             except (ConnectionError, ProtocolError, OSError):
                 return
             kind, body = message
-            if kind == "hello":
-                if body.get("version") != PROTOCOL_VERSION:
+            try:
+                if kind == "hello":
+                    if body.get("version") != PROTOCOL_VERSION:
+                        stream.send(
+                            (
+                                "error",
+                                {
+                                    "detail": (
+                                        "protocol version mismatch: "
+                                        "node speaks "
+                                        f"{PROTOCOL_VERSION}, "
+                                        f"coordinator sent "
+                                        f"{body.get('version')!r}"
+                                    )
+                                },
+                            )
+                        )
+                        return
+                    stream.send(
+                        (
+                            "welcome",
+                            {
+                                "version": PROTOCOL_VERSION,
+                                "pid": os.getpid(),
+                            },
+                        )
+                    )
+                elif kind == "chunk":
+                    _start_chunk(server, stream, body)
+                elif kind == "ping":
+                    stream.send(("pong", dict(body or {})))
+                elif kind == "shutdown":
+                    stream.send(("bye", {}))
+                    server.stop.set()
+                    return
+                else:
                     stream.send(
                         (
                             "error",
-                            {
-                                "detail": (
-                                    "protocol version mismatch: node "
-                                    f"speaks {PROTOCOL_VERSION}, "
-                                    f"coordinator sent "
-                                    f"{body.get('version')!r}"
-                                )
-                            },
+                            {"detail": f"unknown message kind {kind!r}"},
                         )
                     )
                     return
-                stream.send(
-                    (
-                        "welcome",
-                        {"version": PROTOCOL_VERSION, "pid": os.getpid()},
-                    )
-                )
-            elif kind == "chunk":
-                reply = _run_chunk_message(body)
-                try:
-                    stream.send(reply)
-                except (ConnectionError, OSError):
-                    raise
-                except Exception as exc:
-                    # The reply itself would not serialise — e.g. a
-                    # trial returned an unpicklable value.  Framing
-                    # pickles before any byte hits the socket, so the
-                    # connection is still clean: report the real cause
-                    # instead of dying and looking like a lost node.
-                    import traceback
-
-                    stream.send(
-                        (
-                            "failed",
-                            {
-                                "chunk": body["chunk"],
-                                "key": ("<node>",),
-                                "detail": (
-                                    "chunk reply could not be "
-                                    f"serialised: {type(exc).__name__}: "
-                                    f"{exc}\n{traceback.format_exc()}"
-                                ),
-                            },
-                        )
-                    )
-            elif kind == "shutdown":
-                stream.send(("bye", {}))
-                stop.set()
-                return
-            else:
-                stream.send(
-                    ("error", {"detail": f"unknown message kind {kind!r}"})
-                )
+            except (ConnectionError, OSError):
+                # The coordinator vanished mid-exchange; nothing left
+                # to answer.  In-flight chunks reply through their own
+                # guarded path.
                 return
     finally:
         stream.close()
-
-
-def _run_chunk_message(body: dict):
-    """Execute one chunk message; build the reply frame."""
-    chunk_id = body["chunk"]
-    try:
-        results = _execute_chunk(body["specs"], body.get("payloads") or None)
-    except WorkloadMissError as miss:
-        return (
-            "miss",
-            {"chunk": chunk_id, "workload_ids": miss.workload_ids},
-        )
-    except TrialExecutionError as err:
-        return (
-            "failed",
-            {"chunk": chunk_id, "key": err.key, "detail": err.detail},
-        )
-    except Exception as exc:  # defensive: never kill the node silently
-        import traceback
-
-        return (
-            "failed",
-            {
-                "chunk": chunk_id,
-                "key": ("<node>",),
-                "detail": (
-                    f"{type(exc).__name__}: {exc}\n"
-                    f"{traceback.format_exc()}"
-                ),
-            },
-        )
-    return ("done", {"chunk": chunk_id, "results": results})
 
 
 def serve(
     host: str = "127.0.0.1",
     port: int = 0,
     *,
+    node_workers: int | None = None,
+    cache_cap: int | None = None,
     ready_stream=None,
+    drain_timeout: float = DEFAULT_DRAIN_TIMEOUT,
 ) -> None:
     """Run a worker node: execute trial chunks for cluster coordinators.
 
@@ -388,16 +902,28 @@ def serve(
     ``REPRO-WORKER LISTENING host:port`` on ``ready_stream`` (default
     stdout), then serves coordinator connections — each on its own
     thread — until a coordinator sends ``shutdown`` or the process is
-    signalled.  The node's workload cache
-    (:func:`repro.runtime.workload.install_workloads`) persists across
-    connections, so a payload ships to the node once per *node
-    lifetime* however many runners use it.
+    signalled.  Chunks execute on a process pool of ``node_workers``
+    (argument, else ``$REPRO_NODE_WORKERS``, else ``os.cpu_count()``)
+    local workers; shipped payloads live in a node-wide LRU cache of
+    ``cache_cap`` entries (argument, else ``$REPRO_NODE_CACHE``, else
+    256; 0 = unbounded) shared across connections, so a payload ships
+    to the node once per *node lifetime* however many runners use it —
+    or once per eviction, recovered transparently via the miss path.
+
+    On ``shutdown`` the node drains: it stops accepting connections,
+    refuses new chunks (``lost`` replies let coordinators requeue
+    them) and waits up to ``drain_timeout`` seconds for the chunks in
+    hand to finish before exiting, so racing coordinators on a shared
+    node never lose completed work.
     """
     if not 0 <= port <= 65535:
         raise ValueError(f"port must be in [0, 65535], got {port}")
-    stop = threading.Event()
+    state = _NodeServer(
+        resolve_node_workers(node_workers), resolve_cache_cap(cache_cap)
+    )
     server = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
     server.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+    interrupted = False
     try:
         server.bind((host, port))
         server.listen()
@@ -405,7 +931,7 @@ def serve(
         out = ready_stream if ready_stream is not None else sys.stdout
         print(f"{READY_PREFIX}{bound_host}:{bound_port}", file=out, flush=True)
         server.settimeout(0.2)  # poll so the shutdown flag is noticed
-        while not stop.is_set():
+        while not state.stop.is_set():
             try:
                 conn, _addr = server.accept()
             except socket.timeout:
@@ -414,14 +940,17 @@ def serve(
                 break
             threading.Thread(
                 target=_handle_connection,
-                args=(conn, stop),
+                args=(conn, state),
                 daemon=True,
                 name="repro-worker-conn",
             ).start()
     except KeyboardInterrupt:
-        pass
+        interrupted = True
     finally:
         server.close()
+        if not interrupted:
+            state.drain(drain_timeout)
+        state.shutdown_pool()
 
 
 # --------------------------------------------------------------------------
@@ -459,9 +988,19 @@ class LocalNode:
         return f"{self.host}:{self.port}"
 
     def terminate(self) -> None:
-        """Stop the node process (idempotent)."""
+        """Stop the node process (idempotent).
+
+        A wedged (SIGSTOPped) node cannot act on SIGTERM, so it is
+        also sent SIGCONT — a no-op for a running process — before the
+        escalation to SIGKILL.
+        """
         if self.proc.poll() is None:
             self.proc.terminate()
+            if hasattr(signal, "SIGCONT"):
+                try:
+                    self.proc.send_signal(signal.SIGCONT)
+                except OSError:
+                    pass
             try:
                 self.proc.wait(timeout=5)
             except subprocess.TimeoutExpired:
@@ -492,39 +1031,97 @@ def _worker_env(extra_paths: Iterable[str] = ()) -> dict:
     return env
 
 
-def _read_ready_line(proc: subprocess.Popen) -> tuple[str, int]:
-    lines = []
-    while True:
-        line = proc.stdout.readline()
-        if not line:
-            proc.wait()
-            raise RuntimeError(
-                "worker node exited before announcing its address "
-                f"(exit code {proc.returncode}); output:\n"
-                + "".join(lines)
-            )
-        if line.startswith(READY_PREFIX):
-            host, _, port_text = (
-                line[len(READY_PREFIX) :].strip().rpartition(":")
-            )
-            return host, int(port_text)
-        lines.append(line)
+def _read_ready_line(
+    proc: subprocess.Popen, timeout: float = DEFAULT_SPAWN_TIMEOUT
+) -> tuple[str, int]:
+    """Parse the READY line off a node's stdout, under a deadline.
+
+    A node that prints output but never the READY line (import hang,
+    wedged interpreter, wrong entry point) used to block the spawner
+    in ``readline()`` forever; now it is reaped at ``timeout`` and the
+    error carries the captured output tail.  Reads the raw fd
+    non-blocking (restored before handing off to the LocalNode drain
+    thread) so a partial line cannot stall the deadline.
+    """
+    fd = proc.stdout.fileno()
+    os.set_blocking(fd, False)
+    deadline = time.monotonic() + timeout
+    buffer = b""
+    lines: list[str] = []
+    try:
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                proc.kill()
+                proc.wait()
+                tail = "".join(lines[-50:])
+                raise RuntimeError(
+                    "worker node produced no "
+                    f"{READY_PREFIX.strip()!r} line within {timeout}s; "
+                    "killed it; output so far:\n" + tail
+                )
+            ready, _, _ = select.select([fd], [], [], min(remaining, 0.5))
+            if not ready:
+                if proc.poll() is not None and not buffer:
+                    raise RuntimeError(
+                        "worker node exited before announcing its "
+                        f"address (exit code {proc.returncode}); "
+                        "output:\n" + "".join(lines)
+                    )
+                continue
+            try:
+                data = os.read(fd, 1 << 16)
+            except BlockingIOError:
+                continue
+            if not data:
+                proc.wait()
+                raise RuntimeError(
+                    "worker node exited before announcing its address "
+                    f"(exit code {proc.returncode}); output:\n"
+                    + "".join(lines)
+                )
+            buffer += data
+            while b"\n" in buffer:
+                raw, buffer = buffer.split(b"\n", 1)
+                line = raw.decode(errors="replace") + "\n"
+                if line.startswith(READY_PREFIX):
+                    host, _, port_text = (
+                        line[len(READY_PREFIX) :].strip().rpartition(":")
+                    )
+                    return host, int(port_text)
+                lines.append(line)
+    finally:
+        os.set_blocking(fd, True)
 
 
 def spawn_local_nodes(
-    count: int, *, extra_paths: Iterable[str] = ()
+    count: int,
+    *,
+    extra_paths: Iterable[str] = (),
+    node_workers: int | None = None,
+    cache_cap: int | None = None,
+    spawn_timeout: float = DEFAULT_SPAWN_TIMEOUT,
 ) -> list[LocalNode]:
     """Spawn ``count`` localhost worker nodes on ephemeral ports.
 
     ``extra_paths`` adds directories to each node's import path
     (``repro worker serve --path``), for work units whose kernels live
-    outside the installed package.  On any spawn failure every
-    already-started node is reaped before the error propagates.
+    outside the installed package.  ``node_workers``/``cache_cap``
+    set each node's execution-pool size and workload-cache cap (None
+    leaves the node's own env/default resolution in charge).  A node
+    that fails to announce its address within ``spawn_timeout``
+    seconds is reaped and reported with its captured output.  On any
+    spawn failure every already-started node is reaped before the
+    error propagates.
     """
     if count < 1:
         raise ValueError(f"node count must be >= 1, got {count}")
     command = [sys.executable, "-u", "-m", "repro", "worker", "serve",
                "--host", "127.0.0.1", "--port", "0"]
+    if node_workers is not None:
+        command += ["--node-workers", str(node_workers)]
+    if cache_cap is not None:
+        command += ["--cache-cap", str(cache_cap)]
     for path in extra_paths:
         command += ["--path", str(path)]
     env = _worker_env(extra_paths)
@@ -538,7 +1135,7 @@ def spawn_local_nodes(
                 env=env,
                 text=True,
             )
-            host, port = _read_ready_line(proc)
+            host, port = _read_ready_line(proc, spawn_timeout)
             nodes.append(LocalNode(proc, host, port))
     except BaseException:
         _terminate_nodes(nodes)
@@ -594,13 +1191,14 @@ class ChunkBoard:
 class _Task:
     """One chunk in flight, with its retry and shipping history."""
 
-    __slots__ = ("start", "chunk", "attempts", "shipped")
+    __slots__ = ("start", "chunk", "attempts", "shipped", "miss_rounds")
 
     def __init__(self, start: int, chunk: list) -> None:
         self.start = start
         self.chunk = chunk
         self.attempts = 0  # requeues consumed so far
         self.shipped: set[str] = set()  # ids this chunk reported missing
+        self.miss_rounds = 0  # miss/resubmit rounds consumed so far
 
     def describe(self) -> str:
         first, last = self.chunk[0].key, self.chunk[-1].key
@@ -660,26 +1258,32 @@ class _Node:
         self.heal_backoff = 0.0
         self.heal_at = 0.0  # monotonic deadline for the next attempt
 
+    def label(self) -> str:
+        return f"{self.address[0]}:{self.address[1]}"
+
     def connect(self, timeout: float) -> None:
         sock = socket.create_connection(self.address, timeout=timeout)
-        self.stream = MessageStream(sock)  # handshake under the timeout
+        # Sends stay bounded for the stream's whole life: a peer that
+        # stops reading (wedged node, full buffer) times the send out,
+        # which the coordinator treats as a lost node.  Reads after the
+        # handshake always carry their own explicit timeout (recv
+        # polling below), so no coordinator thread can block forever.
+        self.stream = MessageStream(sock, send_timeout=timeout)
         try:
             self.stream.send(("hello", {"version": PROTOCOL_VERSION}))
             kind, body = self.stream.recv()
         except socket.timeout:
             self.stream.close()
             raise ProtocolError(
-                f"handshake with {self.address[0]}:{self.address[1]} "
+                f"handshake with {self.label()} "
                 f"timed out after {timeout}s"
             ) from None
         if kind != "welcome" or body.get("version") != PROTOCOL_VERSION:
             detail = body.get("detail", f"unexpected {kind!r} reply")
             self.stream.close()
             raise ProtocolError(
-                f"handshake with {self.address[0]}:{self.address[1]} "
-                f"failed: {detail}"
+                f"handshake with {self.label()} failed: {detail}"
             )
-        self.stream.settimeout(None)
         self.alive = True
 
     def close(self) -> None:
@@ -707,10 +1311,27 @@ class ClusterRunner(TrialRunner):
         Specs per chunk (argument, else ``$REPRO_CHUNKSIZE``, else
         about four chunks per node).
     retries:
-        Requeues a chunk survives when nodes disconnect mid-batch
-        before the run fails naming it.
+        Requeues a chunk survives when nodes disconnect mid-batch (or
+        abandon it with a ``lost`` reply) before the run fails naming
+        it.
     connect_timeout:
-        Seconds allowed for each node connection + handshake.
+        Seconds allowed for each node connection + handshake (also the
+        per-send bound afterwards).
+    pipeline_depth:
+        Chunks kept in flight per node connection (argument, else
+        ``$REPRO_PIPELINE_DEPTH``, else 2), so nodes never idle a
+        round-trip between chunk boundaries.
+    heartbeat:
+        Seconds of node silence tolerated before the node is declared
+        lost and its in-flight chunks requeue (argument, else
+        ``$REPRO_HEARTBEAT``, else 10; ``0`` disables supervision).
+        Pings go out every third of the deadline; a busy node answers
+        them from its connection thread, so long chunks never trip it.
+    node_workers:
+        Execution-pool size for *self-managed* node processes (None
+        lets each node resolve ``$REPRO_NODE_WORKERS``, else its CPU
+        count).  External nodes choose their own pool size at
+        ``repro worker serve`` time.
 
     Connections (and self-managed node processes) are lazy and
     persistent, mirroring :class:`ProcessPoolRunner`'s pool: the first
@@ -729,6 +1350,9 @@ class ClusterRunner(TrialRunner):
         chunksize: int | None = None,
         retries: int = 2,
         connect_timeout: float = 10.0,
+        pipeline_depth: int | None = None,
+        heartbeat: float | None = None,
+        node_workers: int | None = None,
     ) -> None:
         if nodes is None:
             raw = os.environ.get(NODES_ENV, "").strip()
@@ -751,6 +1375,13 @@ class ClusterRunner(TrialRunner):
             raise ValueError(f"retries must be an integer >= 0, got {retries}")
         self.retries = retries
         self.connect_timeout = float(connect_timeout)
+        self.pipeline_depth = resolve_pipeline_depth(pipeline_depth)
+        self.heartbeat = resolve_heartbeat(heartbeat)
+        if node_workers is not None:
+            _resolve_positive(
+                node_workers, NODE_WORKERS_ENV, "node worker count", None
+            )
+        self.node_workers = node_workers
         self._nodes: list[_Node] | None = None
         # Self-managed node processes.  The list object is shared with
         # the GC finalizer and mutated in place, so whatever is spawned
@@ -763,7 +1394,7 @@ class ClusterRunner(TrialRunner):
     # -- node lifecycle ---------------------------------------------------
 
     def _spawn_one(self) -> LocalNode:
-        local = spawn_local_nodes(1)[0]
+        local = spawn_local_nodes(1, node_workers=self.node_workers)[0]
         self._local.append(local)
         return local
 
@@ -876,9 +1507,13 @@ class ClusterRunner(TrialRunner):
             for node in self._nodes:
                 if node.alive and node.stream is not None:
                     try:
-                        node.stream.settimeout(2.0)
                         node.stream.send(("shutdown", {}))
-                        node.stream.recv()  # ("bye", {})
+                        # Stale frames (pongs, results of requeued
+                        # chunks) may precede the goodbye.
+                        for _ in range(16):
+                            message = node.stream.recv(timeout=2.0)
+                            if message is None or message[0] == "bye":
+                                break
                     except (ConnectionError, ProtocolError, OSError):
                         pass
         self._discard_nodes()
@@ -917,7 +1552,7 @@ class ClusterRunner(TrialRunner):
                 target=self._node_loop,
                 args=(node, tasks, board, state, payload_table),
                 daemon=True,
-                name=f"repro-cluster-{node.address[0]}:{node.address[1]}",
+                name=f"repro-cluster-{node.label()}",
             )
             for node in nodes
         ]
@@ -953,62 +1588,185 @@ class ClusterRunner(TrialRunner):
             thread.join(timeout=5)
         return board.results()
 
+    def _requeue(self, tasks, task: _Task, state: _RunState, cause) -> bool:
+        """Give a lost chunk another node (False = retry cap blown)."""
+        if task.attempts >= state.retries:
+            state.fail(
+                TrialExecutionError(
+                    ("<cluster>",),
+                    f"chunk at {task.describe()} lost after "
+                    f"{task.attempts + 1} node failure(s) "
+                    f"(retry cap {state.retries}): {cause}",
+                )
+            )
+            return False
+        task.attempts += 1
+        tasks.put(task)
+        return True
+
     def _node_loop(self, node, tasks, board, state, payload_table) -> None:
-        """One thread per node: pull chunks, ship, collect, requeue."""
+        """One thread per node: pipeline chunks, collect, supervise."""
+        inflight: dict[int, _Task] = {}
         try:
-            while True:
-                if state.finished:
-                    return
+            try:
+                self._pump_node(
+                    node, tasks, board, state, payload_table, inflight
+                )
+            except TrialExecutionError as exc:
+                # Parent-side resolution failure (ownership bug), a
+                # poison chunk, or a protocol non-convergence: the run
+                # is wrong, not the node.  The connection may hold a
+                # half-written frame, so drop it too.
+                node.close()
+                state.fail(exc)
+            except (ConnectionError, ProtocolError, OSError) as exc:
+                # Transport fault or heartbeat expiry: the node is
+                # gone; its in-flight chunks requeue to survivors.
+                node.close()
+                if not state.finished:
+                    for task in inflight.values():
+                        if not self._requeue(tasks, task, state, exc):
+                            break
+        finally:
+            state.node_exit()
+
+    def _pump_node(
+        self, node, tasks, board, state, payload_table, inflight
+    ) -> None:
+        """Drive one node until the batch finishes or the node fails.
+
+        Keeps up to ``pipeline_depth`` chunks in flight, polls the
+        socket with short timeouts (never a blocking read), pings on
+        the heartbeat interval and raises :class:`_NodeLost` when the
+        node goes silent past the deadline.
+        """
+        depth = self.pipeline_depth
+        deadline = self.heartbeat
+        interval = deadline / 3.0 if deadline else 0.0
+        now = time.monotonic()
+        last_rx = now
+        last_ping = now
+        while True:
+            if state.finished:
+                return
+            while len(inflight) < depth:
                 try:
-                    task = tasks.get(timeout=0.05)
+                    task = tasks.get_nowait()
                 except queue.Empty:
-                    continue
+                    break
                 if state.finished:
+                    tasks.put(task)
                     return
                 try:
-                    self._run_chunk_on_node(
-                        node, task, board, state, payload_table
-                    )
-                except TrialExecutionError as exc:
-                    # Parent-side resolution failure (ownership bug).
-                    state.fail(exc)
-                    return
-                except (ConnectionError, ProtocolError, OSError) as exc:
-                    node.close()
-                    if state.finished:
-                        return
-                    if task.attempts >= state.retries:
-                        state.fail(
-                            TrialExecutionError(
-                                ("<cluster>",),
-                                f"chunk at {task.describe()} lost after "
-                                f"{task.attempts + 1} node failure(s) "
-                                f"(retry cap {state.retries}): {exc}",
-                            )
-                        )
-                    else:
-                        task.attempts += 1
-                        tasks.put(task)
-                    return  # this node is gone; the thread retires
+                    self._ship_task(node, task, payload_table)
+                except (ConnectionError, ProtocolError, OSError):
+                    # Transport: count the chunk with this node's
+                    # losses so the outer handler requeues it.
+                    inflight[task.start] = task
+                    raise
+                except TrialExecutionError:
+                    raise
                 except Exception as exc:
                     # Not a transport fault: the chunk itself is the
                     # problem (e.g. a spec that does not pickle).  A
-                    # requeue would poison every node in turn and a
-                    # silent thread death would hang the run, so fail
-                    # fast naming the chunk.  The connection may hold
-                    # a half-written frame, so drop it too.
-                    node.close()
-                    state.fail(
-                        TrialExecutionError(
-                            ("<cluster>",),
-                            f"chunk at {task.describe()} could not be "
-                            f"shipped or collected: "
-                            f"{type(exc).__name__}: {exc}",
-                        )
+                    # requeue would poison every node in turn, so fail
+                    # fast naming the chunk.
+                    raise TrialExecutionError(
+                        ("<cluster>",),
+                        f"chunk at {task.describe()} could not be "
+                        f"shipped or collected: "
+                        f"{type(exc).__name__}: {exc}",
+                    ) from exc
+                inflight[task.start] = task
+            now = time.monotonic()
+            if deadline and now - last_ping >= interval:
+                node.stream.send(("ping", {"at": now}))
+                last_ping = now
+            message = node.stream.recv(timeout=0.05)
+            if message is None:
+                # Only silence observed *after* a read attempt counts
+                # against the deadline: a shipment that itself took
+                # longer than the deadline must not condemn a healthy
+                # node whose pongs sat unread in the buffer meanwhile.
+                now = time.monotonic()
+                if deadline and now - last_rx > deadline:
+                    raise _NodeLost(
+                        f"node {node.label()} sent nothing for "
+                        f"{now - last_rx:.1f}s (heartbeat deadline "
+                        f"{deadline}s); presumed wedged"
                     )
+                continue
+            last_rx = time.monotonic()
+            kind, body = message
+            if kind == "pong":
+                continue
+            if kind == "failed":
+                state.fail(
+                    TrialExecutionError(
+                        tuple(body["key"]), body["detail"]
+                    )
+                )
+                return
+            task = inflight.get(body.get("chunk")) if body else None
+            if task is None:
+                raise ProtocolError(
+                    f"unexpected reply kind {kind!r} from "
+                    f"{node.label()} (no such chunk in flight)"
+                )
+            if kind == "done":
+                results = body["results"]
+                if len(results) != len(task.chunk):
+                    # A short reply would leave trials unplaced (and be
+                    # misreported later); a long one could overwrite a
+                    # neighbouring chunk.  Either way the node is not
+                    # speaking the protocol: drop it, requeue the chunk.
+                    raise ProtocolError(
+                        f"node {node.label()} returned {len(results)} "
+                        f"results for a {len(task.chunk)}-spec chunk"
+                    )
+                del inflight[task.start]
+                board.place(task.start, results)
+                state.chunk_done()
+            elif kind == "miss":
+                self._answer_miss(node, task, body, payload_table)
+            elif kind == "lost":
+                del inflight[task.start]
+                reason = body.get("reason", "node abandoned the chunk")
+                if not self._requeue(tasks, task, state, reason):
                     return
-        finally:
-            state.node_exit()
+            else:
+                raise ProtocolError(
+                    f"unexpected reply kind {kind!r} from {node.label()}"
+                )
+
+    def _answer_miss(self, node, task, body, payload_table) -> None:
+        """Re-ship the payloads a node reported missing.
+
+        Ids the ledger says were already shipped mean the node's LRU
+        cache evicted them — amend the ledger and ship again (content
+        addressing makes the re-ship redundant, never wrong).  A chunk
+        that keeps missing past :data:`MISS_ROUND_CAP` is looping on a
+        runtime bug, not a staged reveal, and fails the run.
+        """
+        missing = tuple(body["workload_ids"])
+        task.miss_rounds += 1
+        if task.miss_rounds > MISS_ROUND_CAP:
+            raise TrialExecutionError(
+                ("<cluster>",),
+                f"workload shipping did not converge for chunk at "
+                f"{task.describe()}: {task.miss_rounds} miss rounds "
+                f"(last ids {missing}) against node {node.label()}; "
+                "this is a runtime bug",
+            )
+        node.known_ids.difference_update(missing)  # evicted or stale
+        task.shipped.update(missing)
+        extra = {
+            workload_id: resolve_miss_payload(
+                workload_id, payload_table, scheduler="<cluster>"
+            )
+            for workload_id in sorted(missing)
+        }
+        self._ship_chunk(node, task, extra)
 
     @staticmethod
     def _ship_chunk(node: _Node, task: _Task, payloads: dict) -> None:
@@ -1025,10 +1783,9 @@ class ClusterRunner(TrialRunner):
         )
         node.known_ids.update(payloads)
 
-    def _run_chunk_on_node(
-        self, node, task, board, state, payload_table
-    ) -> None:
-        """Ship one chunk to one node and see it through to a result."""
+    def _ship_task(self, node, task, payload_table) -> None:
+        """First shipment of a chunk to a node: attach every payload
+        the node is not known to hold."""
         payloads = {}
         for spec in task.chunk:
             workload = spec.workload
@@ -1049,56 +1806,6 @@ class ClusterRunner(TrialRunner):
                     workload_id, payload_table, scheduler="<cluster>"
                 )
         self._ship_chunk(node, task, payloads)
-        while True:
-            kind, body = node.stream.recv()
-            if kind == "done":
-                results = body["results"]
-                if len(results) != len(task.chunk):
-                    # A short reply would leave trials unplaced (and be
-                    # misreported later); a long one could overwrite a
-                    # neighbouring chunk.  Either way the node is not
-                    # speaking the protocol: drop it, requeue the chunk.
-                    raise ProtocolError(
-                        f"node {node.address[0]}:{node.address[1]} "
-                        f"returned {len(results)} results for a "
-                        f"{len(task.chunk)}-spec chunk"
-                    )
-                board.place(task.start, results)
-                state.chunk_done()
-                return
-            if kind == "miss":
-                missing = tuple(body["workload_ids"])
-                new_ids = set(missing) - node.known_ids
-                if not new_ids:
-                    state.fail(
-                        TrialExecutionError(
-                            ("<cluster>",),
-                            "workload shipping did not converge for "
-                            f"chunk at {task.describe()} (ids {missing} "
-                            "were already shipped to "
-                            f"{node.address[0]}:{node.address[1]}); "
-                            "this is a runtime bug",
-                        )
-                    )
-                    return
-                task.shipped.update(missing)
-                extra = {
-                    workload_id: resolve_miss_payload(
-                        workload_id, payload_table, scheduler="<cluster>"
-                    )
-                    for workload_id in sorted(new_ids)
-                }
-                self._ship_chunk(node, task, extra)
-                continue
-            if kind == "failed":
-                state.fail(
-                    TrialExecutionError(tuple(body["key"]), body["detail"])
-                )
-                return
-            raise ProtocolError(
-                f"unexpected reply kind {kind!r} from "
-                f"{node.address[0]}:{node.address[1]}"
-            )
 
     def __repr__(self) -> str:
         if self._addresses is not None:
@@ -1108,5 +1815,6 @@ class ClusterRunner(TrialRunner):
         state = "live" if self._nodes else "cold"
         return (
             f"ClusterRunner(nodes={where}, chunksize={self.chunksize}, "
-            f"retries={self.retries}, {state})"
+            f"retries={self.retries}, depth={self.pipeline_depth}, "
+            f"heartbeat={self.heartbeat}, {state})"
         )

@@ -283,6 +283,12 @@ def _execute_chunk(
     raises :class:`WorkloadMissError` *before* executing anything, so a
     resubmitted chunk always recomputes from scratch — trials are pure,
     making the retry invisible in the results.
+
+    This is the one executable shape of a chunk everywhere: the
+    process pool submits it directly, and a cluster node's execution
+    pool (:mod:`repro.runtime.cluster`) submits the same function to
+    its own workers, answering their misses out of the node-wide
+    payload cache before falling back to the coordinator.
     """
     if payloads:
         install_workloads(payloads)

@@ -15,6 +15,8 @@ Nothing here is imported by the runtime proper.
 from __future__ import annotations
 
 import os
+import signal
+import time
 from contextlib import contextmanager
 
 from repro.runtime.trial import TrialSpec
@@ -26,15 +28,19 @@ __all__ = [
     "cached_workload_ids",
     "exit_hard",
     "exit_once_then",
+    "kill_node",
+    "kill_node_once",
     "local_nodes",
     "make_workload",
     "process_id",
     "seeded_specs",
     "seeded_uniform",
     "shared_uniform",
+    "sleep_return",
     "square",
     "square_specs",
     "unpicklable_value",
+    "wedge_node_once",
     "workload_specs",
 ]
 
@@ -80,6 +86,74 @@ def exit_once_then(value, latch_path):
     except FileExistsError:
         return value
     os._exit(3)  # pragma: no cover - kills its own process
+
+
+def sleep_return(seconds, value):
+    """Block for ``seconds`` then return ``value``.
+
+    Models a blocking (I/O-bound) trial: a flat node serialises a
+    batch of these, a node-side pool overlaps them — which is what the
+    node-pool concurrency tests and benchmark measure, independent of
+    how many cores the host has.
+    """
+    time.sleep(seconds)
+    return value
+
+
+def _owning_node_pid():
+    """Pid of the `repro worker serve` process owning this pool worker."""
+    from repro.runtime.cluster import node_process_pid
+
+    pid = node_process_pid()
+    return pid if pid is not None and pid > 1 else None
+
+
+def kill_node():  # pragma: no cover - kills its own node
+    """Kill the node process that owns this pool worker, then die.
+
+    Simulates a crashed/OOM-killed *node* (as distinct from a crashed
+    pool worker, which the node survives): the coordinator sees a dead
+    socket mid-batch and must requeue the node's chunks.  Outside a
+    node pool it just kills the executing process.
+    """
+    pid = _owning_node_pid()
+    if pid is not None:
+        os.kill(pid, signal.SIGKILL)
+    os._exit(3)
+
+
+def kill_node_once(value, latch_path):
+    """Kill the owning node the first time any process runs this;
+    return ``value`` after.  The latch file makes the fault one-shot
+    across a whole cluster, exactly like :func:`exit_once_then`."""
+    try:
+        with open(latch_path, "x"):
+            pass
+    except FileExistsError:
+        return value
+    kill_node()  # pragma: no cover - kills its own node
+
+
+def wedge_node_once(value, latch_path):
+    """Wedge the owning node (socket left open) once; return ``value``
+    after.
+
+    SIGSTOPs the node process — the hung-node shape a dead-socket
+    trigger can never catch: the TCP connection stays healthy while
+    the node goes silent.  Only heartbeat supervision detects it.  The
+    latch makes the wedge one-shot cluster-wide, so the retried chunk
+    completes on a survivor and the run's output must still be
+    byte-identical to ``SerialRunner``'s.
+    """
+    try:
+        with open(latch_path, "x"):
+            pass
+    except FileExistsError:
+        return value
+    pid = _owning_node_pid()  # pragma: no cover - wedges its own node
+    if pid is not None and hasattr(signal, "SIGSTOP"):
+        os.kill(pid, signal.SIGSTOP)
+    os._exit(0)  # pragma: no cover - the stopped node never reaps this
 
 
 def cached_workload_ids(*_args):
@@ -129,16 +203,23 @@ def workload_specs(workload, count, tag="w"):
 
 
 @contextmanager
-def local_nodes(count=2, extra_paths=()):
+def local_nodes(count=2, extra_paths=(), node_workers=None, cache_cap=None):
     """Spawn localhost ``repro worker serve`` nodes; yield addresses.
 
     Yields ``["host:port", ...]`` ready for ``ClusterRunner(nodes=...)``
     or ``$REPRO_CLUSTER_NODES``; the node processes are terminated on
-    exit however the block ends.
+    exit however the block ends.  ``node_workers``/``cache_cap`` pin
+    each node's execution-pool size and workload-cache cap (None: the
+    node's own env/default resolution decides).
     """
     from repro.runtime.cluster import spawn_local_nodes
 
-    nodes = spawn_local_nodes(count, extra_paths=extra_paths)
+    nodes = spawn_local_nodes(
+        count,
+        extra_paths=extra_paths,
+        node_workers=node_workers,
+        cache_cap=cache_cap,
+    )
     try:
         yield [node.address for node in nodes]
     finally:

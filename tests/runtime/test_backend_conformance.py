@@ -191,22 +191,25 @@ class TestClusterSpecifics:
                 node.address: set(node.known_ids) for node in runner._nodes
             } == shipped
 
-    def test_nodes_cache_payloads_for_their_lifetime(self, cluster_addresses):
+    def test_nodes_cache_payloads_for_their_lifetime(self):
         # A *new* runner against the same node: the node-side cache
         # (ship once per node, not once per runner) must answer, which
-        # the worker reports via the installed-ids kernel.  One node,
-        # so queue scheduling cannot route around the assertion.
-        one_node = cluster_addresses[:1]
+        # the worker reports via the installed-ids kernel.  One node
+        # with a pool of one, so neither queue scheduling nor pool
+        # routing can carry the assertion to a fresh process.
         workload = kit.make_workload("cache-live")
-        with ClusterRunner(nodes=one_node, chunksize=1) as first:
-            first.run(kit.workload_specs(workload, 4))
-        probes = [
-            TrialSpec(key=("ids", i), fn=kit.cached_workload_ids, args=(i,))
-            for i in range(4)
-        ]
-        with ClusterRunner(nodes=one_node, chunksize=1) as second:
-            for ids in second.run_values(probes):
-                assert workload.workload_id in ids
+        with kit.local_nodes(1, node_workers=1) as one_node:
+            with ClusterRunner(nodes=one_node, chunksize=1) as first:
+                first.run(kit.workload_specs(workload, 4))
+            probes = [
+                TrialSpec(
+                    key=("ids", i), fn=kit.cached_workload_ids, args=(i,)
+                )
+                for i in range(4)
+            ]
+            with ClusterRunner(nodes=one_node, chunksize=1) as second:
+                for ids in second.run_values(probes):
+                    assert workload.workload_id in ids
 
     def test_close_leaves_external_nodes_serving(self, cluster_addresses):
         specs = kit.square_specs(6)
@@ -219,10 +222,11 @@ class TestClusterSpecifics:
     def test_single_external_node_still_executes_remotely(self):
         # One *named* node is not "no parallelism": the user asked for
         # the work to run there, so multi-chunk batches must ship to
-        # it rather than silently executing on the coordinator.
+        # it rather than silently executing on the coordinator.  A
+        # pool of one pins every trial to a single remote process.
         import os
 
-        with kit.local_nodes(1) as addresses:
+        with kit.local_nodes(1, node_workers=1) as addresses:
             probes = [
                 TrialSpec(key=("pid", i), fn=kit.process_id, args=(i,))
                 for i in range(6)
@@ -231,6 +235,23 @@ class TestClusterSpecifics:
                 pids = set(runner.run_values(probes))
         assert os.getpid() not in pids
         assert len(pids) == 1
+
+    def test_pooled_node_deep_pipeline_matches_serial(self):
+        # The adversarial scheduling shape for the node-side pool: one
+        # node executing many chunks concurrently (pool of 2) with a
+        # deep pipeline keeping it saturated.  Completion order is
+        # maximally shuffled; the table must not notice.
+        from repro.experiments.registry import get_experiment
+
+        spec = get_experiment("E1")
+        serial = spec(scale="tiny", seed=7, runner=SerialRunner())
+        with kit.local_nodes(1, node_workers=2) as addresses:
+            with ClusterRunner(
+                nodes=addresses, chunksize=1, pipeline_depth=4
+            ) as runner:
+                pooled = spec(scale="tiny", seed=7, runner=runner)
+        assert serial.render() == pooled.render()
+        assert repr(serial.rows) == repr(pooled.rows)
 
     def test_single_chunk_runs_inline_without_nodes(self, monkeypatch):
         # Mirrors the pool's inline path: a batch that folds into one

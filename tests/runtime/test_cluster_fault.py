@@ -3,15 +3,31 @@
 These tests run self-managed clusters (the runner spawns its own
 localhost node processes) so killing nodes cannot disturb the
 session-shared nodes of the conformance suite.  Faults are injected
-from inside trials — :func:`repro.runtime.testing.exit_hard` kills the
-node that executes it, :func:`~repro.runtime.testing.exit_once_then`
-kills exactly one node cluster-wide and then behaves — which is how a
-crashed or OOM-killed node looks to the coordinator: a dead socket
-mid-batch.
+from inside trials, at both failure domains the node-side pool
+creates:
+
+* **pool-worker faults** — :func:`repro.runtime.testing.exit_hard` /
+  :func:`~repro.runtime.testing.exit_once_then` kill the pool worker
+  executing the trial.  The *node survives*: it rebuilds its pool and
+  answers ``lost``, and the coordinator requeues the chunk through the
+  retry path without dropping the connection.
+* **node faults** — :func:`~repro.runtime.testing.kill_node` /
+  :func:`~repro.runtime.testing.kill_node_once` kill the whole node
+  process (a dead socket mid-batch, the pre-pool failure shape), and
+  :func:`~repro.runtime.testing.wedge_node_once` SIGSTOPs it with the
+  socket healthy — the hang only heartbeat supervision can catch.
+
+Recovery must stay invisible either way: trials are pure, so every
+completed run's results are byte-identical to ``SerialRunner``'s.
 """
 
+import os
+import signal
 import socket
+import subprocess
+import sys
 import threading
+import time
 
 import pytest
 
@@ -23,35 +39,52 @@ from repro.runtime import (
 )
 from repro.runtime import testing as kit
 from repro.runtime.cluster import (
+    HEARTBEAT_ENV,
+    NODE_CACHE_ENV,
+    NODE_WORKERS_ENV,
     NODES_ENV,
+    PIPELINE_ENV,
     PROTOCOL_VERSION,
     MessageStream,
     ProtocolError,
+    _read_ready_line,
+    resolve_heartbeat,
+    spawn_local_nodes,
 )
 from repro.runtime.trial import TrialResult
 
 
 @pytest.fixture(autouse=True)
 def _self_managed_only(monkeypatch):
-    monkeypatch.delenv(NODES_ENV, raising=False)
-    monkeypatch.delenv("REPRO_WORKERS", raising=False)
-    monkeypatch.delenv("REPRO_CHUNKSIZE", raising=False)
+    for var in (
+        NODES_ENV,
+        "REPRO_WORKERS",
+        "REPRO_CHUNKSIZE",
+        NODE_WORKERS_ENV,
+        PIPELINE_ENV,
+        HEARTBEAT_ENV,
+        NODE_CACHE_ENV,
+    ):
+        monkeypatch.delenv(var, raising=False)
+
+
+# -- node-death faults (dead socket mid-batch) -----------------------------
 
 
 def test_node_death_mid_batch_completes_on_survivor(tmp_path):
-    # One node dies executing the killer spec; its outstanding chunk is
-    # requeued to the surviving node and the batch finishes with
+    # One node dies executing the killer spec; its outstanding chunks
+    # are requeued to the surviving node and the batch finishes with
     # results identical to serial execution of the same (pure) trials.
     latch = tmp_path / "latch"
     seeded = kit.seeded_specs(8, label="fault")
     killer = TrialSpec(
-        key=("kill",), fn=kit.exit_once_then, args=(7.5, str(latch))
+        key=("kill",), fn=kit.kill_node_once, args=(7.5, str(latch))
     )
     batch = seeded[:4] + [killer] + seeded[4:]
     latch.touch()  # serial reference: the pure, post-fault behaviour
     expected = SerialRunner().run(batch)
     latch.unlink()
-    with ClusterRunner(workers=2, chunksize=1, retries=2) as runner:
+    with ClusterRunner(workers=2, chunksize=1, retries=3) as runner:
         assert runner.run(batch) == expected
 
 
@@ -63,33 +96,21 @@ def test_workload_batch_survives_node_death(tmp_path):
     workload = kit.make_workload("fault-payload")
     specs = kit.workload_specs(workload, 8)
     killer = TrialSpec(
-        key=("kill",), fn=kit.exit_once_then, args=(1.0, str(latch))
+        key=("kill",), fn=kit.kill_node_once, args=(1.0, str(latch))
     )
     batch = specs[:3] + [killer] + specs[3:]
     latch.touch()
     expected = SerialRunner().run(batch)
     latch.unlink()
-    with ClusterRunner(workers=2, chunksize=1, retries=2) as runner:
+    with ClusterRunner(workers=2, chunksize=1, retries=3) as runner:
         assert runner.run(batch) == expected
-
-
-def test_retry_cap_exhaustion_names_the_lost_chunk():
-    batch = kit.square_specs(6) + [
-        TrialSpec(key=("die", 0), fn=kit.exit_hard)
-    ]
-    with ClusterRunner(workers=2, chunksize=1, retries=0) as runner:
-        with pytest.raises(TrialExecutionError) as err:
-            runner.run(batch)
-    message = str(err.value)
-    assert "retry cap" in message
-    assert "die" in message  # the lost chunk is named by its keys
 
 
 def test_all_nodes_lost_reports_unfinished_chunks():
     # A generous retry cap, but the killer takes out every node it
     # reaches: the run must fail naming what never finished rather
     # than hang waiting for nodes that no longer exist.
-    batch = kit.square_specs(4) + [TrialSpec(key=("die",), fn=kit.exit_hard)]
+    batch = kit.square_specs(4) + [TrialSpec(key=("die",), fn=kit.kill_node)]
     with ClusterRunner(workers=2, chunksize=1, retries=10) as runner:
         with pytest.raises(TrialExecutionError, match="nodes lost"):
             runner.run(batch)
@@ -101,15 +122,74 @@ def test_partial_node_loss_heals_before_next_batch(tmp_path):
     # the dead self-managed node is respawned first.
     latch = tmp_path / "latch"
     killer = TrialSpec(
-        key=("kill",), fn=kit.exit_once_then, args=(0.0, str(latch))
+        key=("kill",), fn=kit.kill_node_once, args=(0.0, str(latch))
     )
-    with ClusterRunner(workers=2, chunksize=1, retries=2) as runner:
+    with ClusterRunner(workers=2, chunksize=1, retries=3) as runner:
         runner.run(kit.square_specs(6) + [killer])
         assert sum(node.alive for node in runner._nodes) == 1
         assert runner.run_values(kit.square_specs(6)) == [
             i * i for i in range(6)
         ]
         assert sum(node.alive for node in runner._nodes) == 2
+
+
+def test_runner_recovers_after_failed_run():
+    # A run that lost its nodes discards them; the next run respawns a
+    # fresh self-managed cluster and succeeds.
+    runner = ClusterRunner(workers=2, chunksize=1, retries=0)
+    with runner:
+        with pytest.raises(TrialExecutionError):
+            runner.run(
+                kit.square_specs(4)
+                + [TrialSpec(key=("die",), fn=kit.kill_node)]
+            )
+        assert runner.run_values(kit.square_specs(6)) == [
+            i * i for i in range(6)
+        ]
+
+
+# -- pool-worker faults (the node itself survives) -------------------------
+
+
+def test_pool_worker_crash_requeues_without_losing_the_node(tmp_path):
+    # The killer takes out the pool worker executing it, not the node:
+    # the node rebuilds its pool, answers `lost`, and the coordinator
+    # requeues over the *same* connection — every node stays alive and
+    # the results are byte-identical to serial.
+    latch = tmp_path / "latch"
+    seeded = kit.seeded_specs(8, label="worker-crash")
+    killer = TrialSpec(
+        key=("kill",), fn=kit.exit_once_then, args=(7.5, str(latch))
+    )
+    batch = seeded[:4] + [killer] + seeded[4:]
+    latch.touch()
+    expected = SerialRunner().run(batch)
+    latch.unlink()
+    with ClusterRunner(workers=2, chunksize=1, retries=3) as runner:
+        assert runner.run(batch) == expected
+        assert all(node.alive for node in runner._nodes)
+
+
+def test_retry_cap_exhaustion_names_the_lost_chunk():
+    # A chunk that breaks the pool of every node that tries it burns
+    # one retry per `lost` reply; exhaustion names the chunk.  Depth
+    # and pool are pinned to 1 so no innocent neighbour is in flight
+    # when the pool breaks.
+    batch = kit.square_specs(6) + [
+        TrialSpec(key=("die", 0), fn=kit.exit_hard)
+    ]
+    with ClusterRunner(
+        workers=2,
+        chunksize=1,
+        retries=0,
+        pipeline_depth=1,
+        node_workers=1,
+    ) as runner:
+        with pytest.raises(TrialExecutionError) as err:
+            runner.run(batch)
+    message = str(err.value)
+    assert "retry cap" in message
+    assert "die" in message  # the lost chunk is named by its keys
 
 
 def test_unshippable_chunk_fails_instead_of_hanging():
@@ -123,42 +203,225 @@ def test_unshippable_chunk_fails_instead_of_hanging():
 
 
 def test_unpicklable_result_surfaces_the_real_cause():
-    # A trial whose *result* will not pickle executes fine on the node
-    # but its reply cannot be framed; the node must report that as a
-    # trial failure naming the serialisation error — not die and make
-    # the coordinator misdiagnose a lost node.
+    # A trial whose *result* will not pickle executes fine in the pool
+    # worker but cannot ship back; the failure must surface as a trial
+    # error naming the serialisation problem — not kill the node or be
+    # misdiagnosed as a lost chunk.
     bad = TrialSpec(key=("badvalue",), fn=kit.unpicklable_value, args=(0,))
     with ClusterRunner(workers=2, chunksize=1, retries=0) as runner:
         with pytest.raises(TrialExecutionError) as err:
             runner.run(kit.square_specs(6) + [bad])
-    assert "could not be serialised" in err.value.detail
-    assert "Pickl" in err.value.detail or "pickle" in err.value.detail
+        assert "pickle" in err.value.detail.lower()
+        # The nodes themselves shrugged the failure off.
+        assert runner.run_values(kit.square_specs(4)) == [0, 1, 4, 9]
 
 
-def test_runner_recovers_after_failed_run():
-    # A run that lost its nodes discards them; the next run respawns a
-    # fresh self-managed cluster and succeeds.
-    runner = ClusterRunner(workers=2, chunksize=1, retries=0)
-    with runner:
-        with pytest.raises(TrialExecutionError):
-            runner.run(
-                kit.square_specs(4)
-                + [TrialSpec(key=("die",), fn=kit.exit_hard)]
-            )
+# -- wedged nodes (heartbeat supervision) ----------------------------------
+
+
+def test_wedged_node_detected_and_chunks_requeued(tmp_path):
+    # The wedge SIGSTOPs one node mid-batch: its socket stays open, so
+    # only the heartbeat deadline can catch it.  The coordinator must
+    # declare the node lost, requeue its in-flight chunks on the
+    # survivor, and still produce serial-identical results.
+    latch = tmp_path / "latch"
+    seeded = kit.seeded_specs(8, label="wedge")
+    wedger = TrialSpec(
+        key=("wedge",), fn=kit.wedge_node_once, args=(3.25, str(latch))
+    )
+    batch = seeded[:4] + [wedger] + seeded[4:]
+    latch.touch()
+    expected = SerialRunner().run(batch)
+    latch.unlink()
+    with ClusterRunner(
+        workers=2, chunksize=1, retries=3, heartbeat=1.5
+    ) as runner:
+        start = time.monotonic()
+        assert runner.run(batch) == expected
+        elapsed = time.monotonic() - start
+        # Detection is bounded by the deadline (plus scheduling slack),
+        # not by some multi-minute TCP timeout.
+        assert elapsed < 30
+        assert sum(node.alive for node in runner._nodes) == 1
+
+
+def test_wedged_node_with_workloads_still_byte_identical(tmp_path):
+    # Same wedge with shared payloads in play: requeued chunks must
+    # re-resolve their workloads on the survivor.
+    latch = tmp_path / "latch"
+    workload = kit.make_workload("wedge-payload")
+    specs = kit.workload_specs(workload, 8)
+    wedger = TrialSpec(
+        key=("wedge",), fn=kit.wedge_node_once, args=(0.5, str(latch))
+    )
+    batch = specs[:3] + [wedger] + specs[3:]
+    latch.touch()
+    expected = SerialRunner().run(batch)
+    latch.unlink()
+    with ClusterRunner(
+        workers=2, chunksize=1, retries=3, heartbeat=1.5
+    ) as runner:
+        assert runner.run(batch) == expected
+
+
+def test_heartbeat_zero_disables_supervision():
+    # heartbeat=0 must be accepted (the old no-supervision behaviour)
+    # and a healthy cluster must run normally under it.
+    with ClusterRunner(workers=2, chunksize=1, heartbeat=0) as runner:
+        assert runner.heartbeat == 0.0
         assert runner.run_values(kit.square_specs(6)) == [
             i * i for i in range(6)
         ]
 
 
-def test_close_is_idempotent_and_runner_reusable():
-    runner = ClusterRunner(workers=2, chunksize=1)
-    assert runner.run_values(kit.square_specs(6)) == [i * i for i in range(6)]
-    runner.close()
-    assert runner._nodes is None
-    runner.close()  # no-op
-    # a closed runner is still usable; it just pays start-up again
-    assert runner.run_values(kit.square_specs(6)) == [i * i for i in range(6)]
-    runner.close()
+# -- node-side pool + pipelining throughput --------------------------------
+
+
+def test_node_pool_overlaps_blocking_trials():
+    # One node, pool of 4, pipeline deep enough to keep it fed: eight
+    # 0.3s blocking trials must overlap (<2.4s serial floor), which
+    # fails if either the node pool or pipelining stops working.
+    specs = [
+        TrialSpec(key=("nap", i), fn=kit.sleep_return, args=(0.3, i))
+        for i in range(8)
+    ]
+    with kit.local_nodes(1, node_workers=4) as addresses:
+        with ClusterRunner(
+            nodes=addresses, chunksize=1, pipeline_depth=8
+        ) as runner:
+            start = time.monotonic()
+            values = runner.run_values(specs)
+            elapsed = time.monotonic() - start
+    assert values == list(range(8))
+    assert elapsed < 1.8, f"no overlap: {elapsed:.2f}s for 8x0.3s naps"
+
+
+def test_pipelining_keeps_flat_node_busy():
+    # Even a pool-of-1 node benefits from depth > 1: the next chunk is
+    # already on the node when the previous finishes, so a batch of
+    # quick trials is not dominated by ship/collect round-trips.
+    # (Correctness, not timing: deep pipelines must not reorder.)
+    specs = kit.seeded_specs(12, label="deep")
+    with kit.local_nodes(1, node_workers=1) as addresses:
+        with ClusterRunner(
+            nodes=addresses, chunksize=1, pipeline_depth=6
+        ) as runner:
+            assert runner.run(specs) == SerialRunner().run(specs)
+
+
+# -- node-side workload-cache eviction -------------------------------------
+
+
+def test_evicted_workload_is_reshipped_transparently():
+    # cache-cap 1: shipping workload B evicts A node-side, while the
+    # coordinator's ledger still says A was shipped.  Running A again
+    # must recover via the miss path (re-ship, amended ledger), not
+    # fail as non-convergent — and results stay serial-identical.
+    first = kit.make_workload("evict-a")
+    second = kit.make_workload("evict-b")
+    with kit.local_nodes(1, cache_cap=1) as addresses:
+        with ClusterRunner(nodes=addresses, chunksize=1) as runner:
+            for workload, tag in (
+                (first, "a1"),
+                (second, "b1"),
+                (first, "a2"),
+                (second, "b2"),
+            ):
+                specs = kit.workload_specs(workload, 4, tag=tag)
+                assert runner.run(specs) == SerialRunner().run(specs)
+
+
+# -- shutdown drain --------------------------------------------------------
+
+
+def _handshake(address):
+    host, port = address.split(":")
+    sock = socket.create_connection((host, int(port)), timeout=10)
+    stream = MessageStream(sock)
+    stream.send(("hello", {"version": PROTOCOL_VERSION}))
+    kind, _body = stream.recv()
+    assert kind == "welcome"
+    return stream
+
+
+def test_shutdown_drains_inflight_chunks_before_exit():
+    # Connection 1 has a slow chunk executing when connection 2 asks
+    # for shutdown: the node must finish (and deliver) the chunk in
+    # hand, refuse new chunks with `lost`, and only then exit.
+    nodes = spawn_local_nodes(1, node_workers=1)
+    node = nodes[0]
+    try:
+        work = _handshake(node.address)
+        slow = [
+            TrialSpec(key=("slow",), fn=kit.sleep_return, args=(1.2, "ok"))
+        ]
+        work.send(("chunk", {"chunk": 0, "specs": slow, "payloads": {}}))
+        time.sleep(0.3)  # let the chunk reach the pool
+        control = _handshake(node.address)
+        control.send(("shutdown", {}))
+        kind, _body = control.recv(timeout=10)
+        assert kind == "bye"
+        time.sleep(0.2)  # let the stop flag settle
+        # New work is refused while draining...
+        late = [TrialSpec(key=("late",), fn=kit.square, args=(3,))]
+        work.send(("chunk", {"chunk": 1, "specs": late, "payloads": {}}))
+        replies = {}
+        while len(replies) < 2:
+            message = work.recv(timeout=15)
+            assert message is not None, "node went silent while draining"
+            kind, body = message
+            replies[body["chunk"]] = (kind, body)
+        # ...but the chunk in hand completed and shipped its results.
+        kind, body = replies[0]
+        assert kind == "done"
+        assert body["results"] == [TrialResult(key=("slow",), value="ok")]
+        kind, body = replies[1]
+        assert kind == "lost"
+        assert "drain" in body["reason"]
+        assert node.proc.wait(timeout=15) == 0
+    finally:
+        for spawned in nodes:
+            spawned.terminate()
+
+
+# -- spawn deadline --------------------------------------------------------
+
+
+def test_spawn_hang_without_ready_line_is_reaped():
+    # A "node" that prints output but never the READY line must not
+    # hang the spawner forever: the deadline reaps it and the error
+    # carries the captured output for diagnosis.
+    proc = subprocess.Popen(
+        [
+            sys.executable,
+            "-u",
+            "-c",
+            "print('warming up', flush=True); "
+            "import time; time.sleep(600)",
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    start = time.monotonic()
+    with pytest.raises(RuntimeError, match="warming up"):
+        _read_ready_line(proc, timeout=1.0)
+    assert time.monotonic() - start < 10
+    assert proc.poll() is not None  # reaped, not leaked
+
+
+def test_spawn_exit_before_ready_reports_output():
+    proc = subprocess.Popen(
+        [sys.executable, "-u", "-c", "print('boom', flush=True)"],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    with pytest.raises(RuntimeError, match="exited before announcing"):
+        _read_ready_line(proc, timeout=10.0)
+
+
+# -- rogue node ------------------------------------------------------------
 
 
 def _serve_rogue(server: socket.socket) -> None:
@@ -178,6 +441,8 @@ def _serve_rogue(server: socket.socket) -> None:
                 stream.send(
                     ("welcome", {"version": PROTOCOL_VERSION, "pid": 0})
                 )
+            elif kind == "ping":
+                stream.send(("pong", body))
             elif kind == "chunk":
                 fabricated = [
                     TrialResult(key=spec.key, value=0)
@@ -212,13 +477,26 @@ def test_short_done_reply_is_a_protocol_failure():
         thread.start()
         threads.append(thread)
     try:
-        runner = ClusterRunner(nodes=addresses, chunksize=2, retries=0)
+        runner = ClusterRunner(
+            nodes=addresses, chunksize=2, retries=0, pipeline_depth=1
+        )
         with runner:
             with pytest.raises(TrialExecutionError, match="retry cap"):
                 runner.run(kit.square_specs(8))
     finally:
         for server in servers:
             server.close()
+
+
+def test_close_is_idempotent_and_runner_reusable():
+    runner = ClusterRunner(workers=2, chunksize=1)
+    assert runner.run_values(kit.square_specs(6)) == [i * i for i in range(6)]
+    runner.close()
+    assert runner._nodes is None
+    runner.close()  # no-op
+    # a closed runner is still usable; it just pays start-up again
+    assert runner.run_values(kit.square_specs(6)) == [i * i for i in range(6)]
+    runner.close()
 
 
 class TestClusterConfig:
@@ -244,6 +522,11 @@ class TestClusterConfig:
         with pytest.raises(ValueError):
             ClusterRunner()
 
+    def test_duplicate_nodes_env_rejected(self, monkeypatch):
+        monkeypatch.setenv(NODES_ENV, "hostA:7001,hostA:7001")
+        with pytest.raises(ValueError, match="duplicate"):
+            ClusterRunner()
+
     def test_negative_retries_rejected(self):
         with pytest.raises(ValueError):
             ClusterRunner(retries=-1)
@@ -257,6 +540,43 @@ class TestClusterConfig:
         with pytest.raises(ValueError):
             ClusterRunner(workers=2)
 
+    def test_pipeline_depth_env_consulted(self, monkeypatch):
+        monkeypatch.setenv(PIPELINE_ENV, "5")
+        assert ClusterRunner().pipeline_depth == 5
+
+    def test_pipeline_depth_env_validated(self, monkeypatch):
+        monkeypatch.setenv(PIPELINE_ENV, "0")
+        with pytest.raises(ValueError):
+            ClusterRunner()
+
+    def test_zero_pipeline_depth_rejected(self):
+        with pytest.raises(ValueError):
+            ClusterRunner(pipeline_depth=0)
+
+    def test_heartbeat_env_consulted(self, monkeypatch):
+        monkeypatch.setenv(HEARTBEAT_ENV, "2.5")
+        assert ClusterRunner().heartbeat == 2.5
+
+    def test_heartbeat_env_validated(self, monkeypatch):
+        monkeypatch.setenv(HEARTBEAT_ENV, "soon")
+        with pytest.raises(ValueError):
+            ClusterRunner()
+
+    def test_negative_heartbeat_rejected(self):
+        with pytest.raises(ValueError):
+            ClusterRunner(heartbeat=-1.0)
+        with pytest.raises(ValueError):
+            resolve_heartbeat(float("nan"))
+
+    def test_zero_node_workers_rejected(self):
+        with pytest.raises(ValueError):
+            ClusterRunner(node_workers=0)
+
+    def test_default_heartbeat_and_depth(self):
+        runner = ClusterRunner()
+        assert runner.heartbeat == 10.0
+        assert runner.pipeline_depth == 2
+
     def test_connection_refused_is_a_clean_error(self):
         # Nothing listens on these ports; construction is lazy, the
         # first parallel batch surfaces the connection failure.
@@ -267,3 +587,18 @@ class TestClusterConfig:
         )
         with pytest.raises(OSError):
             runner.run(kit.square_specs(8))
+
+
+def test_wedge_kernel_cleanup_terminates_stopped_node(tmp_path):
+    # Housekeeping for the wedge tests themselves: terminate() must be
+    # able to reap a SIGSTOPped node (SIGCONT before the TERM/KILL
+    # escalation), or every wedge test would leak a frozen process.
+    nodes = spawn_local_nodes(1, node_workers=1)
+    node = nodes[0]
+    try:
+        os.kill(node.proc.pid, signal.SIGSTOP)
+    finally:
+        start = time.monotonic()
+        node.terminate()
+        assert node.proc.poll() is not None
+        assert time.monotonic() - start < 10

@@ -8,7 +8,18 @@ stay pending rather than decode to garbage, and wrong magic must be
 rejected.  Chunk reassembly (:class:`ChunkBoard`) gets the same
 treatment: any completion order — and duplicated completions, which
 requeued chunks can produce — must rebuild the batch in trial order.
+
+The pipelined protocol adds two concurrency surfaces, tested here over
+real socketpairs: :class:`MessageStream` sends racing from many
+threads (node-pool callbacks versus pong replies) must never
+interleave bytes mid-frame, and heartbeat ``pong`` frames interleaved
+between pipelined chunk replies must decode in stream order.  The
+node-side :class:`WorkloadCache` LRU is property-tested for its cap
+and recency invariants.
 """
+
+import socket
+import threading
 
 import pytest
 from hypothesis import given, settings
@@ -17,11 +28,14 @@ from hypothesis import strategies as st
 from repro.runtime.cluster import (
     ChunkBoard,
     FrameReader,
+    MessageStream,
     ProtocolError,
+    WorkloadCache,
     encode_frame,
     parse_nodes,
 )
 from repro.runtime.runner import pick_chunksize, split_chunks
+from repro.runtime.testing import make_workload
 
 # Arbitrary picklable message payloads (no NaN: equality-checked).
 payloads = st.recursive(
@@ -145,6 +159,130 @@ class TestReassembly:
         assert [v for _, chunk in chunks for v in chunk] == list(range(total))
 
 
+class TestMessageStreamConcurrency:
+    @settings(max_examples=10, deadline=None)
+    @given(
+        senders=st.integers(min_value=2, max_value=6),
+        per_sender=st.integers(min_value=1, max_value=20),
+    )
+    def test_concurrent_sends_never_interleave(self, senders, per_sender):
+        # Many threads hammering one stream (the node-side shape: pool
+        # callbacks replying `done` while the connection thread replies
+        # `pong`): every frame must arrive intact and per-sender order
+        # must survive, even though global interleaving is arbitrary.
+        left, right = socket.socketpair()
+        try:
+            stream = MessageStream(left)
+            payload = b"x" * 700  # forces multi-chunk reads
+            threads = [
+                threading.Thread(
+                    target=lambda s=s: [
+                        stream.send(("msg", {"sender": s, "seq": i,
+                                             "pad": payload}))
+                        for i in range(per_sender)
+                    ]
+                )
+                for s in range(senders)
+            ]
+            for thread in threads:
+                thread.start()
+            # Drain while the senders run: joining first would deadlock
+            # once the batch overflows the socketpair buffer (senders
+            # blocked in sendall waiting on a reader that never comes).
+            reader = FrameReader()
+            received = []
+            right.settimeout(5)
+            while len(received) < senders * per_sender:
+                received.extend(reader.feed(right.recv(1 << 16)))
+            for thread in threads:
+                thread.join(timeout=5)
+                assert not thread.is_alive()
+            seen = {s: [] for s in range(senders)}
+            for kind, body in received:
+                assert kind == "msg"
+                assert body["pad"] == payload
+                seen[body["sender"]].append(body["seq"])
+            assert all(
+                seqs == list(range(per_sender)) for seqs in seen.values()
+            )
+        finally:
+            left.close()
+            right.close()
+
+    def test_recv_timeout_returns_none_and_preserves_partials(self):
+        left, right = socket.socketpair()
+        try:
+            stream = MessageStream(right)
+            assert stream.recv(timeout=0.05) is None  # quiet socket
+            frame = encode_frame(("pong", {"at": 1.0}))
+            left.sendall(frame[:5])  # torn frame...
+            assert stream.recv(timeout=0.05) is None  # ...stays pending
+            left.sendall(frame[5:])
+            assert stream.recv(timeout=1.0) == ("pong", {"at": 1.0})
+        finally:
+            left.close()
+            right.close()
+
+    def test_pongs_interleave_between_pipelined_replies(self):
+        # The coordinator must see heartbeat pongs and out-of-order
+        # chunk replies exactly as framed, whatever the read boundaries.
+        left, right = socket.socketpair()
+        try:
+            stream = MessageStream(right)
+            messages = [
+                ("pong", {"at": 0.0}),
+                ("done", {"chunk": 4, "results": [1]}),
+                ("pong", {"at": 1.0}),
+                ("done", {"chunk": 0, "results": [2]}),
+                ("lost", {"chunk": 2, "reason": "draining"}),
+            ]
+            blob = b"".join(encode_frame(m) for m in messages)
+            for i in range(0, len(blob), 7):  # adversarial boundaries
+                left.sendall(blob[i : i + 7])
+            assert [stream.recv(timeout=2.0) for _ in messages] == messages
+        finally:
+            left.close()
+            right.close()
+
+
+class TestWorkloadCache:
+    def test_cap_evicts_least_recently_used(self):
+        cache = WorkloadCache(cap=2)
+        a = make_workload("lru-a", size=4)
+        b = make_workload("lru-b", size=4)
+        c = make_workload("lru-c", size=4)
+        cache.install({a.workload_id: a})
+        cache.install({b.workload_id: b})
+        cache.lookup([a.workload_id])  # touch a: b is now LRU
+        cache.install({c.workload_id: c})
+        assert cache.ids() == {a.workload_id, c.workload_id}
+        found, missing = cache.lookup([b.workload_id])
+        assert found == {} and missing == (b.workload_id,)
+
+    def test_zero_cap_is_unbounded(self):
+        cache = WorkloadCache(cap=0)
+        workloads = [make_workload(f"unb-{i}", size=4) for i in range(16)]
+        for workload in workloads:
+            cache.install({workload.workload_id: workload})
+        assert len(cache) == 16
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        cap=st.integers(min_value=1, max_value=5),
+        ops=st.lists(st.integers(min_value=0, max_value=9), max_size=40),
+    )
+    def test_cap_never_exceeded_and_hits_are_exact(self, cap, ops):
+        workloads = [make_workload(f"prop-{i}", size=4) for i in range(10)]
+        cache = WorkloadCache(cap=cap)
+        for op in ops:
+            workload = workloads[op]
+            cache.install({workload.workload_id: workload})
+            assert len(cache) <= cap
+            found, missing = cache.lookup([workload.workload_id])
+            assert found[workload.workload_id] is workload
+            assert missing == ()
+
+
 class TestParseNodes:
     def test_env_string_form(self):
         assert parse_nodes(" 127.0.0.1:7101 ,localhost:7102") == (
@@ -173,3 +311,23 @@ class TestParseNodes:
     def test_empty_list_rejected(self):
         with pytest.raises(ValueError, match="no cluster node"):
             parse_nodes([])
+
+    @pytest.mark.parametrize(
+        "dup",
+        [
+            "h1:7001,h1:7001",
+            "h1:7001, h1:7001 ,h2:7002",
+            [("h1", 7001), ("h1", 7001)],
+        ],
+    )
+    def test_duplicate_addresses_rejected(self, dup):
+        # Two handles on one physical node would double-ship payloads
+        # and skew the once-per-node ledgers.
+        with pytest.raises(ValueError, match="duplicate"):
+            parse_nodes(dup)
+
+    def test_same_host_different_ports_allowed(self):
+        assert parse_nodes("h1:7001,h1:7002") == (
+            ("h1", 7001),
+            ("h1", 7002),
+        )
