@@ -95,7 +95,9 @@ handshake is ``("hello", {"version"})`` → ``("welcome", {"version",
 by one of ``("done", {"chunk", "results"})``, ``("miss", {"chunk",
 "workload_ids"})``, ``("failed", {"chunk", "key", "detail"})`` or
 ``("lost", {"chunk", "reason"})`` (the node abandoned the chunk —
-requeue it elsewhere).  ``("ping", {...})`` → ``("pong", {...})`` may
+requeue it elsewhere; a graceful drain refusal carries ``"draining":
+True``, which requeues the chunk without charging a retry and retires
+the connection).  ``("ping", {...})`` → ``("pong", {...})`` may
 interleave at any point; ``("shutdown", {})`` → ``("bye", {})`` asks
 the node to stop: it refuses new chunks (answering ``lost``), finishes
 the chunks in hand, then exits.
@@ -199,6 +201,12 @@ DEFAULT_SPAWN_TIMEOUT = 30.0
 
 #: Seconds a shutting-down node waits for in-flight chunks to finish.
 DEFAULT_DRAIN_TIMEOUT = 30.0
+
+#: Seconds ``ClusterRunner.close()`` waits for a self-managed node's
+#: ``bye`` after sending ``shutdown``; pipelined replies and buffered
+#: pongs may precede it, so the wait is a wall-clock bound rather than
+#: a frame count.
+BYE_WAIT_TIMEOUT = 10.0
 
 #: Bound on a node-side reply send.  Replies go out on the execution
 #: pool's callback thread, which is shared by every connection: with
@@ -362,6 +370,25 @@ class FrameReader:
         return messages
 
 
+def _wait_readable(readable, timeout: float | None) -> bool:
+    """Block until ``readable`` (a socket or raw fd) is readable
+    (True) or ``timeout`` seconds elapse (False; ``None`` waits
+    forever).
+
+    Uses ``poll`` where the platform has it: unlike ``select`` it has
+    no ``FD_SETSIZE`` cap, so the cluster backend keeps working inside
+    host processes that already hold >1024 descriptors.  Raises
+    ``OSError``/``ValueError`` if the descriptor is closed under us.
+    """
+    if hasattr(select, "poll"):
+        fd = readable if isinstance(readable, int) else readable.fileno()
+        poller = select.poll()
+        poller.register(fd, select.POLLIN)
+        ms = None if timeout is None else max(0, math.ceil(timeout * 1000))
+        return bool(poller.poll(ms))
+    return bool(select.select([readable], [], [], timeout)[0])
+
+
 class MessageStream:
     """A connected socket carrying framed messages, both directions.
 
@@ -371,7 +398,10 @@ class MessageStream:
     bounds how long a send may block on a peer that stopped reading
     (None = forever); a timed-out send leaves the stream torn and
     raises ``TimeoutError`` (an ``OSError``), which the coordinator
-    treats as a lost node.
+    treats as a lost node.  The bound is applied per ``send`` and the
+    socket's previous timeout restored afterwards — reads never
+    inherit it, so a connection that is simply idle between batches
+    is not torn down after ``send_timeout`` seconds of quiet.
     """
 
     def __init__(
@@ -384,39 +414,65 @@ class MessageStream:
         self._pending: deque = deque()
         self._send_lock = threading.Lock()
         self._send_timeout = send_timeout
+        #: Total bytes ever read off the socket.  Heartbeat supervision
+        #: compares it across polls: a frame larger than deadline ×
+        #: bandwidth completes no message for a while, but advancing
+        #: bytes are proof of life all the same.
+        self.bytes_received = 0
 
     def send(self, message) -> None:
         frame = encode_frame(message)  # pickle before any byte ships
         with self._send_lock:
-            if self._send_timeout is not None:
-                self._sock.settimeout(self._send_timeout)
-            self._sock.sendall(frame)
-
-    def settimeout(self, timeout: float | None) -> None:
-        """Bound blocking sends/recvs (None restores blocking mode)."""
-        self._sock.settimeout(timeout)
+            if self._send_timeout is None:
+                self._sock.sendall(frame)
+                return
+            previous = self._sock.gettimeout()
+            self._sock.settimeout(self._send_timeout)
+            try:
+                self._sock.sendall(frame)
+            finally:
+                # Restore even after a timeout (the stream is torn
+                # then, but the caller owns the close): the send bound
+                # must never outlive the send, or the next blocking
+                # ``recv`` would inherit it and tear down a perfectly
+                # healthy connection that merely sat idle.
+                try:
+                    self._sock.settimeout(previous)
+                except OSError:
+                    pass  # racing close; the stream is finished anyway
 
     def recv(self, timeout: float | None = None):
         """Return the next message, or ``None`` on ``timeout`` seconds
-        of quiet socket (``timeout=None`` blocks indefinitely, minus
-        any socket-level timeout already set).
+        of quiet socket (``timeout=None`` blocks until a frame or EOF).
+
+        Readiness is polled (:func:`_wait_readable`) rather than
+        taken from the socket timeout, so a concurrent ``send`` (which
+        briefly applies ``send_timeout`` to the socket) can never leak
+        its bound into a blocking read — an idle connection stays up
+        indefinitely.
 
         Raises :class:`ConnectionError` on orderly EOF between frames
         and :class:`ProtocolError` on EOF that tears a frame in half.
         """
         while not self._pending:
-            if timeout is not None:
-                self._sock.settimeout(timeout)
+            try:
+                if not _wait_readable(self._sock, timeout):
+                    return None
+            except (OSError, ValueError):
+                # fd closed under us (peer teardown in another thread).
+                raise ConnectionError("connection closed") from None
             try:
                 data = self._sock.recv(1 << 16)
             except TimeoutError:
-                if timeout is not None:
-                    return None
-                raise
+                # A racing send's bound expired between the readiness
+                # poll and this read; the bytes are still there — poll
+                # again rather than misreport a dead connection.
+                continue
             if not data:
                 if self._reader.mid_frame:
                     raise ProtocolError("connection closed mid-frame")
                 raise ConnectionError("connection closed by peer")
+            self.bytes_received += len(data)
             self._pending.extend(self._reader.feed(data))
         return self._pending.popleft()
 
@@ -811,7 +867,14 @@ def _start_chunk(server: _NodeServer, stream: MessageStream, body) -> None:
             stream,
             (
                 "lost",
-                {"chunk": chunk_id, "reason": "node draining for shutdown"},
+                {
+                    "chunk": chunk_id,
+                    "reason": "node draining for shutdown",
+                    # Tells the coordinator this is a graceful refusal,
+                    # not a chunk failure: requeue for free and stop
+                    # feeding this connection.
+                    "draining": True,
+                },
             ),
             chunk_id,
         )
@@ -910,11 +973,12 @@ def serve(
     to the node once per *node lifetime* however many runners use it —
     or once per eviction, recovered transparently via the miss path.
 
-    On ``shutdown`` the node drains: it stops accepting connections,
-    refuses new chunks (``lost`` replies let coordinators requeue
-    them) and waits up to ``drain_timeout`` seconds for the chunks in
-    hand to finish before exiting, so racing coordinators on a shared
-    node never lose completed work.
+    On ``shutdown`` — the protocol message, or ``SIGTERM`` when
+    serving from the main thread — the node drains: it stops accepting
+    connections, refuses new chunks (``lost`` replies let coordinators
+    requeue them) and waits up to ``drain_timeout`` seconds for the
+    chunks in hand to finish before exiting, so racing coordinators on
+    a shared node never lose completed work.
     """
     if not 0 <= port <= 65535:
         raise ValueError(f"port must be in [0, 65535], got {port}")
@@ -924,6 +988,24 @@ def serve(
     server = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
     server.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
     interrupted = False
+    previous_term = None
+    term_installed = False
+    if threading.current_thread() is threading.main_thread():
+        # SIGTERM (LocalNode.terminate, init systems, `kill`) takes
+        # the same drain path as a ``shutdown`` message: the accept
+        # loop notices the flag within its poll interval, new chunks
+        # are refused, and the finally block below waits for the
+        # chunks in hand.  Only installable from the main thread;
+        # in-process nodes driven from other threads rely on the
+        # ``shutdown`` message instead.
+        def _on_term(signum, frame):
+            state.stop.set()
+
+        try:
+            previous_term = signal.signal(signal.SIGTERM, _on_term)
+            term_installed = True
+        except (ValueError, OSError):
+            pass
     try:
         server.bind((host, port))
         server.listen()
@@ -951,6 +1033,18 @@ def serve(
         if not interrupted:
             state.drain(drain_timeout)
         state.shutdown_pool()
+        # Restored only after the drain, so a repeated TERM during the
+        # drain window re-enters the (idempotent) handler instead of
+        # killing the node mid-drain; escalation stays available via
+        # SIGKILL.
+        if term_installed:
+            try:
+                signal.signal(signal.SIGTERM, previous_term)
+            except (ValueError, TypeError, OSError):
+                # TypeError: the previous handler was installed by
+                # non-Python code, so signal() had returned None —
+                # nothing restorable.
+                pass
 
 
 # --------------------------------------------------------------------------
@@ -987,15 +1081,29 @@ class LocalNode:
     def address(self) -> str:
         return f"{self.host}:{self.port}"
 
-    def terminate(self) -> None:
+    def terminate(self, force: bool = False) -> None:
         """Stop the node process (idempotent).
+
+        ``force=True`` skips the graceful SIGTERM — which, since the
+        node drains its in-flight chunks on TERM, can take seconds —
+        and SIGKILLs immediately.  The runner's fail-fast teardown
+        paths use it: on Ctrl-C or a failed batch the connections are
+        already gone, so nobody could receive what a drain delivers.
+        The graceful default still escalates to SIGKILL after 5s, so
+        it bounds — not honours — a node's ``drain_timeout``; a full
+        drain is only guaranteed via the ``shutdown`` message or a
+        TERM sent by a supervisor that grants the node its own grace
+        period (systemd, Kubernetes).
 
         A wedged (SIGSTOPped) node cannot act on SIGTERM, so it is
         also sent SIGCONT — a no-op for a running process — before the
         escalation to SIGKILL.
         """
         if self.proc.poll() is None:
-            self.proc.terminate()
+            if force:
+                self.proc.kill()
+            else:
+                self.proc.terminate()
             if hasattr(signal, "SIGCONT"):
                 try:
                     self.proc.send_signal(signal.SIGCONT)
@@ -1014,9 +1122,11 @@ class LocalNode:
         return f"LocalNode({self.address}, {state})"
 
 
-def _terminate_nodes(nodes: Sequence[LocalNode]) -> None:
+def _terminate_nodes(
+    nodes: Sequence[LocalNode], force: bool = False
+) -> None:
     for node in nodes:
-        node.terminate()
+        node.terminate(force=force)
 
 
 def _worker_env(extra_paths: Iterable[str] = ()) -> dict:
@@ -1060,8 +1170,7 @@ def _read_ready_line(
                     f"{READY_PREFIX.strip()!r} line within {timeout}s; "
                     "killed it; output so far:\n" + tail
                 )
-            ready, _, _ = select.select([fd], [], [], min(remaining, 0.5))
-            if not ready:
+            if not _wait_readable(fd, min(remaining, 0.5)):
                 if proc.poll() is not None and not buffer:
                     raise RuntimeError(
                         "worker node exited before announcing its "
@@ -1074,7 +1183,23 @@ def _read_ready_line(
             except BlockingIOError:
                 continue
             if not data:
-                proc.wait()
+                # stdout EOF: usually the node exited — but a child
+                # that closed its stdout while staying alive must not
+                # hang the spawner in an unbounded wait; reap it under
+                # the same deadline instead.
+                try:
+                    proc.wait(
+                        timeout=max(0.0, deadline - time.monotonic())
+                    )
+                except subprocess.TimeoutExpired:
+                    proc.kill()
+                    proc.wait()
+                    raise RuntimeError(
+                        "worker node closed stdout without announcing "
+                        "its address and stayed alive past the "
+                        f"{timeout}s spawn deadline; killed it; "
+                        "output so far:\n" + "".join(lines)
+                    ) from None
                 raise RuntimeError(
                     "worker node exited before announcing its address "
                     f"(exit code {proc.returncode}); output:\n"
@@ -1265,19 +1390,28 @@ class _Node:
         sock = socket.create_connection(self.address, timeout=timeout)
         # Sends stay bounded for the stream's whole life: a peer that
         # stops reading (wedged node, full buffer) times the send out,
-        # which the coordinator treats as a lost node.  Reads after the
-        # handshake always carry their own explicit timeout (recv
-        # polling below), so no coordinator thread can block forever.
+        # which the coordinator treats as a lost node.  Every read —
+        # the handshake here, recv polling afterwards — carries its
+        # own explicit timeout, so no coordinator thread can block
+        # forever on a wedged node.
         self.stream = MessageStream(sock, send_timeout=timeout)
         try:
             self.stream.send(("hello", {"version": PROTOCOL_VERSION}))
-            kind, body = self.stream.recv()
-        except socket.timeout:
+            reply = self.stream.recv(timeout=timeout)
+        except socket.timeout:  # the hello send timed out
+            reply = None
+        except (OSError, ProtocolError):
+            # Peer accepted then hung up (port squatter, restarting
+            # node): close explicitly rather than leave the fd to GC.
+            self.stream.close()
+            raise
+        if reply is None:
             self.stream.close()
             raise ProtocolError(
                 f"handshake with {self.label()} "
                 f"timed out after {timeout}s"
             ) from None
+        kind, body = reply
         if kind != "welcome" or body.get("version") != PROTOCOL_VERSION:
             detail = body.get("detail", f"unexpected {kind!r} reply")
             self.stream.close()
@@ -1388,7 +1522,7 @@ class ClusterRunner(TrialRunner):
         # at collection time is what gets reaped.
         self._local: list[LocalNode] = []
         self._finalizer = weakref.finalize(
-            self, _terminate_nodes, self._local
+            self, _terminate_nodes, self._local, True  # force: GC path
         )
 
     # -- node lifecycle ---------------------------------------------------
@@ -1399,7 +1533,9 @@ class ClusterRunner(TrialRunner):
         return local
 
     def _drop_local(self, local: LocalNode) -> None:
-        local.terminate()
+        # The node being dropped is dead or unhealthy; no drain to wait
+        # for, and healing should not stall the batch.
+        local.terminate(force=True)
         try:
             self._local.remove(local)
         except ValueError:
@@ -1484,17 +1620,24 @@ class ClusterRunner(TrialRunner):
         self._discard_nodes()
         return self._connect_all()
 
-    def _reap_local(self) -> None:
-        _terminate_nodes(self._local)
+    def _reap_local(self, force: bool = True) -> None:
+        # Force by default: the fail-fast callers (Ctrl-C, failed
+        # batch) have already closed the connections, so a graceful
+        # TERM would drain chunks whose results nobody can receive —
+        # and stall the teardown doing it.  ``close()`` passes
+        # ``force=False``: it just *asked* the node to drain via the
+        # ``shutdown`` message, and killing that drain would break the
+        # racing-coordinators-never-lose-completed-work promise.
+        _terminate_nodes(self._local, force=force)
         del self._local[:]
 
-    def _discard_nodes(self) -> None:
+    def _discard_nodes(self, force: bool = True) -> None:
         """Drop connections (and self-managed processes) immediately."""
         if self._nodes is not None:
             for node in self._nodes:
                 node.close()
             self._nodes = None
-        self._reap_local()
+        self._reap_local(force)
 
     def close(self) -> None:
         """Release connections; stop self-managed node processes.
@@ -1508,15 +1651,21 @@ class ClusterRunner(TrialRunner):
                 if node.alive and node.stream is not None:
                     try:
                         node.stream.send(("shutdown", {}))
-                        # Stale frames (pongs, results of requeued
-                        # chunks) may precede the goodbye.
-                        for _ in range(16):
+                        # Stale frames (pongs, results of pipelined or
+                        # requeued chunks) may precede the goodbye —
+                        # and with ``pipeline_depth`` chunks in flight
+                        # per connection there can be arbitrarily many,
+                        # so drain by wall clock, not frame count.
+                        drain_until = time.monotonic() + BYE_WAIT_TIMEOUT
+                        while time.monotonic() < drain_until:
                             message = node.stream.recv(timeout=2.0)
                             if message is None or message[0] == "bye":
                                 break
                     except (ConnectionError, ProtocolError, OSError):
                         pass
-        self._discard_nodes()
+        # Graceful: the shutdown just sent asks the node to drain; a
+        # force kill here would cut that drain short.
+        self._discard_nodes(force=False)
 
     # -- scheduling -------------------------------------------------------
 
@@ -1644,12 +1793,33 @@ class ClusterRunner(TrialRunner):
         deadline = self.heartbeat
         interval = deadline / 3.0 if deadline else 0.0
         now = time.monotonic()
-        last_rx = now
+        # Start of the silence window the node is held accountable
+        # for: reset on every frame received AND after every
+        # potentially-long blocking send (shipping a chunk or re-shipped
+        # payload), during which this thread was not listening —
+        # silence while *we* were busy must not condemn the node.
+        # Deliberately NOT reset on ping sends: a tiny ping to a wedged
+        # node still lands in kernel buffers, so resetting there would
+        # let a wedged node evade the deadline forever.
+        quiet_since = now
         last_ping = now
+        seen_bytes = node.stream.bytes_received
+        draining = False
         while True:
+            if draining and not inflight:
+                # Nothing left in hand on a node that refuses new
+                # work: retire the connection — closed, so the next
+                # batch on a persistent runner routes the address
+                # through the heal/backoff path instead of shipping
+                # chunks to a corpse.  Checked ahead of the finished
+                # early-return: a draining node whose in-hand chunk
+                # completed the batch must still be retired, not left
+                # looking alive.
+                node.close()
+                return
             if state.finished:
                 return
-            while len(inflight) < depth:
+            while not draining and len(inflight) < depth:
                 try:
                     task = tasks.get_nowait()
                 except queue.Empty:
@@ -1678,25 +1848,31 @@ class ClusterRunner(TrialRunner):
                         f"{type(exc).__name__}: {exc}",
                     ) from exc
                 inflight[task.start] = task
+                # The ship may have blocked past the deadline; the
+                # node owes nothing for that stretch.
+                quiet_since = time.monotonic()
             now = time.monotonic()
             if deadline and now - last_ping >= interval:
                 node.stream.send(("ping", {"at": now}))
                 last_ping = now
             message = node.stream.recv(timeout=0.05)
+            received = node.stream.bytes_received
+            if received != seen_bytes:
+                # Bytes arrived even if no message completed yet: a
+                # reply frame larger than deadline × bandwidth is mid
+                # transfer, which is proof of life, not a wedge.
+                seen_bytes = received
+                quiet_since = time.monotonic()
             if message is None:
-                # Only silence observed *after* a read attempt counts
-                # against the deadline: a shipment that itself took
-                # longer than the deadline must not condemn a healthy
-                # node whose pongs sat unread in the buffer meanwhile.
                 now = time.monotonic()
-                if deadline and now - last_rx > deadline:
+                if deadline and now - quiet_since > deadline:
                     raise _NodeLost(
                         f"node {node.label()} sent nothing for "
-                        f"{now - last_rx:.1f}s (heartbeat deadline "
+                        f"{now - quiet_since:.1f}s (heartbeat deadline "
                         f"{deadline}s); presumed wedged"
                     )
                 continue
-            last_rx = time.monotonic()
+            quiet_since = time.monotonic()
             kind, body = message
             if kind == "pong":
                 continue
@@ -1729,8 +1905,21 @@ class ClusterRunner(TrialRunner):
                 state.chunk_done()
             elif kind == "miss":
                 self._answer_miss(node, task, body, payload_table)
+                # The payload re-ship is a blocking send too.
+                quiet_since = time.monotonic()
             elif kind == "lost":
                 del inflight[task.start]
+                if body.get("draining"):
+                    # A graceful drain refusal is not a chunk failure:
+                    # hand the chunk back without charging a retry and
+                    # stop feeding this connection — otherwise a node
+                    # mid-shutdown would bounce the chunk back in
+                    # milliseconds, burn the whole retry budget and
+                    # fail a batch its healthy peers could finish.
+                    # Chunks already in hand still complete and reply.
+                    draining = True
+                    tasks.put(task)
+                    continue
                 reason = body.get("reason", "node abandoned the chunk")
                 if not self._requeue(tasks, task, state, reason):
                     return

@@ -264,6 +264,87 @@ def test_wedged_node_with_workloads_still_byte_identical(tmp_path):
         assert runner.run(batch) == expected
 
 
+def _serve_fake(server: socket.socket, on_chunk) -> None:
+    """A one-connection fake in-process node: prompt handshake and
+    pongs, with the ``chunk`` reply delegated to ``on_chunk(body)`` —
+    the only part the fault scenarios differ in."""
+    try:
+        conn, _ = server.accept()
+    except OSError:
+        return
+    stream = MessageStream(conn)
+    try:
+        while True:
+            try:
+                kind, body = stream.recv()
+            except (ConnectionError, ProtocolError, OSError):
+                return
+            if kind == "hello":
+                stream.send(
+                    ("welcome", {"version": PROTOCOL_VERSION, "pid": 0})
+                )
+            elif kind == "ping":
+                stream.send(("pong", body))
+            elif kind == "chunk":
+                stream.send(on_chunk(body))
+            else:
+                return
+    finally:
+        stream.close()
+
+
+def _start_fake_node(on_chunk):
+    """Bind an ephemeral port and serve one connection on a daemon
+    thread; returns ``(listening socket, "host:port")``."""
+    server = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    server.bind(("127.0.0.1", 0))
+    server.listen()
+    threading.Thread(
+        target=_serve_fake, args=(server, on_chunk), daemon=True
+    ).start()
+    return server, f"127.0.0.1:{server.getsockname()[1]}"
+
+
+def _done_reply(body):
+    return (
+        "done",
+        {
+            "chunk": body["chunk"],
+            "results": [spec.execute() for spec in body["specs"]],
+        },
+    )
+
+
+def test_slow_shipment_does_not_trip_heartbeat(monkeypatch):
+    # Regression: a shipment that itself outlasts the heartbeat
+    # deadline must not condemn a healthy node.  Silence only counts
+    # from the moment the coordinator resumed listening — not from the
+    # last frame received before a long blocking send, during which no
+    # ping was outstanding and the node owed nothing.  The fake node
+    # replies late enough that the first post-ship poll sees a quiet
+    # socket, which the stale basis would misread as a wedged node.
+    def slow_done(body):
+        time.sleep(2.75)  # pongs queue behind this too
+        return _done_reply(body)
+
+    server, address = _start_fake_node(slow_done)
+
+    real_ship = ClusterRunner._ship_task
+
+    def slow_ship(self, node, task, payload_table):
+        real_ship(self, node, task, payload_table)
+        time.sleep(2.25)  # > the 1.5s heartbeat deadline below
+
+    monkeypatch.setattr(ClusterRunner, "_ship_task", slow_ship)
+    try:
+        with ClusterRunner(
+            nodes=[address], chunksize=4, retries=0, heartbeat=1.5
+        ) as runner:
+            assert runner.run_values(kit.square_specs(4)) == [0, 1, 4, 9]
+    finally:
+        server.close()
+
+
 def test_heartbeat_zero_disables_supervision():
     # heartbeat=0 must be accepted (the old no-supervision behaviour)
     # and a healthy cluster must run normally under it.
@@ -384,6 +465,137 @@ def test_shutdown_drains_inflight_chunks_before_exit():
             spawned.terminate()
 
 
+def test_draining_node_does_not_burn_retries():
+    # A node mid-graceful-shutdown bounces chunks back in milliseconds.
+    # Those refusals are not chunk failures: even with retries=0 the
+    # batch must migrate to the healthy node and complete, instead of
+    # failing because the draining node replied `lost` faster than the
+    # survivor could work through the queue.  The retired connection
+    # must also be CLOSED, so the next batch of a persistent runner
+    # routes the address through the heal path rather than shipping
+    # chunks to the corpse and burning retries one batch later.
+    def drain_refusal(body):
+        return (
+            "lost",
+            {
+                "chunk": body["chunk"],
+                "reason": "node draining for shutdown",
+                "draining": True,
+            },
+        )
+
+    server, drain_address = _start_fake_node(drain_refusal)
+    try:
+        with kit.local_nodes(1) as addresses:
+            with ClusterRunner(
+                nodes=[*addresses, drain_address],
+                chunksize=1,
+                retries=0,
+                connect_timeout=1.0,
+            ) as runner:
+                assert runner.run_values(kit.square_specs(8)) == [
+                    i * i for i in range(8)
+                ]
+                drained = [
+                    node
+                    for node in runner._nodes
+                    if node.label() == drain_address
+                ]
+                assert drained and not drained[0].alive
+                # Second batch: the gone node heals-or-backs-off; it
+                # must not be shipped to over the retired connection.
+                assert runner.run_values(kit.square_specs(6)) == [
+                    i * i for i in range(6)
+                ]
+    finally:
+        server.close()
+
+
+def test_draining_node_finishing_the_last_chunk_is_still_retired():
+    # Ordering regression: the draining node holds a chunk in hand and
+    # that chunk is the batch's LAST completion, so state.finished is
+    # set on the very iteration that empties inflight.  The retire
+    # branch must still run (ahead of the finished early-return), or
+    # the pump exits with the connection open and alive=True — and the
+    # next batch ships to the corpse.
+    calls = []
+
+    def drain_then_slow_done(body):
+        calls.append(body["chunk"])
+        if len(calls) == 1:
+            return (
+                "lost",
+                {
+                    "chunk": body["chunk"],
+                    "reason": "node draining for shutdown",
+                    "draining": True,
+                },
+            )
+        time.sleep(0.8)  # in-hand chunk finishes well after the
+        return _done_reply(body)  # healthy node clears the queue
+
+    server, drain_address = _start_fake_node(drain_then_slow_done)
+    try:
+        with kit.local_nodes(1) as addresses:
+            with ClusterRunner(
+                nodes=[*addresses, drain_address],
+                chunksize=1,
+                retries=0,
+                connect_timeout=1.0,
+            ) as runner:
+                assert runner.run_values(kit.square_specs(8)) == [
+                    i * i for i in range(8)
+                ]
+                drained = [
+                    node
+                    for node in runner._nodes
+                    if node.label() == drain_address
+                ]
+                assert drained and not drained[0].alive
+                assert runner.run_values(kit.square_specs(4)) == [
+                    0, 1, 4, 9,
+                ]
+    finally:
+        server.close()
+
+
+def test_close_lets_self_managed_nodes_exit_gracefully():
+    # close() sends `shutdown` and must then let the node finish its
+    # drain: the reap behind it may not SIGKILL the drain it just
+    # asked for.  A gracefully-drained node exits 0; a kill would
+    # leave -SIGKILL.
+    runner = ClusterRunner(workers=2, chunksize=1)
+    assert runner.run_values(kit.square_specs(4)) == [0, 1, 4, 9]
+    procs = [local.proc for local in runner._local]
+    runner.close()
+    assert [proc.poll() for proc in procs] == [0, 0]
+
+
+def test_sigterm_drains_inflight_chunks_before_exit():
+    # SIGTERM — what LocalNode.terminate and init systems send — must
+    # take the same drain path as the `shutdown` message: finish and
+    # deliver the chunk in hand, then exit cleanly, not die mid-drain.
+    nodes = spawn_local_nodes(1, node_workers=1)
+    node = nodes[0]
+    try:
+        work = _handshake(node.address)
+        slow = [
+            TrialSpec(key=("slow",), fn=kit.sleep_return, args=(1.2, "ok"))
+        ]
+        work.send(("chunk", {"chunk": 0, "specs": slow, "payloads": {}}))
+        time.sleep(0.3)  # let the chunk reach the pool
+        node.proc.send_signal(signal.SIGTERM)
+        message = work.recv(timeout=15)
+        assert message is not None, "node dropped the chunk on SIGTERM"
+        kind, body = message
+        assert kind == "done"
+        assert body["results"] == [TrialResult(key=("slow",), value="ok")]
+        assert node.proc.wait(timeout=15) == 0
+    finally:
+        for spawned in nodes:
+            spawned.terminate()
+
+
 # -- spawn deadline --------------------------------------------------------
 
 
@@ -410,6 +622,29 @@ def test_spawn_hang_without_ready_line_is_reaped():
     assert proc.poll() is not None  # reaped, not leaked
 
 
+def test_spawn_stdout_eof_with_live_process_is_reaped():
+    # A "node" that closes its stdout but stays alive must not hang
+    # the spawner in an unbounded wait() on the EOF branch: the spawn
+    # deadline reaps it.  (stderr must NOT share the stdout pipe here,
+    # or the parent would never see EOF.)
+    proc = subprocess.Popen(
+        [
+            sys.executable,
+            "-u",
+            "-c",
+            "import os, time; os.close(1); time.sleep(600)",
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.DEVNULL,
+        text=True,
+    )
+    start = time.monotonic()
+    with pytest.raises(RuntimeError, match="stayed alive"):
+        _read_ready_line(proc, timeout=1.0)
+    assert time.monotonic() - start < 10
+    assert proc.poll() is not None  # reaped, not leaked
+
+
 def test_spawn_exit_before_ready_reports_output():
     proc = subprocess.Popen(
         [sys.executable, "-u", "-c", "print('boom', flush=True)"],
@@ -424,58 +659,23 @@ def test_spawn_exit_before_ready_reports_output():
 # -- rogue node ------------------------------------------------------------
 
 
-def _serve_rogue(server: socket.socket) -> None:
-    """A fake in-process node that answers every chunk one result short."""
-    try:
-        conn, _ = server.accept()
-    except OSError:
-        return
-    stream = MessageStream(conn)
-    try:
-        while True:
-            try:
-                kind, body = stream.recv()
-            except (ConnectionError, ProtocolError, OSError):
-                return
-            if kind == "hello":
-                stream.send(
-                    ("welcome", {"version": PROTOCOL_VERSION, "pid": 0})
-                )
-            elif kind == "ping":
-                stream.send(("pong", body))
-            elif kind == "chunk":
-                fabricated = [
-                    TrialResult(key=spec.key, value=0)
-                    for spec in body["specs"]
-                ][:-1]
-                stream.send(
-                    ("done", {"chunk": body["chunk"], "results": fabricated})
-                )
-            else:
-                return
-    finally:
-        stream.close()
-
-
 def test_short_done_reply_is_a_protocol_failure():
     # A node that returns fewer results than the chunk holds is not
     # speaking the protocol; the run must fail cleanly (via the
     # retry-cap path, since the rogue answer discredits the node), not
     # report a completed batch with holes or overwrite neighbours.
+    def one_result_short(body):
+        fabricated = [
+            TrialResult(key=spec.key, value=0) for spec in body["specs"]
+        ][:-1]
+        return ("done", {"chunk": body["chunk"], "results": fabricated})
+
     servers = []
-    threads = []
     addresses = []
     for _ in range(2):
-        server = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
-        server.bind(("127.0.0.1", 0))
-        server.listen()
+        server, address = _start_fake_node(one_result_short)
         servers.append(server)
-        addresses.append(f"127.0.0.1:{server.getsockname()[1]}")
-        thread = threading.Thread(
-            target=_serve_rogue, args=(server,), daemon=True
-        )
-        thread.start()
-        threads.append(thread)
+        addresses.append(address)
     try:
         runner = ClusterRunner(
             nodes=addresses, chunksize=2, retries=0, pipeline_depth=1

@@ -20,6 +20,7 @@ and recency invariants.
 
 import socket
 import threading
+import time
 
 import pytest
 from hypothesis import given, settings
@@ -209,16 +210,57 @@ class TestMessageStreamConcurrency:
             left.close()
             right.close()
 
+    def test_send_timeout_never_leaks_into_blocking_recv(self):
+        # Regression: send() applies send_timeout to the socket for
+        # the duration of the sendall only.  If the bound survived the
+        # send, the node-side blocking recv() would inherit it and any
+        # coordinator connection idle longer than send_timeout (a
+        # persistent runner between batches) would be torn down.
+        left, right = socket.socketpair()
+        try:
+            stream = MessageStream(right, send_timeout=0.1)
+            stream.send(("pong", {}))
+            assert right.gettimeout() is None  # restored after sendall
+            # A frame arriving well after the send bound elapsed must
+            # still reach a fully blocking recv().
+            def late_reply():
+                time.sleep(0.3)
+                left.sendall(encode_frame(("late", {})))
+
+            threading.Thread(target=late_reply, daemon=True).start()
+            assert stream.recv() == ("late", {})
+        finally:
+            left.close()
+            right.close()
+
+    def test_recv_timeout_does_not_alter_socket_timeout(self):
+        # recv() polls readiness with select; it must not mutate the
+        # socket timeout other threads' sends rely on restoring.
+        left, right = socket.socketpair()
+        try:
+            right.settimeout(7.5)
+            stream = MessageStream(right)
+            assert stream.recv(timeout=0.05) is None
+            assert right.gettimeout() == 7.5
+        finally:
+            left.close()
+            right.close()
+
     def test_recv_timeout_returns_none_and_preserves_partials(self):
         left, right = socket.socketpair()
         try:
             stream = MessageStream(right)
             assert stream.recv(timeout=0.05) is None  # quiet socket
+            assert stream.bytes_received == 0
             frame = encode_frame(("pong", {"at": 1.0}))
             left.sendall(frame[:5])  # torn frame...
             assert stream.recv(timeout=0.05) is None  # ...stays pending
+            # ...but the bytes count as liveness: heartbeat supervision
+            # must not condemn a node mid-transfer of a large frame.
+            assert stream.bytes_received == 5
             left.sendall(frame[5:])
             assert stream.recv(timeout=1.0) == ("pong", {"at": 1.0})
+            assert stream.bytes_received == len(frame)
         finally:
             left.close()
             right.close()
