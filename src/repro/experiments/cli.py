@@ -307,11 +307,54 @@ def _cmd_thresholds() -> int:
     return 0
 
 
+def _make_kernel_audit_runner():
+    """A serial runner that also tallies the kernel/fallback split.
+
+    Counts, for every batch the experiment submits, how many specs
+    would execute through a vectorized chunk kernel versus the
+    per-trial fallback — the same eligibility decision
+    ``execute_specs`` makes at run time — then runs them normally.
+    """
+    from repro.runtime import SerialRunner
+    from repro.runtime.chunkexec import kernel_split
+
+    class _KernelAuditRunner(SerialRunner):
+        def __init__(self) -> None:
+            self.kernel = 0
+            self.fallback = 0
+
+        def run(self, specs):
+            specs = list(specs)
+            kernel, fallback = kernel_split(specs)
+            self.kernel += kernel
+            self.fallback += fallback
+            return super().run(specs)
+
+    return _KernelAuditRunner()
+
+
+def _kernel_audit_line(spec) -> str:
+    audit = _make_kernel_audit_runner()
+    spec(scale="tiny", seed=0, runner=audit)
+    total = audit.kernel + audit.fallback
+    if audit.kernel and not audit.fallback:
+        shape = "vectorized chunk kernel"
+    elif audit.kernel:
+        shape = "vectorized chunk kernel + per-trial fallback"
+    else:
+        shape = "per-trial fallback"
+    return (
+        f"execution: {shape} "
+        f"({audit.kernel}/{total} specs kernel-eligible at tiny scale)"
+    )
+
+
 def _cmd_info(experiment_id: str) -> int:
     spec = get_experiment(experiment_id)
     print(f"{spec.experiment_id}: {spec.title}")
     print(f"reference: {spec.reference}")
     print(f"claim: {spec.claim}")
+    print(_kernel_audit_line(spec))
     return 0
 
 

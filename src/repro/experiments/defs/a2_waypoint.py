@@ -9,9 +9,10 @@ schedule is complete and still far cheaper than exhaustive BFS.
 Every trial of every (graph, router) pair is its own
 :class:`TrialSpec`; all routers of a graph share per-trial seeds, so
 the comparison stays draw-for-draw fair under any scheduling.
-Each point's shared context (graph, router, pair) rides in one
-:class:`~repro.runtime.Workload`, shipped to a worker once; the
-specs carry only their ``(trial, seed)`` tails.
+Each spec is
+**workload-referenced**: the point's shared context (graph, router,
+pair) rides in one :class:`~repro.runtime.Workload`, shipped to a
+worker once; the specs carry only their ``(trial, seed)`` tails.
 """
 
 from __future__ import annotations

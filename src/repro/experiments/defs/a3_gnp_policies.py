@@ -12,9 +12,10 @@ oracle access alone buys nothing; bidirectional growth is the √n win.
 Every trial of every (n, router) pair is its own :class:`TrialSpec`;
 all three routers of a size share per-trial seeds — identical draws —
 so the comparison is a true ablation under any scheduling.
-Each point's shared context (graph, router, pair) rides in one
-:class:`~repro.runtime.Workload`, shipped to a worker once; the
-specs carry only their ``(trial, seed)`` tails.
+Each spec is
+**workload-referenced**: the point's shared context (graph, router,
+pair) rides in one :class:`~repro.runtime.Workload`, shipped to a
+worker once; the specs carry only their ``(trial, seed)`` tails.
 """
 
 from __future__ import annotations

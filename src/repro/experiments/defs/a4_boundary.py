@@ -10,9 +10,10 @@ factor, i.e. boundary effects do not drive the linear law.
 Every trial of every (boundary, p, n) point is its own
 :class:`TrialSpec`; mesh and torus share per-trial seeds at equal
 ``(p, n)``, keeping the comparison draw-for-draw coupled.
-Each point's shared context (graph, router, pair) rides in one
-:class:`~repro.runtime.Workload`, shipped to a worker once; the
-specs carry only their ``(trial, seed)`` tails.
+Each spec is
+**workload-referenced**: the point's shared context (graph, router,
+pair) rides in one :class:`~repro.runtime.Workload`, shipped to a
+worker once; the specs carry only their ``(trial, seed)`` tails.
 """
 
 from __future__ import annotations

@@ -16,9 +16,10 @@ Every *trial* of every ``(n, α, router)`` sweep point is its own
 :class:`TrialSpec` (via :func:`repro.core.complexity.complexity_specs`),
 so even a single large-``n`` point fans out across workers while
 staying bit-identical to the serial run — each trial carries its own
-derived seed.  Each point's shared context (graph, router, pair) rides in one
-:class:`~repro.runtime.Workload`, shipped to a worker once; the
-specs carry only their ``(trial, seed)`` tails.
+derived seed.  Each spec is
+**workload-referenced**: the point's shared context (graph, router,
+pair) rides in one :class:`~repro.runtime.Workload`, shipped to a
+worker once; the specs carry only their ``(trial, seed)`` tails.
 """
 
 from __future__ import annotations

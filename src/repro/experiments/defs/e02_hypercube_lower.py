@@ -12,9 +12,10 @@ Two artifacts per ``(n, α)`` with ``α > 1/2``:
 Work units: one :class:`TrialSpec` per certificate estimation (its own
 Monte-Carlo loop) plus one per routing *trial*, all submitted as a
 single batch — certificates and router measurements of different sweep
-points interleave freely across workers.  Routing trials reference one
-shared :class:`~repro.runtime.Workload` per point; certificate units
-take plain scalars and build their hypercube in the worker.
+points interleave freely across workers.  Routing trials are
+**workload-referenced** (one shared :class:`~repro.runtime.Workload`
+per point); certificate units are **self-contained** — plain scalars,
+the hypercube built inside the worker.
 """
 
 from __future__ import annotations

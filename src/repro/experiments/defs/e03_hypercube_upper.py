@@ -8,9 +8,10 @@ exponent rather than exponential growth).
 
 Every trial of every ``(α, n)`` point is its own :class:`TrialSpec`,
 so the sweep — including its largest ``n`` — fans out across workers.
-Each point's shared context (graph, router, pair) rides in one
-:class:`~repro.runtime.Workload`, shipped to a worker once; the
-specs carry only their ``(trial, seed)`` tails.
+Each spec is
+**workload-referenced**: the point's shared context (graph, router,
+pair) rides in one :class:`~repro.runtime.Workload`, shipped to a
+worker once; the specs carry only their ``(trial, seed)`` tails.
 """
 
 from __future__ import annotations

@@ -8,9 +8,10 @@ linear fit with high r².
 
 Every trial of every ``(d, p, n)`` point is its own :class:`TrialSpec`,
 so the whole sweep — distances, retention levels and dimensions — runs
-as one flat batch across workers.  Each point's shared context (graph, router, pair) rides in one
-:class:`~repro.runtime.Workload`, shipped to a worker once; the
-specs carry only their ``(trial, seed)`` tails.
+as one flat batch across workers.  Each spec is
+**workload-referenced**: the point's shared context (graph, router,
+pair) rides in one :class:`~repro.runtime.Workload`, shipped to a
+worker once; the specs carry only their ``(trial, seed)`` tails.
 """
 
 from __future__ import annotations

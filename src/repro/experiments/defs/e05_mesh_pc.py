@@ -12,16 +12,20 @@ record ``D(x,y)/d(x,y)`` (chemical over euclidean-lattice distance).
 Lemma 8 asserts linear scaling with an exponential tail; we report the
 mean ratio ρ(p) and the fitted tail rate.
 
-Both sweeps run through the trial runner: each ``p`` of each section is
-one :class:`TrialSpec` carrying its own derived seed.  Its arguments are plain scalars, so the unit stays self-contained:
-the heavy objects are built inside the worker, and there is no
-shared payload to ship.
+Spec emission: the routing section emits **per-trial,
+workload-referenced** :class:`TrialSpec` units via ``complexity_specs``
+(one shared Workload per ``p``, slim ``(trial, seed)`` tails with the
+same per-trial seed derivation as before), so a single sweep point fans
+out across workers and its chunks execute through the vectorized mesh
+kernel.  The chemical section stays **self-contained** — one spec per
+``p`` whose arguments are plain scalars — because its unit is a whole
+chemical-distance sample, not a routing trial.
 """
 
 from __future__ import annotations
 
 from repro.analysis.phase_transition import exponential_tail_rate
-from repro.core.complexity import measure_complexity
+from repro.core.complexity import assemble_measurement, complexity_specs
 from repro.experiments.registry import register
 from repro.experiments.results import ResultTable
 from repro.experiments.spec import ExperimentSpec, pick
@@ -51,17 +55,8 @@ def _geometry(side: int):
     return graph, distance, graph.centered_pair_at_distance(distance)
 
 
-def _routing_point(side: int, p: float, trials: int, seed: int):
-    """One routing row of the p-sweep (plain cells)."""
-    graph, distance, pair = _geometry(side)
-    m = measure_complexity(
-        graph,
-        p=p,
-        router=MeshWaypointRouter(),
-        pair=pair,
-        trials=trials,
-        seed=seed,
-    )
+def _routing_cells(m, distance: float) -> dict:
+    """Fold one routing measurement into a table row (plain cells)."""
     if m.connected_trials and m.successes():
         summary = m.query_summary()
         median_q = summary.median
@@ -71,7 +66,7 @@ def _routing_point(side: int, p: float, trials: int, seed: int):
         per_dist = float("nan")
     return {
         "section": "routing",
-        "p": p,
+        "p": m.p,
         "pr_connected": m.connection_rate,
         "median_queries": median_q,
         "queries_per_distance": per_dist,
@@ -135,22 +130,43 @@ def run(scale: str, seed: int, runner=None) -> ResultTable:
         columns=COLUMNS,
     )
 
-    specs = [
-        TrialSpec(
-            key=("e5", "routing", p),
-            fn=_routing_point,
-            args=(side, p, trials, derive_seed(seed, "e5", p)),
+    graph, distance, pair = _geometry(side)
+    router = MeshWaypointRouter()
+    groups = [
+        (
+            ("routing", p),
+            complexity_specs(
+                graph,
+                p=p,
+                router=router,
+                pair=pair,
+                trials=trials,
+                seed=derive_seed(seed, "e5", p),
+                key=("e5", "routing", p),
+            ),
         )
         for p in ps_routing
     ] + [
-        TrialSpec(
-            key=("e5", "chemical", p),
-            fn=_chemical_point,
-            args=(side, p, trials, seed),
+        (
+            ("chemical", p),
+            [
+                TrialSpec(
+                    key=("e5", "chemical", p),
+                    fn=_chemical_point,
+                    args=(side, p, trials, seed),
+                )
+            ],
         )
         for p in ps_chemical
     ]
-    for cells in runner.run_values(specs):
+    values = runner.run_grouped(groups)
+    for p in ps_routing:
+        m = assemble_measurement(
+            graph, p, router, values[("routing", p)], pair=pair
+        )
+        table.add_row(**_routing_cells(m, distance))
+    for p in ps_chemical:
+        cells = values[("chemical", p)][0]
         if cells is not None:
             table.add_row(**cells)
 

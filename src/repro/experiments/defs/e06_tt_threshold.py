@@ -12,9 +12,10 @@ single pass evaluates ``Pr[x ~ y in TT_{n,p}]`` at *every* ``p``
 simultaneously — equivalent to (and much cheaper than) per-``p``
 Monte-Carlo with the same hash stream.  Each union–find sweep is one
 :class:`TrialSpec`, using the same per-trial seed derivation as
-``threshold_sample``, so depths fan out trial by trial.  Each depth's
-tree is frozen into one shared :class:`Workload`, so a spec ships only
-its derived seed — the graph crosses to each worker once per depth.
+``threshold_sample``, so depths fan out trial by trial.  Each spec is
+**workload-referenced**: the depth's tree is frozen into one shared
+:class:`Workload` and a spec ships only its derived seed — the graph
+crosses to each worker once per depth.
 """
 
 from __future__ import annotations

@@ -9,9 +9,10 @@ and overlay the Lemma 5 bound with its exact ``η = p^n``.
 Every trial of every ``(p, depth, router)`` point is its own
 :class:`TrialSpec` — the deepest trees, where a single conditioned
 routing attempt costs ``≈ p^{-n}`` probes, spread across workers.
-Each point's shared context (graph, router, pair) rides in one
-:class:`~repro.runtime.Workload`, shipped to a worker once; the
-specs carry only their ``(trial, seed)`` tails.
+Each spec is
+**workload-referenced**: the point's shared context (graph, router,
+pair) rides in one :class:`~repro.runtime.Workload`, shipped to a
+worker once; the specs carry only their ``(trial, seed)`` tails.
 """
 
 from __future__ import annotations

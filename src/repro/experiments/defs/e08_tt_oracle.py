@@ -7,9 +7,10 @@ with E7 — an *exponential local-vs-oracle gap* on the same graph.
 
 Every trial of every ``(p, depth)`` point is its own
 :class:`TrialSpec`, so the sweep fans out across workers.
-Each point's shared context (graph, router, pair) rides in one
-:class:`~repro.runtime.Workload`, shipped to a worker once; the
-specs carry only their ``(trial, seed)`` tails.
+Each spec is
+**workload-referenced**: the point's shared context (graph, router,
+pair) rides in one :class:`~repro.runtime.Workload`, shipped to a
+worker once; the specs carry only their ``(trial, seed)`` tails.
 """
 
 from __future__ import annotations

@@ -7,9 +7,10 @@ exponent ≈ 2.  The proof's probability bound
 
 Every trial of every ``(c, n)`` point is its own :class:`TrialSpec`,
 so the largest ``n`` — a Θ(n²) router run per trial — fans out across
-workers.  Each point's shared context (graph, router, pair) rides in one
-:class:`~repro.runtime.Workload`, shipped to a worker once; the
-specs carry only their ``(trial, seed)`` tails.
+workers.  Each spec is
+**workload-referenced**: the point's shared context (graph, router,
+pair) rides in one :class:`~repro.runtime.Workload`, shipped to a
+worker once; the specs carry only their ``(trial, seed)`` tails.
 """
 
 from __future__ import annotations

@@ -14,10 +14,10 @@ transitions sit at accessible sizes.
 Work units: one :class:`TrialSpec` per family for the structural scan
 (one multi-``p`` sweep over shared draws) plus one per routing trial of
 every ``(family, p)`` point, all in a single batch across workers.
-The graphs — including the explicit ``RandomMatchingCycle``, whose
-stored matching is the fattest payload in the suite — ride in shared
-:class:`Workload`\\ s, so each crosses to a worker once, not once per
-trial.
+Both shapes are **workload-referenced**: the graphs — including the
+explicit ``RandomMatchingCycle``, whose stored matching is the fattest
+payload in the suite — ride in shared :class:`Workload`\\ s, so each
+crosses to a worker once, not once per trial.
 """
 
 from __future__ import annotations

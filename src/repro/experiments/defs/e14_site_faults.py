@@ -12,22 +12,27 @@ faults at ``p²`` near the transition (each edge needs both endpoints);
 the transition should appear near ``α = 1/4`` in site terms — earlier,
 not absent.
 
-Each ``(α, fault model)`` pair is one :class:`TrialSpec` work unit.
-Its arguments are plain scalars, so the unit stays self-contained:
-the heavy objects are built inside the worker, and there is no
-shared payload to ship.
+Spec emission: each ``(α, fault model)`` point emits **per-trial,
+workload-referenced** :class:`TrialSpec` units via ``complexity_specs``
+— one shared Workload per point (graph, router, factory), slim
+``(trial, seed)`` tails — so single points fan out across workers and
+chunks execute through the vectorized kernel: the edge points ride the
+built-in ``TablePercolation`` mask kernel, and the site points opt in
+below by registering a site-mask kernel for ``_site_factory`` (pinned
+endpoints included), keeping tables byte-identical either way.
 """
 
 from __future__ import annotations
 
-from repro.core.complexity import measure_complexity
+from repro.core.complexity import assemble_measurement, complexity_specs
 from repro.experiments.registry import register
 from repro.experiments.results import ResultTable
 from repro.experiments.spec import ExperimentSpec, pick
 from repro.graphs.hypercube import Hypercube
+from repro.kernels import register_model_kernel, site_model_kernel
 from repro.percolation.site import SitePercolation
 from repro.routers.waypoint import WaypointRouter
-from repro.runtime import SerialRunner, TrialSpec
+from repro.runtime import SerialRunner
 from repro.util.rng import derive_seed
 
 COLUMNS = [
@@ -46,23 +51,17 @@ def _site_factory(graph, p, seed):
     )
 
 
-def _fault_point(n: int, alpha: float, fault_model: str, trials: int, seed):
-    """Measure one (alpha, fault-model) point; returns plain cells."""
-    graph = Hypercube(n)
-    m = measure_complexity(
-        graph,
-        p=n**-alpha,
-        router=WaypointRouter(),
-        trials=trials,
-        seed=seed,
-        model_factory=_site_factory if fault_model == "site" else None,
-    )
-    frac = (
-        m.query_summary().median / graph.num_edges()
-        if m.connected_trials and m.successes()
-        else float("nan")
-    )
-    return {"connected_trials": m.connected_trials, "median_frac_probed": frac}
+def _pinned_pair(graph):
+    """The vertices ``_site_factory`` exempts from failure."""
+    return graph.canonical_pair()
+
+
+# Opt the site points into the vectorized chunk kernel: the site-mask
+# kernel must pin exactly what the factory pins, or the kernel parity
+# gate (tests/kernels/) fails.  Registration runs wherever this module
+# imports — including workers that learn of the workload by unpickling
+# `_site_factory`, which triggers this import.
+register_model_kernel(_site_factory, site_model_kernel(_pinned_pair))
 
 
 def run(scale: str, seed: int, runner=None) -> ResultTable:
@@ -83,33 +82,45 @@ def run(scale: str, seed: int, runner=None) -> ResultTable:
         columns=COLUMNS,
     )
 
-    specs = [
-        TrialSpec(
-            key=("e14", alpha, fault_model),
-            fn=_fault_point,
-            args=(
-                n,
-                alpha,
-                fault_model,
-                trials,
-                derive_seed(seed, "e14", alpha, fault_model),
+    graph = Hypercube(n)
+    router = WaypointRouter()
+    groups = [
+        (
+            (alpha, fault_model),
+            complexity_specs(
+                graph,
+                p=n**-alpha,
+                router=router,
+                trials=trials,
+                seed=derive_seed(seed, "e14", alpha, fault_model),
+                model_factory=(
+                    _site_factory if fault_model == "site" else None
+                ),
+                key=("e14", alpha, fault_model),
             ),
         )
         for alpha in alphas
         for fault_model in ("edge", "site")
     ]
-    measured = {result.key: result.value for result in runner.run(specs)}
+    records = runner.run_grouped(groups)
 
     for alpha in alphas:
         for fault_model in ("edge", "site"):
-            cells = measured[("e14", alpha, fault_model)]
+            m = assemble_measurement(
+                graph, n**-alpha, router, records[(alpha, fault_model)]
+            )
+            frac = (
+                m.query_summary().median / graph.num_edges()
+                if m.connected_trials and m.successes()
+                else float("nan")
+            )
             table.add_row(
                 n=n,
                 alpha=alpha,
                 p=n**-alpha,
                 fault_model=fault_model,
-                connected_trials=cells["connected_trials"],
-                median_frac_probed=cells["median_frac_probed"],
+                connected_trials=m.connected_trials,
+                median_frac_probed=frac,
             )
     table.add_note(
         "At equal nominal p, site faults hit harder (an edge needs both "

@@ -1,0 +1,71 @@
+"""Vectorized chunk kernels: whole-chunk trial execution with NumPy.
+
+The runtime's schedulable unit is a single trial, but the *executable*
+unit on a worker is a chunk of consecutive specs sharing one workload.
+This package supplies batch kernels that execute such a chunk in one
+call — i.i.d. percolation masks drawn as one seeded bit-matrix, the
+conditioning BFS as chunk-wide frontier expansion over implicit
+topologies compiled to index arithmetic — while preserving the
+per-trial seed derivation, so every record is **bit-identical** to what
+``spec.execute()`` produces.  Registration happens on import: pulling
+this package in wires the ``run_trial`` compiler into
+:mod:`repro.runtime.chunkexec` (which imports it lazily on the first
+chunk it sees).
+
+Layout
+------
+
+:mod:`~repro.kernels.topology`
+    :class:`EdgeIndex` — a graph as flat edge/incidence arrays, edges
+    in exact ``graph.edges()`` order (the mask-parity contract), built
+    arithmetically for Hypercube/Mesh/Torus/DeBruijn.
+:mod:`~repro.kernels.percolation`
+    Batched seeded mask draws + mask-backed ``PercolationModel``\\ s
+    that answer exactly like the per-trial models they replace.
+:mod:`~repro.kernels.bfs`
+    Chunk-wide reachability (the conditioning step) by batched
+    frontier expansion.
+:mod:`~repro.kernels.complexity`
+    The ``run_trial`` chunk compiler tying the above together, plus
+    the model-kernel registry percolation factories opt into.
+"""
+
+from repro.kernels.bfs import batched_connected
+from repro.kernels.complexity import (
+    compile_run_trial_chunk,
+    register_model_kernel,
+    site_model_kernel,
+    table_model_kernel,
+)
+from repro.kernels.percolation import (
+    MaskEdgePercolation,
+    MaskSitePercolation,
+    site_up_masks,
+    table_edge_masks,
+)
+from repro.kernels.topology import EdgeIndex, build_edge_index
+
+__all__ = [
+    "EdgeIndex",
+    "MaskEdgePercolation",
+    "MaskSitePercolation",
+    "batched_connected",
+    "build_edge_index",
+    "compile_run_trial_chunk",
+    "register_model_kernel",
+    "site_model_kernel",
+    "site_up_masks",
+    "table_edge_masks",
+    "table_model_kernel",
+]
+
+
+def _register_builtin_kernels() -> None:
+    """Wire the shipped compilers into the runtime seam (idempotent)."""
+    from repro.core.complexity import run_trial
+    from repro.runtime.chunkexec import register_chunk_kernel
+
+    register_chunk_kernel(run_trial, compile_run_trial_chunk)
+
+
+_register_builtin_kernels()

@@ -1,0 +1,306 @@
+"""The vectorized chunk kernel for :func:`repro.core.complexity.run_trial`.
+
+``complexity_specs`` freezes a sweep point's context (graph, p, router,
+pair, factory, conditioning) into one workload whose specs differ only
+in their ``(trial, seed)`` tail.  :func:`compile_run_trial_chunk`
+inspects that context once and — when every ingredient has a vectorized
+counterpart — returns a chunk runner that executes *all* tails in one
+pass:
+
+1. the topology compiles to an :class:`~repro.kernels.topology.
+   EdgeIndex` (implicit graphs arithmetically, other enumerable graphs
+   via one ``edges()`` walk, amortised over the workload's lifetime);
+2. the percolation factory's *model kernel* draws every trial's mask as
+   one matrix, bit-identical per row to the per-trial model;
+3. conditioning runs as chunk-wide batched BFS
+   (:func:`~repro.kernels.bfs.batched_connected` — same verdicts, no
+   per-trial Python BFS);
+4. routing stays the per-trial router — it is probe-order dependent and
+   must stay *exactly* the measured algorithm — but runs against a
+   cheap mask-backed model instead of rebuilding adjacency per trial.
+
+The result is the same list of :class:`~repro.core.complexity.
+TrialRecord` objects ``spec.execute()`` would produce, field for field.
+Unsupported ingredients (a lazy :class:`~repro.percolation.models.
+HashPercolation` factory, an unenumerable graph, an unregistered
+factory) make the compiler return ``None`` and the runners fall back to
+the per-trial loop — behaviour, not speed, is the invariant.
+
+Model kernels are registered per factory *callable* with
+:func:`register_model_kernel`; :class:`~repro.percolation.models.
+TablePercolation` ships registered, and site-percolation factories can
+opt in through :func:`site_model_kernel` (experiment E14 does).
+"""
+
+from __future__ import annotations
+
+import traceback
+from collections.abc import Callable, Sequence
+
+import numpy as np
+
+from repro.graphs.base import Graph, Vertex
+from repro.kernels.bfs import batched_connected
+from repro.kernels.percolation import (
+    MaskEdgePercolation,
+    MaskSitePercolation,
+    site_up_masks,
+    table_edge_masks,
+)
+from repro.kernels.topology import EdgeIndex, build_edge_index
+from repro.percolation.models import TablePercolation
+from repro.runtime.trial import TrialExecutionError
+from repro.runtime.workload import Workload
+
+__all__ = [
+    "compile_run_trial_chunk",
+    "register_model_kernel",
+    "site_model_kernel",
+    "table_model_kernel",
+]
+
+#: Percolation factory callable -> model-kernel compiler.
+_MODEL_KERNELS: dict = {}
+
+
+def register_model_kernel(factory: Callable, compiler: Callable) -> None:
+    """Register the vectorized counterpart of a percolation factory.
+
+    ``factory`` is the exact callable workloads carry as
+    ``model_factory`` (a class like ``TablePercolation``, or a
+    module-level function).  ``compiler(graph, index, p)`` must return
+    an object with two methods — ``draw(seeds) ->`` chunk draw with
+    ``edge_masks()`` (a ``(trials, edges)`` open matrix for
+    conditioning) and ``model(i)`` (a
+    :class:`~repro.percolation.models.PercolationModel`
+    response-identical to ``factory(graph, p, seeds[i])``) — or ``None``
+    to decline this workload.  Registration is per process; do it at
+    import time of the module defining the factory, so worker processes
+    registering by unpickling the workload see it too.
+    """
+    _MODEL_KERNELS[factory] = compiler
+
+
+class _TableDraw:
+    def __init__(self, index: EdgeIndex, p: float, masks: np.ndarray):
+        self._index = index
+        self._p = p
+        self._masks = masks
+
+    def edge_masks(self) -> np.ndarray:
+        return self._masks
+
+    def model(self, i: int) -> MaskEdgePercolation:
+        return MaskEdgePercolation(self._index, self._p, self._masks[i])
+
+
+class _TableModelKernel:
+    def __init__(self, index: EdgeIndex, p: float):
+        self._index = index
+        self._p = p
+
+    def draw(self, seeds: Sequence[int]) -> _TableDraw:
+        masks = table_edge_masks(self._p, seeds, self._index.num_edges)
+        return _TableDraw(self._index, self._p, masks)
+
+
+def table_model_kernel(graph: Graph, index: EdgeIndex, p: float):
+    """Model kernel replaying ``TablePercolation`` row by row."""
+    return _TableModelKernel(index, p)
+
+
+class _SiteDraw:
+    def __init__(self, index: EdgeIndex, p: float, up: np.ndarray):
+        self._index = index
+        self._p = p
+        self._up = up
+
+    def edge_masks(self) -> np.ndarray:
+        # An edge is traversable iff both endpoints are up — the
+        # SitePercolation.is_open rule, lifted to the whole chunk.
+        return self._up[:, self._index.edge_u] & self._up[:, self._index.edge_v]
+
+    def model(self, i: int) -> MaskSitePercolation:
+        return MaskSitePercolation(self._index, self._p, self._up[i])
+
+
+class _SiteModelKernel:
+    def __init__(self, index: EdgeIndex, p: float, pinned_codes: tuple):
+        self._index = index
+        self._p = p
+        self._pinned = pinned_codes
+
+    def draw(self, seeds: Sequence[int]) -> _SiteDraw:
+        up = site_up_masks(self._p, seeds, self._index.verts, self._pinned)
+        return _SiteDraw(self._index, self._p, up)
+
+
+def site_model_kernel(
+    pinned: Callable[[Graph], Sequence[Vertex]] | None = None,
+):
+    """Build a model-kernel compiler for a site-percolation factory.
+
+    ``pinned`` maps the graph to the vertices the factory exempts from
+    failure (``None`` = nothing pinned); it must produce the same set
+    the factory passes to :class:`~repro.percolation.site.
+    SitePercolation`, or the parity gate fails.
+    """
+
+    def compiler(graph: Graph, index: EdgeIndex, p: float):
+        pinned_verts = () if pinned is None else tuple(pinned(graph))
+        codes = []
+        for v in pinned_verts:
+            code = index.code.get(v)
+            if code is None:
+                return None  # pinned vertex outside the graph
+            codes.append(code)
+        return _SiteModelKernel(index, p, tuple(codes))
+
+    return compiler
+
+
+register_model_kernel(TablePercolation, table_model_kernel)
+
+
+class _RunTrialChunk:
+    """A compiled chunk runner for one ``run_trial`` workload."""
+
+    def __init__(
+        self,
+        index: EdgeIndex,
+        model_kernel,
+        router,
+        source: Vertex,
+        target: Vertex,
+        source_code: int,
+        target_code: int,
+        budget: int | None,
+        conditioning: str,
+    ) -> None:
+        self._index = index
+        self._model_kernel = model_kernel
+        self._router = router
+        self._source = source
+        self._target = target
+        self._source_code = source_code
+        self._target_code = target_code
+        self._budget = budget
+        self._conditioning = conditioning
+
+    def __call__(
+        self, keys: Sequence[tuple], tails: Sequence[tuple]
+    ) -> list:
+        from repro.core.complexity import TrialRecord
+
+        seeds = [seed for _, seed in tails]
+        try:
+            draw = self._model_kernel.draw(seeds)
+            conn = None
+            if self._conditioning == "exact":
+                conn = batched_connected(
+                    self._index,
+                    draw.edge_masks(),
+                    self._source_code,
+                    self._target_code,
+                )
+        except TrialExecutionError:
+            raise
+        except Exception as exc:
+            raise TrialExecutionError(
+                keys[0] if keys else ("<chunk-kernel>",),
+                f"{type(exc).__name__}: {exc}\n{traceback.format_exc()}",
+            ) from exc
+        records = []
+        route = self._router.route
+        for i, (trial, seed) in enumerate(tails):
+            try:
+                if conn is not None:  # "exact"
+                    is_conn = bool(conn[i])
+                    result = None
+                    if is_conn:
+                        result = route(
+                            draw.model(i),
+                            self._source,
+                            self._target,
+                            budget=self._budget,
+                        )
+                elif self._conditioning == "router":
+                    result = route(
+                        draw.model(i), self._source, self._target, budget=None
+                    )
+                    is_conn = result.success
+                else:  # "none"
+                    result = route(
+                        draw.model(i),
+                        self._source,
+                        self._target,
+                        budget=self._budget,
+                    )
+                    is_conn = result.success
+            except TrialExecutionError:
+                raise
+            except Exception as exc:
+                raise TrialExecutionError(
+                    keys[i],
+                    f"{type(exc).__name__}: {exc}\n"
+                    f"{traceback.format_exc()}",
+                ) from exc
+            records.append(
+                TrialRecord(
+                    trial=trial, seed=seed, connected=is_conn, result=result
+                )
+            )
+        return records
+
+
+def compile_run_trial_chunk(workload: Workload):
+    """Compile a ``run_trial`` workload to a chunk runner, or ``None``.
+
+    ``None`` — the per-trial fallback — whenever any ingredient lacks a
+    vectorized counterpart; anything the fallback would *reject* (bad
+    ``p``, unknown conditioning) is also declined, so the error
+    surfaces through the unchanged per-trial code path.
+    """
+    from repro.core.complexity import _default_factory, run_trial
+
+    if workload.fn is not run_trial:
+        return None
+    if len(workload.args) != 5:
+        return None
+    allowed = {"budget", "model_factory", "conditioning"}
+    if not set(workload.kwargs) <= allowed:
+        return None
+    graph, p, router, source, target = workload.args
+    if not isinstance(graph, Graph):
+        return None
+    if not isinstance(p, (int, float)) or not 0.0 <= p <= 1.0:
+        return None
+    budget = workload.kwargs.get("budget")
+    conditioning = workload.kwargs.get("conditioning", "exact")
+    if conditioning not in ("exact", "router", "none"):
+        return None
+    factory = workload.kwargs.get("model_factory") or _default_factory(graph)
+    compiler = _MODEL_KERNELS.get(factory)
+    if compiler is None:
+        return None
+    index = build_edge_index(graph)
+    if index is None:
+        return None
+    source_code = index.code.get(source)
+    target_code = index.code.get(target)
+    if source_code is None or target_code is None:
+        return None
+    model_kernel = compiler(graph, index, p)
+    if model_kernel is None:
+        return None
+    return _RunTrialChunk(
+        index,
+        model_kernel,
+        router,
+        source,
+        target,
+        source_code,
+        target_code,
+        budget,
+        conditioning,
+    )

@@ -1,0 +1,163 @@
+"""Batched percolation draws and mask-backed models.
+
+A chunk of trials shares one topology; what varies per trial is the
+seed.  The functions here draw the whole chunk's randomness as one
+``(trials, edges)`` (or ``(trials, vertices)``) boolean matrix — one
+row per trial, each row reproducing the corresponding per-trial model
+**bit for bit**:
+
+* :func:`table_edge_masks` replays :class:`~repro.percolation.models.
+  TablePercolation`'s recipe — one ``default_rng(derive_seed(seed,
+  "table-percolation"))`` stream per row, thresholded at ``p`` — over
+  edges in :class:`~repro.kernels.topology.EdgeIndex` order, which *is*
+  ``graph.edges()`` order;
+* :func:`site_up_masks` replays :class:`~repro.percolation.site.
+  SitePercolation`'s per-vertex keyed BLAKE2b coins (pinned vertices
+  forced up), with the key bytes serialised once per chunk instead of
+  once per probe.
+
+The mask-backed models wrap one row back into the
+:class:`~repro.percolation.models.PercolationModel` interface, so the
+routers (which only ever see ``is_open``/``open_neighbors`` answers)
+cannot distinguish them from the model they replace — the parity tests
+in ``tests/kernels/`` assert exactly that.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.graphs.base import Vertex
+from repro.kernels.topology import EdgeIndex
+from repro.percolation.models import PercolationModel
+from repro.util.rng import MAX_SEED, derive_seed
+
+__all__ = [
+    "MaskEdgePercolation",
+    "MaskSitePercolation",
+    "site_up_masks",
+    "table_edge_masks",
+]
+
+_SCALE = float(2**64)
+
+
+def table_edge_masks(
+    p: float, seeds: Sequence[int], num_edges: int
+) -> np.ndarray:
+    """Draw every trial's edge mask; row ``i`` == trial ``seeds[i]``.
+
+    Row-for-row identical to ``TablePercolation(graph, p, seed).mask``:
+    same child-seed derivation, same generator, same threshold
+    comparison — only the per-trial edge enumeration and set/dict
+    builds are gone.
+    """
+    out = np.empty((len(seeds), num_edges), dtype=bool)
+    for i, seed in enumerate(seeds):
+        rng = np.random.default_rng(derive_seed(seed, "table-percolation"))
+        out[i] = rng.random(num_edges) < p
+    return out
+
+
+def site_up_masks(
+    p: float,
+    seeds: Sequence[int],
+    verts: Sequence[Vertex],
+    pinned_codes: Sequence[int] = (),
+) -> np.ndarray:
+    """Draw every trial's vertex-up mask; row ``i`` == trial ``seeds[i]``.
+
+    Entry ``[i, v]`` equals ``SitePercolation.is_up(verts[v])`` under
+    ``seeds[i]``: the keyed-BLAKE2b uniform ``uniform_for(seed, "site",
+    v) < p``, with pinned vertices forced up.  The ``repr`` key bytes
+    are serialised once for the whole chunk.
+    """
+    blobs = [repr(("site", v)).encode("utf-8") for v in verts]
+    out = np.empty((len(seeds), len(blobs)), dtype=bool)
+    blake2b = hashlib.blake2b
+    for i, seed in enumerate(seeds):
+        if not 0 <= seed <= MAX_SEED:
+            raise ValueError(
+                f"seed must be a 64-bit unsigned int, got {seed!r}"
+            )
+        key = seed.to_bytes(8, "little")
+        row = out[i]
+        for j, blob in enumerate(blobs):
+            digest = blake2b(blob, digest_size=8, key=key).digest()
+            row[j] = int.from_bytes(digest, "little") / _SCALE < p
+    for code in pinned_codes:
+        out[:, code] = True
+    return out
+
+
+class MaskEdgePercolation(PercolationModel):
+    """One trial's row of a batched edge draw, as a model.
+
+    Answers exactly like the ``TablePercolation`` it replaces: an edge
+    of the graph is open iff its mask bit is set; a non-edge pair is
+    closed (``TablePercolation`` answers via set membership of the
+    canonical key, which a non-edge never has).
+    """
+
+    def __init__(
+        self, index: EdgeIndex, p: float, mask: np.ndarray
+    ) -> None:
+        super().__init__(index.graph, p)
+        self._index = index
+        self._mask = mask
+        # Probe-path cache: a Python list answers single-edge lookups
+        # ~2x faster than numpy scalar indexing.  Materialised on the
+        # first probe, so unrouted trials never pay for it.
+        self._open_list: list[bool] | None = None
+
+    def is_open(self, u: Vertex, v: Vertex) -> bool:
+        eid = self._index.eid.get(self.graph.edge_key(u, v))
+        if eid is None:
+            return False
+        open_list = self._open_list
+        if open_list is None:
+            open_list = self._open_list = self._mask.tolist()
+        return open_list[eid]
+
+    def open_neighbors(self, v: Vertex) -> list[Vertex]:
+        index = self._index
+        inc_nbr, inc_eid, inc_valid = index.incidence()
+        row = index.code[v]
+        keep = inc_valid[row] & self._mask[inc_eid[row]]
+        verts = index.verts
+        return [verts[c] for c in inc_nbr[row][keep].tolist()]
+
+    def num_open_edges(self) -> int:
+        """Return the number of open edges."""
+        return int(self._mask.sum())
+
+
+class MaskSitePercolation(PercolationModel):
+    """One trial's row of a batched site draw, as a model.
+
+    Mirrors :class:`~repro.percolation.site.SitePercolation` exactly —
+    including ``is_open`` on non-adjacent pairs (both endpoints up),
+    which the edge-mask view could not represent.
+    """
+
+    def __init__(
+        self, index: EdgeIndex, p: float, up: np.ndarray
+    ) -> None:
+        super().__init__(index.graph, p)
+        self._index = index
+        self._up = up
+
+    def is_up(self, v: Vertex) -> bool:
+        """Return whether vertex ``v`` survived."""
+        return bool(self._up[self._index.code[v]])
+
+    def is_open(self, u: Vertex, v: Vertex) -> bool:
+        return self.is_up(u) and self.is_up(v)
+
+    def open_neighbors(self, v: Vertex) -> list[Vertex]:
+        if not self.is_up(v):
+            return []
+        return [w for w in self.graph.neighbors(v) if self.is_up(w)]

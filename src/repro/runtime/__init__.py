@@ -75,6 +75,30 @@ own process pools (``repro worker serve --node-workers``), and
 heartbeat supervision (``$REPRO_HEARTBEAT``) requeues the chunks of a
 node that disconnects *or* silently wedges to the survivors.
 
+The batch-kernel seam (run_chunk)
+---------------------------------
+
+The schedulable unit is a trial; the *executable* unit on any worker is
+a chunk of consecutive specs.  :mod:`repro.runtime.chunkexec` lets a
+whole chunk execute through **one vectorized kernel call** when its
+workload supports it: kernels register a compiler per workload ``fn``
+(:func:`register_chunk_kernel`), the compiler turns one workload's
+frozen context into a chunk runner (or declines), and
+:func:`~repro.runtime.chunkexec.execute_specs` — called by
+``SerialRunner``, the process pool's workers and the cluster nodes'
+pools alike — batches each maximal run of kernel-eligible
+same-workload specs through it, falling back to ``spec.execute()`` for
+everything else.  :func:`supports_run_chunk` exposes the per-workload
+capability verdict; ``repro info <EXP>`` reports it per experiment.
+
+The contract is **bit-identical records**: a kernel changes the wall
+clock, never a result — parallel parity, the golden trial-split
+reference and the kernel parity suite (``tests/kernels/``) all enforce
+it.  The shipped kernels live in :mod:`repro.kernels` (batched
+percolation masks + chunk-wide BFS over implicit topologies) and load
+lazily on the first chunk.  ``$REPRO_KERNEL=off`` switches the seam
+off — same results, per-trial speed.
+
 Runner backends
 ---------------
 
@@ -145,6 +169,12 @@ from repro.runtime.backends import (
     register_backend,
     resolve_backend,
 )
+from repro.runtime.chunkexec import (
+    execute_specs,
+    register_chunk_kernel,
+    run_chunk,
+    supports_run_chunk,
+)
 from repro.runtime.runner import (
     ProcessPoolRunner,
     SerialRunner,
@@ -167,11 +197,15 @@ __all__ = [
     "WorkloadMissError",
     "WorkloadRef",
     "available_backends",
+    "execute_specs",
     "make_runner",
     "register_backend",
+    "register_chunk_kernel",
     "resolve_backend",
     "resolve_chunksize",
     "resolve_workers",
+    "run_chunk",
+    "supports_run_chunk",
 ]
 
 

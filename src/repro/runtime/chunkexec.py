@@ -1,0 +1,233 @@
+"""The batch-kernel seam: execute chunks through vectorized kernels.
+
+Every runner ultimately executes a *chunk* — consecutive specs, often
+all referencing one workload.  This module is where that chunk meets a
+vectorized kernel: :func:`execute_specs` is the one executable shape of
+a chunk (``SerialRunner``, the process pool's workers and the cluster
+nodes' pools all call it), and it routes each maximal run of
+kernel-eligible same-workload specs through one compiled chunk runner,
+falling back to ``spec.execute()`` for everything else.  Behaviour is
+the invariant: a chunk runner must produce records bit-identical to the
+per-trial loop, so which path executed is unobservable in the results
+— only in the wall clock.
+
+Capability is per *workload*: kernels register a compiler per workload
+``fn`` (:func:`register_chunk_kernel`), the compiler inspects one
+workload's frozen context and returns a chunk runner or ``None``, and
+the verdict is cached by content id (:func:`supports_run_chunk` exposes
+it).  The built-in compilers live in :mod:`repro.kernels`, imported
+lazily on the first chunk so the serial import path stays light.
+
+``$REPRO_KERNEL=off`` disables the seam entirely (every spec executes
+per trial) — the escape hatch if a kernel is ever suspected of
+diverging; results must not change, only speed.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import OrderedDict
+from collections.abc import Callable, Iterable, Sequence
+
+from repro.runtime.trial import TrialResult, TrialSpec
+from repro.runtime.workload import (
+    Workload,
+    WorkloadMissError,
+    WorkloadRef,
+    resolve_workload,
+)
+
+__all__ = [
+    "execute_specs",
+    "kernel_enabled",
+    "kernel_split",
+    "register_chunk_kernel",
+    "run_chunk",
+    "supports_run_chunk",
+]
+
+#: Environment switch for the whole seam; default on.
+KERNEL_ENV = "REPRO_KERNEL"
+
+#: Workload ``fn`` -> compiler(workload) -> chunk runner | None.
+_COMPILERS: dict[Callable, Callable] = {}
+
+#: Compiled chunk runners (or None verdicts), by workload content id.
+_COMPILED: OrderedDict[str, Callable | None] = OrderedDict()
+_COMPILED_CAP = 64
+
+_kernels_loaded = False
+
+
+def kernel_enabled() -> bool:
+    """Whether the seam is on — ``$REPRO_KERNEL``, default on."""
+    raw = os.environ.get(KERNEL_ENV, "").strip().lower()
+    if raw in ("", "1", "on", "auto", "true", "yes"):
+        return True
+    if raw in ("0", "off", "false", "no"):
+        return False
+    raise ValueError(
+        f"${KERNEL_ENV} must be on/off (or 1/0, true/false), got {raw!r}"
+    )
+
+
+def register_chunk_kernel(fn: Callable, compiler: Callable) -> None:
+    """Register a chunk compiler for workloads whose ``fn`` is ``fn``.
+
+    ``compiler(workload)`` inspects the frozen context and returns
+    either a chunk runner — ``runner(keys, tails) -> values``, one
+    value per tail, bit-identical to ``workload.call(*tail)`` — or
+    ``None`` to decline (the per-trial loop then runs).  Registration
+    is per process and idempotent; modules defining kernels register at
+    import time, so workers that learn of a workload by unpickling it
+    re-register through the same import.
+    """
+    _COMPILERS[fn] = compiler
+
+
+def _ensure_kernels() -> None:
+    # The built-in compilers register on package import; deferred to
+    # first use so `import repro.runtime` stays numpy-free.
+    global _kernels_loaded
+    if not _kernels_loaded:
+        _kernels_loaded = True
+        import repro.kernels  # noqa: F401  (imported for registration)
+
+
+def chunk_runner(workload: Workload) -> Callable | None:
+    """Return the compiled chunk runner for ``workload``, or ``None``.
+
+    Compilation happens once per content id (LRU-cached): repeated
+    batches over the same workload — the shape of every sweep — reuse
+    the compiled topology index across chunks and runs.
+    """
+    if not kernel_enabled():
+        return None
+    _ensure_kernels()
+    workload_id = workload.workload_id
+    if workload_id in _COMPILED:
+        _COMPILED.move_to_end(workload_id)
+        return _COMPILED[workload_id]
+    compiler = _COMPILERS.get(workload.fn)
+    runner = None if compiler is None else compiler(workload)
+    _COMPILED[workload_id] = runner
+    while len(_COMPILED) > _COMPILED_CAP:
+        _COMPILED.popitem(last=False)
+    return runner
+
+
+def supports_run_chunk(workload: Workload) -> bool:
+    """Whether chunks of this workload execute through a kernel."""
+    return chunk_runner(workload) is not None
+
+
+def _eligible_tail(spec: TrialSpec) -> bool:
+    # The kernel tail contract: a slim `(trial, seed)` pair and nothing
+    # else, the shape `complexity_specs`-style emitters produce.
+    return (
+        spec.workload is not None
+        and not spec.kwargs
+        and len(spec.args) == 2
+        and isinstance(spec.args[0], int)
+        and isinstance(spec.args[1], int)
+    )
+
+
+def _live_workload(spec: TrialSpec) -> Workload | None:
+    workload = spec.workload
+    if isinstance(workload, Workload):
+        return workload
+    if isinstance(workload, WorkloadRef):
+        try:
+            return resolve_workload(workload.workload_id)
+        except WorkloadMissError:
+            # Let spec.execute() raise the miss through the normal
+            # first-touch machinery.
+            return None
+    return None
+
+
+def run_chunk(
+    workload: Workload, specs: Sequence[TrialSpec]
+) -> list[TrialResult]:
+    """Execute a same-workload chunk through its kernel, explicitly.
+
+    Raises :class:`ValueError` if the workload has no kernel; use
+    :func:`supports_run_chunk` (or just :func:`execute_specs`, which
+    falls back silently) when support is not known.
+    """
+    runner = chunk_runner(workload)
+    if runner is None:
+        raise ValueError(
+            f"workload {workload.workload_id} does not support run_chunk"
+        )
+    keys = [spec.key for spec in specs]
+    tails = [tuple(spec.args) for spec in specs]
+    values = runner(keys, tails)
+    return [
+        TrialResult(key=key, value=value)
+        for key, value in zip(keys, values)
+    ]
+
+
+def execute_specs(specs: Iterable[TrialSpec]) -> list[TrialResult]:
+    """Execute a chunk, batching kernel-eligible runs; order preserved.
+
+    Maximal runs of consecutive specs that share a kernel-supporting
+    workload and carry ``(trial, seed)`` tails execute through one
+    chunk-runner call; every other spec executes itself.  The result
+    list matches ``[spec.execute() for spec in specs]`` exactly.
+    """
+    specs = list(specs)
+    results: list[TrialResult | None] = [None] * len(specs)
+    enabled = kernel_enabled()
+    i = 0
+    while i < len(specs):
+        spec = specs[i]
+        runner = None
+        workload = None
+        if enabled and _eligible_tail(spec):
+            workload = _live_workload(spec)
+            if workload is not None:
+                runner = chunk_runner(workload)
+        if runner is None:
+            results[i] = spec.execute()
+            i += 1
+            continue
+        j = i
+        workload_id = workload.workload_id
+        while (
+            j < len(specs)
+            and specs[j].workload_id == workload_id
+            and _eligible_tail(specs[j])
+        ):
+            j += 1
+        group = specs[i:j]
+        keys = [s.key for s in group]
+        tails = [tuple(s.args) for s in group]
+        values = runner(keys, tails)
+        for offset, (key, value) in enumerate(zip(keys, values)):
+            results[i + offset] = TrialResult(key=key, value=value)
+        i = j
+    return results  # type: ignore[return-value]
+
+
+def kernel_split(specs: Iterable[TrialSpec]) -> tuple[int, int]:
+    """Count ``(kernel, fallback)`` specs under the current environment.
+
+    The same eligibility decision :func:`execute_specs` makes, without
+    executing anything — what ``repro info`` reports per experiment.
+    """
+    kernel = fallback = 0
+    enabled = kernel_enabled()
+    for spec in specs:
+        runner = None
+        if enabled and _eligible_tail(spec):
+            workload = _live_workload(spec)
+            if workload is not None:
+                runner = chunk_runner(workload)
+        if runner is None:
+            fallback += 1
+        else:
+            kernel += 1
+    return kernel, fallback

@@ -46,6 +46,7 @@ from concurrent.futures import (
 from concurrent.futures.process import BrokenProcessPool
 from typing import Any
 
+from repro.runtime.chunkexec import execute_specs
 from repro.runtime.trial import TrialExecutionError, TrialResult, TrialSpec
 from repro.runtime.workload import (
     Workload,
@@ -260,12 +261,19 @@ class TrialRunner(ABC):
 
 
 class SerialRunner(TrialRunner):
-    """Run trials one after another in the calling process."""
+    """Run trials in the calling process (chunk kernels apply).
+
+    "Serial" means one process and submission order — not one trial at
+    a time: consecutive specs sharing a kernel-capable workload execute
+    through :func:`repro.runtime.chunkexec.execute_specs` as vectorized
+    chunks, exactly as they would on a pool worker.  Results are
+    bit-identical either way.
+    """
 
     workers = 1
 
     def run(self, specs: Iterable[TrialSpec]) -> list[TrialResult]:
-        return [spec.execute() for spec in specs]
+        return execute_specs(specs)
 
     def __repr__(self) -> str:
         return "SerialRunner()"
@@ -289,6 +297,13 @@ def _execute_chunk(
     pool (:mod:`repro.runtime.cluster`) submits the same function to
     its own workers, answering their misses out of the node-wide
     payload cache before falling back to the coordinator.
+
+    Execution itself goes through the batch-kernel seam
+    (:func:`repro.runtime.chunkexec.execute_specs`): runs of
+    consecutive specs sharing a kernel-capable workload execute as one
+    vectorized chunk, everything else per trial — so every backend
+    (serial, process pool, cluster nodes) gets the kernels from this
+    single wiring point.
     """
     if payloads:
         install_workloads(payloads)
@@ -301,7 +316,7 @@ def _execute_chunk(
                 missing.add(spec.workload.workload_id)
     if missing:
         raise WorkloadMissError(tuple(sorted(missing)))
-    return [spec.execute() for spec in chunk]
+    return execute_specs(chunk)
 
 
 class ProcessPoolRunner(TrialRunner):
@@ -395,7 +410,7 @@ class ProcessPoolRunner(TrialRunner):
             # (e.g. fewer trials than an explicit chunksize): there is
             # no parallelism to extract, so skip the pool entirely
             # rather than shipping the lone chunk to a worker.
-            return [spec.execute() for spec in specs]
+            return execute_specs(specs)
         payloads = batch_payloads(specs)
         results: list[TrialResult | None] = [None] * len(specs)
         # Per chunk offset: ids already shipped with a resubmission.

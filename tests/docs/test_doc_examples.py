@@ -1,0 +1,71 @@
+"""Execute the ``python`` code blocks of the docs, verbatim.
+
+Every fenced block whose info string is exactly ``python`` runs, in
+order, sharing one namespace per document — so the docs cannot drift
+from the code without failing CI.  Blocks tagged ``python notest``
+are illustrative only (e.g. global registry mutations) and skipped.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+import types
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parents[2]
+
+DOCS = [
+    REPO / "docs" / "ARCHITECTURE.md",
+    REPO / "docs" / "ADDING_EXPERIMENTS.md",
+]
+
+_FENCE = re.compile(
+    r"^```(?P<info>[^\n]*)\n(?P<body>.*?)^```\s*$",
+    re.DOTALL | re.MULTILINE,
+)
+
+
+def python_blocks(path: Path) -> list[str]:
+    """The executable blocks of one document, in order."""
+    return [
+        match.group("body")
+        for match in _FENCE.finditer(path.read_text(encoding="utf-8"))
+        if match.group("info").strip() == "python"
+    ]
+
+
+@pytest.mark.parametrize("path", DOCS, ids=lambda p: p.name)
+def test_document_examples_execute(path):
+    blocks = python_blocks(path)
+    assert blocks, f"{path.name} has no executable python blocks"
+    # Execute inside a real registered module so functions defined by
+    # the examples pickle by reference (workload content ids need it).
+    name = f"_doc_example_{path.stem.lower()}"
+    module = types.ModuleType(name)
+    module.__file__ = str(path)
+    sys.modules[name] = module
+    try:
+        for i, block in enumerate(blocks):
+            try:
+                exec(compile(block, f"{path.name}[block {i}]", "exec"),
+                     module.__dict__)
+            except Exception as exc:  # pragma: no cover - failure path
+                pytest.fail(
+                    f"{path.name} block {i} raised "
+                    f"{type(exc).__name__}: {exc}\n---\n{block}"
+                )
+    finally:
+        sys.modules.pop(name, None)
+
+
+def test_every_tracked_doc_is_executed():
+    tracked = sorted((REPO / "docs").glob("*.md"))
+    assert tracked, "docs/ directory is empty"
+    assert [p.name for p in DOCS] == [p.name for p in tracked] or set(
+        p.name for p in DOCS
+    ) == set(p.name for p in tracked), (
+        "new file under docs/: add it to DOCS so its examples run"
+    )

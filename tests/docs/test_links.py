@@ -1,0 +1,70 @@
+"""Link and anchor checker for README.md and docs/.
+
+Every relative markdown link must point at an existing file (or
+directory), and every ``#fragment`` must match a heading anchor in the
+target document, using GitHub's slugification.  External links are not
+fetched — only their syntax keeps them out of scope.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parents[2]
+
+DOCUMENTS = [REPO / "README.md"] + sorted((REPO / "docs").glob("*.md"))
+
+_LINK = re.compile(r"(?<!!)\[[^\]]+\]\(([^)\s]+)\)")
+_HEADING = re.compile(r"^#{1,6}\s+(.+?)\s*$", re.MULTILINE)
+_CODE_FENCE = re.compile(r"^```.*?^```\s*$", re.DOTALL | re.MULTILINE)
+
+
+def _slug(heading: str) -> str:
+    """GitHub's anchor slug: lowercase, drop punctuation, dash spaces."""
+    text = re.sub(r"[`*_]", "", heading.strip().lower())
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def _anchors(path: Path) -> set[str]:
+    body = _CODE_FENCE.sub("", path.read_text(encoding="utf-8"))
+    return {_slug(m.group(1)) for m in _HEADING.finditer(body)}
+
+
+def _links(path: Path) -> list[str]:
+    body = _CODE_FENCE.sub("", path.read_text(encoding="utf-8"))
+    return _LINK.findall(body)
+
+
+@pytest.mark.parametrize("doc", DOCUMENTS, ids=lambda p: str(p.relative_to(REPO)))
+def test_relative_links_resolve(doc):
+    problems = []
+    for raw in _links(doc):
+        if raw.startswith(("http://", "https://", "mailto:")):
+            continue
+        target_part, _, fragment = raw.partition("#")
+        if target_part:
+            target = (doc.parent / target_part).resolve()
+            if not target.exists():
+                problems.append(f"{raw}: {target_part} does not exist")
+                continue
+        else:
+            target = doc
+        if fragment:
+            if target.is_dir() or target.suffix.lower() != ".md":
+                continue  # anchors only checked in markdown targets
+            if fragment.lower() not in _anchors(target):
+                problems.append(
+                    f"{raw}: no heading for #{fragment} in "
+                    f"{target.relative_to(REPO)}"
+                )
+    assert not problems, "\n".join(problems)
+
+
+def test_readme_links_to_the_docs():
+    body = (REPO / "README.md").read_text(encoding="utf-8")
+    assert "docs/ARCHITECTURE.md" in body
+    assert "docs/ADDING_EXPERIMENTS.md" in body

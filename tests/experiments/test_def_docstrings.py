@@ -1,0 +1,40 @@
+"""Every experiment definition must document its spec-emission shape.
+
+The runtime knows two spec shapes (see :mod:`repro.runtime.trial`):
+**workload-referenced** — per-trial specs sharing one frozen
+``Workload`` — and **self-contained** — everything inline.  Which shape
+a definition emits decides how it schedules, ships and (for
+workload-referenced ``run_trial`` specs) whether it can ride the
+vectorized chunk kernel, so the module docstring has to say.
+"""
+
+from __future__ import annotations
+
+import sys
+
+import pytest
+
+from repro.experiments.registry import all_experiments
+
+SHAPE_TERMS = ("workload-referenced", "self-contained")
+
+
+def _spec_ids():
+    return [spec.experiment_id for spec in all_experiments()]
+
+
+@pytest.mark.parametrize("experiment_id", _spec_ids())
+def test_def_docstring_states_emission_shape(experiment_id):
+    spec = next(
+        s for s in all_experiments() if s.experiment_id == experiment_id
+    )
+    module = sys.modules[spec.run.__module__]
+    doc = module.__doc__ or ""
+    assert "TrialSpec" in doc, (
+        f"{module.__name__} docstring never mentions its TrialSpec "
+        "work units"
+    )
+    assert any(term in doc for term in SHAPE_TERMS), (
+        f"{module.__name__} docstring must state its spec-emission "
+        f"shape using one of {SHAPE_TERMS}"
+    )

@@ -1,0 +1,69 @@
+"""Chunk-wide reachability equals the per-trial cluster BFS."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro.kernels.bfs as bfs
+from repro.graphs.debruijn import DeBruijn
+from repro.graphs.hypercube import Hypercube
+from repro.graphs.mesh import Mesh
+from repro.kernels import (
+    MaskEdgePercolation,
+    batched_connected,
+    build_edge_index,
+    table_edge_masks,
+)
+from repro.percolation.cluster import connected
+from repro.util.rng import derive_seed
+
+SEEDS = [derive_seed(11, "kernel-bfs", t) for t in range(24)]
+
+
+@pytest.mark.parametrize(
+    "graph,p",
+    [
+        (Hypercube(5), 0.2),
+        (Hypercube(5), 0.5),
+        (Hypercube(5), 0.9),
+        (Mesh(2, 6), 0.45),
+        (Mesh(2, 6), 0.65),
+        (DeBruijn(4), 0.5),
+    ],
+    ids=["hc-sub", "hc-mid", "hc-super", "mesh-sub", "mesh-super", "db"],
+)
+def test_batched_connected_matches_per_trial_bfs(graph, p):
+    index = build_edge_index(graph)
+    source, target = graph.canonical_pair()
+    masks = table_edge_masks(p, SEEDS, index.num_edges)
+    got = batched_connected(
+        index, masks, index.code[source], index.code[target]
+    )
+    for row, seed, verdict in zip(masks, SEEDS, got.tolist()):
+        model = MaskEdgePercolation(index, p, row)
+        assert verdict == connected(model, source, target), seed
+
+
+def test_same_source_and_target_is_trivially_connected():
+    graph = Hypercube(4)
+    index = build_edge_index(graph)
+    masks = np.zeros((3, index.num_edges), dtype=bool)
+    assert batched_connected(index, masks, 5, 5).all()
+
+
+def test_blocked_sweep_agrees_with_single_block(monkeypatch):
+    # Force multiple blocks through a tiny workspace cap; results must
+    # not depend on the blocking.
+    graph = Mesh(2, 5)
+    index = build_edge_index(graph)
+    source, target = graph.canonical_pair()
+    masks = table_edge_masks(0.55, SEEDS, index.num_edges)
+    whole = batched_connected(
+        index, masks, index.code[source], index.code[target]
+    )
+    monkeypatch.setattr(bfs, "BLOCK_BYTES", 1)
+    blocked = batched_connected(
+        index, masks, index.code[source], index.code[target]
+    )
+    assert (whole == blocked).all()

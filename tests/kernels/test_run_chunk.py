@@ -1,0 +1,195 @@
+"""Golden parity: the compiled chunk kernel vs the per-trial loop.
+
+For every supported ingredient combination, ``execute_specs`` (kernel
+path) must produce records ``repr``-identical to ``spec.execute()``
+(per-trial path) — same trials, same seeds, same connectivity verdicts,
+same :class:`RoutingResult` fields, probe for probe.  Unsupported
+ingredients must *decline* into the per-trial loop, never change
+results.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.runtime.chunkexec as chunkexec
+from repro.core.complexity import complexity_specs
+from repro.core.router import Router
+from repro.experiments.defs.e14_site_faults import _site_factory
+from repro.graphs.debruijn import DeBruijn
+from repro.graphs.hypercube import Hypercube
+from repro.graphs.mesh import Mesh, Torus
+from repro.percolation.models import HashPercolation, TablePercolation
+from repro.routers.bfs import LocalBFSRouter
+from repro.routers.dfs import DirectedDFSRouter
+from repro.routers.waypoint import MeshWaypointRouter, WaypointRouter
+from repro.runtime import (
+    TrialExecutionError,
+    run_chunk,
+    supports_run_chunk,
+)
+from repro.runtime.chunkexec import execute_specs
+
+
+@pytest.fixture(autouse=True)
+def _fresh_compile_cache():
+    # Compiled verdicts are cached by workload content id; start each
+    # test from a cold cache so support checks compile for real.
+    chunkexec._COMPILED.clear()
+    yield
+    chunkexec._COMPILED.clear()
+
+
+CASES = [
+    pytest.param(
+        Hypercube(5), 0.5, WaypointRouter(), None, "exact", None,
+        id="hypercube-waypoint-exact",
+    ),
+    pytest.param(
+        Hypercube(5), 0.3, WaypointRouter(), None, "exact", None,
+        id="hypercube-subcritical",
+    ),
+    pytest.param(
+        Hypercube(5), 0.6, DirectedDFSRouter(), 150, "exact", None,
+        id="hypercube-dfs-budget",
+    ),
+    pytest.param(
+        Hypercube(5), 0.7, WaypointRouter(), None, "router", None,
+        id="hypercube-router-conditioning",
+    ),
+    pytest.param(
+        Hypercube(5), 0.6, LocalBFSRouter(), 120, "none", None,
+        id="hypercube-none-conditioning",
+    ),
+    pytest.param(
+        Mesh(2, 5), 0.6, MeshWaypointRouter(), None, "exact", None,
+        id="mesh-waypoint-exact",
+    ),
+    pytest.param(
+        Torus(2, 4), 0.55, LocalBFSRouter(), 200, "exact", None,
+        id="torus-bfs-budget",
+    ),
+    pytest.param(
+        DeBruijn(4), 0.6, LocalBFSRouter(), None, "exact", None,
+        id="debruijn-bfs",
+    ),
+    pytest.param(
+        Hypercube(5), 0.7, WaypointRouter(), None, "exact",
+        _site_factory,
+        id="hypercube-site-faults",
+    ),
+]
+
+
+@pytest.mark.parametrize(
+    "graph,p,router,budget,conditioning,factory", CASES
+)
+def test_kernel_records_match_per_trial_loop(
+    graph, p, router, budget, conditioning, factory
+):
+    specs = complexity_specs(
+        graph,
+        p=p,
+        router=router,
+        trials=12,
+        seed=97,
+        budget=budget,
+        model_factory=factory,
+        conditioning=conditioning,
+        key=("golden",),
+    )
+    assert supports_run_chunk(specs[0].workload)
+    reference = [spec.execute() for spec in specs]
+    got = execute_specs(specs)
+    assert repr(got) == repr(reference)
+    # The connected flag must be a plain bool, not a numpy scalar —
+    # repr parity above depends on it, but make the contract explicit.
+    assert all(
+        type(r.value.connected) is bool for r in got  # noqa: E721
+    )
+
+
+def test_run_chunk_explicit_api():
+    specs = complexity_specs(
+        Hypercube(4), p=0.5, router=WaypointRouter(), trials=6, seed=5
+    )
+    workload = specs[0].workload
+    got = run_chunk(workload, specs)
+    assert repr(got) == repr([spec.execute() for spec in specs])
+
+
+def test_run_chunk_rejects_unsupported_workload():
+    specs = complexity_specs(
+        Hypercube(4),
+        p=0.5,
+        router=WaypointRouter(),
+        trials=2,
+        seed=5,
+        model_factory=HashPercolation,
+    )
+    workload = specs[0].workload
+    assert not supports_run_chunk(workload)
+    with pytest.raises(ValueError, match="does not support run_chunk"):
+        run_chunk(workload, specs)
+
+
+def _unregistered_factory(graph, p, seed):
+    return TablePercolation(graph, p, seed)
+
+
+@pytest.mark.parametrize(
+    "factory", [HashPercolation, _unregistered_factory],
+    ids=["hash", "unregistered"],
+)
+def test_unsupported_factory_falls_back_identically(factory):
+    specs = complexity_specs(
+        Hypercube(4),
+        p=0.5,
+        router=WaypointRouter(),
+        trials=6,
+        seed=17,
+        model_factory=factory,
+    )
+    assert not supports_run_chunk(specs[0].workload)
+    got = execute_specs(specs)
+    assert repr(got) == repr([spec.execute() for spec in specs])
+
+
+def test_kernel_env_off_disables_seam(monkeypatch):
+    specs = complexity_specs(
+        Hypercube(4), p=0.5, router=WaypointRouter(), trials=6, seed=23
+    )
+    on = execute_specs(specs)
+    monkeypatch.setenv("REPRO_KERNEL", "off")
+    assert not supports_run_chunk(specs[0].workload)
+    off = execute_specs(specs)
+    assert repr(on) == repr(off)
+
+
+class _BoomRouter(Router):
+    name = "boom"
+
+    def _route(self, oracle, source, target):
+        raise RuntimeError("boom")
+
+
+def test_kernel_wraps_per_trial_errors_with_spec_key():
+    # p=1.0: every trial is connected, so the router runs and raises;
+    # the kernel must attribute the failure to the right spec key, just
+    # like spec.execute() does.
+    specs = complexity_specs(
+        Hypercube(4),
+        p=1.0,
+        router=_BoomRouter(),
+        trials=4,
+        seed=3,
+        key=("boom-point",),
+    )
+    assert supports_run_chunk(specs[0].workload)
+    with pytest.raises(TrialExecutionError) as kernel_err:
+        execute_specs(specs)
+    with pytest.raises(TrialExecutionError) as fallback_err:
+        specs[0].execute()
+    assert kernel_err.value.key == ("boom-point", 0)
+    assert kernel_err.value.key == fallback_err.value.key
+    assert "RuntimeError: boom" in kernel_err.value.detail

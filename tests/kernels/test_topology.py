@@ -1,0 +1,124 @@
+"""Edge-order parity of the compiled topology indexes.
+
+The batched mask kernels reproduce ``TablePercolation`` bit for bit
+only if :class:`EdgeIndex` lists edges in exactly ``graph.edges()``
+order — these tests pin every arithmetic builder (and the generic
+walker) against the real enumeration.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphs.complete import CompleteGraph
+from repro.graphs.debruijn import DeBruijn
+from repro.graphs.hypercube import Hypercube
+from repro.graphs.mesh import Mesh, Torus
+from repro.kernels import build_edge_index
+from repro.kernels.topology import MAX_INDEX_VERTICES
+
+GRAPHS = [
+    Hypercube(1),
+    Hypercube(4),
+    Hypercube(6),
+    Mesh(1, 5),
+    Mesh(2, 5),
+    Mesh(3, 3),
+    Torus(1, 4),
+    Torus(2, 4),
+    Torus(3, 3),
+    DeBruijn(3),
+    DeBruijn(5),
+    CompleteGraph(8),  # no arithmetic builder: the generic walker
+]
+
+
+@pytest.mark.parametrize("graph", GRAPHS, ids=lambda g: g.name)
+def test_edge_order_matches_enumeration(graph):
+    index = build_edge_index(graph)
+    assert index is not None
+    verts = index.verts
+    compiled = [
+        (verts[u], verts[v])
+        for u, v in zip(index.edge_u.tolist(), index.edge_v.tolist())
+    ]
+    assert compiled == list(graph.edges())
+
+
+@pytest.mark.parametrize("graph", GRAPHS, ids=lambda g: g.name)
+def test_vertex_codes_match_enumeration(graph):
+    index = build_edge_index(graph)
+    assert index.verts == list(graph.vertices())
+    assert index.code == {v: i for i, v in enumerate(graph.vertices())}
+    assert index.num_vertices == graph.num_vertices()
+    assert index.num_edges == len(list(graph.edges()))
+
+
+@pytest.mark.parametrize("graph", GRAPHS, ids=lambda g: g.name)
+def test_eid_maps_canonical_keys(graph):
+    index = build_edge_index(graph)
+    for e, (u, v) in enumerate(graph.edges()):
+        assert index.eid[graph.edge_key(u, v)] == e
+
+
+@pytest.mark.parametrize(
+    "graph", [Hypercube(4), Mesh(2, 4), Torus(2, 3), DeBruijn(3)],
+    ids=lambda g: g.name,
+)
+def test_incidence_lists_every_incident_edge(graph):
+    index = build_edge_index(graph)
+    inc_nbr, inc_eid, inc_valid = index.incidence()
+    edges = list(graph.edges())
+    for row, v in enumerate(index.verts):
+        slots = {
+            (index.verts[inc_nbr[row, s]], int(inc_eid[row, s]))
+            for s in range(inc_nbr.shape[1])
+            if inc_valid[row, s]
+        }
+        expected = {
+            ((b if a == v else a), e)
+            for e, (a, b) in enumerate(edges)
+            if v in (a, b)
+        }
+        assert slots == expected
+    # Padding slots must be masked out, never trusted.
+    assert int(inc_valid.sum()) == 2 * len(edges)
+
+
+def test_too_large_graph_declines():
+    big = Hypercube(21)  # 2**21 > MAX_INDEX_VERTICES
+    assert big.num_vertices() > MAX_INDEX_VERTICES
+    assert build_edge_index(big) is None
+
+
+def test_subclass_of_indexed_graph_uses_generic_walker():
+    # A subclass may reorder neighbours (Torus reorders Mesh's), so the
+    # arithmetic builders apply to exact types only; the walker is the
+    # always-correct fallback.
+    class Sub(Hypercube):
+        pass
+
+    index = build_edge_index(Sub(3))
+    verts = index.verts
+    compiled = [
+        (verts[u], verts[v])
+        for u, v in zip(index.edge_u.tolist(), index.edge_v.tolist())
+    ]
+    assert compiled == list(Sub(3).edges())
+
+
+class _Edgeless(CompleteGraph):
+    """Two isolated vertices — exercises the empty-edge-array path."""
+
+    def neighbors(self, v):
+        return []
+
+
+def test_edgeless_graph_incidence_shape():
+    index = build_edge_index(_Edgeless(2))
+    assert index.num_edges == 0
+    inc_nbr, inc_eid, inc_valid = index.incidence()
+    assert inc_valid.shape == (2, 1)
+    assert not inc_valid.any()
+    assert inc_nbr.dtype == np.int64
