@@ -1,0 +1,95 @@
+"""Bench E15–E17 — structured fault models on real fabrics (extension).
+
+The headline claims: on a fat-tree at equal nominal survival, fault
+*structure* orders routing difficulty (E15); at fixed epicenter
+density, fault *correlation* alone degrades connectivity (E16); and at
+equal expected fault mass, adversarial *placement* severs what random
+damage cannot (E17).
+"""
+
+import math
+
+
+def _nanmax(values):
+    finite = [v for v in values if not math.isnan(v)]
+    return max(finite) if finite else float("nan")
+
+
+def test_e15_fault_models(run_experiment):
+    table = run_experiment("E15")
+    assert len(table) > 0
+    trials = max(r["connected_trials"] for r in table.rows)
+
+    for p in sorted({r["p"] for r in table.rows}):
+        rows = {r["fault_model"]: r for r in table.filtered(p=p)}
+        assert set(rows) == {"iid", "node", "correlated", "adversarial"}
+        # Clustering the node-fault mass only hurts: the correlated
+        # arm (same epicenter density as the node arm's failure rate,
+        # grown into balls) never connects the pinned pair more often
+        # than either scattered model (small finite-trial slack).
+        assert (
+            rows["correlated"]["connected_trials"]
+            <= min(
+                rows["iid"]["connected_trials"],
+                rows["node"]["connected_trials"],
+            )
+            + 1
+        ), p
+        # The adversary forces detours: whenever it leaves the pair
+        # connected in at least half the trials, its median probe
+        # count runs at or above the i.i.d. arm's.
+        adv = rows["adversarial"]
+        if adv["connected_trials"] >= trials / 2 and not math.isnan(
+            rows["iid"]["median_queries"]
+        ):
+            assert (
+                adv["median_queries"] >= rows["iid"]["median_queries"]
+            ), p
+
+    # Near full survival the adversary (one removal short of the
+    # uplink cut) probes strictly more than every oblivious model.
+    top_p = max(r["p"] for r in table.rows)
+    rows = {r["fault_model"]: r for r in table.filtered(p=top_p)}
+    oblivious = _nanmax(
+        rows[m]["median_queries"] for m in ("iid", "node", "correlated")
+    )
+    adversarial = rows["adversarial"]["median_queries"]
+    if not math.isnan(adversarial) and not math.isnan(oblivious):
+        assert adversarial >= oblivious
+
+
+def test_e16_correlated_outages(run_experiment):
+    table = run_experiment("E16")
+    assert len(table) > 0
+
+    rows = sorted(table.rows, key=lambda r: r["spread"])
+    assert rows[0]["spread"] == 0.0  # the i.i.d. baseline ran
+    # Coupled radii: realised fault mass grows with spread...
+    masses = [r["mean_dead_frac"] for r in rows]
+    assert masses == sorted(masses)
+    # ...and connectivity of the probe pair can only degrade.
+    assert rows[-1]["connected_trials"] <= rows[0]["connected_trials"]
+
+
+def test_e17_adversarial_budget(run_experiment):
+    table = run_experiment("E17")
+    assert len(table) > 0
+
+    budgets = sorted({r["budget"] for r in table.rows})
+    by_arm = {
+        (r["budget"], r["placement"]): r for r in table.rows
+    }
+    k = table.rows[0]["k"]
+    cut = k // 2
+    for b in budgets:
+        adv = by_arm[(b, "adversarial")]
+        rnd = by_arm[(b, "random")]
+        # Matched expected mass, worse placement: the adversary never
+        # helps connectivity.
+        assert adv["connected_trials"] <= rnd["connected_trials"] + 1
+        if b >= cut:
+            # The uplink cut: severed with certainty...
+            assert adv["connected_trials"] == 0
+            # ...while the same expected damage placed obliviously
+            # leaves the pair connected in most trials.
+            assert rnd["connected_trials"] > 0

@@ -26,7 +26,7 @@ from repro.runtime import ProcessPoolRunner, SerialRunner
 
 RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
 
-DEFAULT_EXPERIMENTS = ("E1", "E11")
+DEFAULT_EXPERIMENTS = ("E1", "E11", "E15")
 
 
 def _time_run(spec, scale, seed, runner):
@@ -105,13 +105,13 @@ def record(
     out = out or RESULTS_DIR / "BENCH_runtime.json"
     out.parent.mkdir(exist_ok=True)
     if out.exists():
-        # benchmarks/ipc_baseline.py and benchmarks/cluster_baseline.py
-        # fold their headline numbers into this file; keep them across
-        # regenerations.
+        # benchmarks/ipc_baseline.py, benchmarks/cluster_baseline.py
+        # and benchmarks/kernel_baseline.py fold their headline numbers
+        # into this file; keep every section this run did not measure.
         previous = json.loads(out.read_text(encoding="utf-8"))
-        for section in ("ipc", "cluster"):
-            if section in previous:
-                baseline[section] = previous[section]
+        for section, value in previous.items():
+            if section not in baseline:
+                baseline[section] = value
     out.write_text(json.dumps(baseline, indent=2) + "\n", encoding="utf-8")
     print(f"wrote {out}")
     return baseline
@@ -125,7 +125,10 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--experiments",
         default=",".join(DEFAULT_EXPERIMENTS),
-        help="comma-separated experiment ids (default: E1,E11)",
+        help=(
+            "comma-separated experiment ids "
+            f"(default: {','.join(DEFAULT_EXPERIMENTS)})"
+        ),
     )
     args = parser.parse_args(argv)
     record(

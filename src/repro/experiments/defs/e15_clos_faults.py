@@ -1,0 +1,203 @@
+"""E15 (extension) — a Clos fabric under four fault models.
+
+The paper's percolation is i.i.d. per edge; production fabrics fail in
+structured ways.  This extension routes across a ``k``-ary fat-tree
+(:class:`~repro.graphs.clos.FatTree`) under four models at the same
+nominal survival level ``p`` and compares routing complexity:
+
+* ``iid`` — every link open independently with probability ``p`` (the
+  paper's model; :class:`TablePercolation`);
+* ``node`` — every *switch* survives with probability ``p`` and a dead
+  switch kills all incident links (Safaei & ValadBeigi's router
+  failures; :class:`NodeFaultPercolation`, probe endpoints pinned);
+* ``correlated`` — outage epicenters at density ``1-p`` grown into
+  clusters (:class:`CorrelatedFaultPercolation`, ``spread=0.4``, all
+  surviving links kept) — same epicenter mass as ``node`` at the same
+  ``p``, but spatially clustered;
+* ``adversarial`` — a budget-``k/2-1`` adversary removes the links
+  that hurt the probe pair most (one short of the uplink cut), then
+  links fail i.i.d. at ``p`` (:class:`AdversarialCutPercolation`).
+
+Expectation: fault *structure*, not fault mass, decides routing cost.
+Node faults concentrate the damage — a surviving switch keeps all its
+links — so with the probe endpoints pinned there are *fewer*
+independent failure points than under i.i.d. link faults and pair
+connectivity actually improves at equal nominal ``p``; clustering the
+same epicenter mass (``correlated``) swings the other way, carving
+voids that disconnect the pair far more often; and the adversary,
+starting one removal from the uplink cut, forces long detours through
+remote pods even when the pair stays connected.
+
+Spec emission: each ``(p, fault model)`` point emits **per-trial,
+workload-referenced** :class:`TrialSpec` units via ``complexity_specs``
+— one shared Workload per point, slim ``(trial, seed)`` tails.  The
+``iid`` arm rides the built-in ``TablePercolation`` chunk kernel; the
+structured arms carry unregistered fault-model factories and take the
+per-trial fallback (``repro info E15`` reports the split).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.complexity import assemble_measurement, complexity_specs
+from repro.experiments.registry import register
+from repro.experiments.results import ResultTable
+from repro.experiments.spec import ExperimentSpec, pick
+from repro.graphs.clos import FatTree
+from repro.percolation.faults import (
+    AdversarialCutPercolation,
+    CorrelatedFaultPercolation,
+    NodeFaultPercolation,
+)
+from repro.routers.waypoint import WaypointRouter
+from repro.runtime import SerialRunner
+from repro.util.rng import derive_seed
+
+COLUMNS = [
+    "k",
+    "p",
+    "fault_model",
+    "connected_trials",
+    "median_queries",
+    "median_frac_probed",
+]
+
+#: Cluster growth used by the ``correlated`` arm (see E16 for a sweep).
+CORRELATED_SPREAD = 0.4
+
+
+def _node_factory(graph, p, seed):
+    return NodeFaultPercolation(
+        graph, p, seed=seed, pinned=graph.canonical_pair()
+    )
+
+
+@dataclass(frozen=True)
+class _CorrelatedFactory:
+    """Outage epicenters at density ``1-p``, clustered; links kept."""
+
+    spread: float
+
+    def __call__(self, graph, p, seed):
+        return CorrelatedFaultPercolation(
+            graph,
+            1.0,
+            seed=seed,
+            epicenter_rate=1.0 - p,
+            spread=self.spread,
+            pinned=graph.canonical_pair(),
+        )
+
+
+@dataclass(frozen=True)
+class _AdversarialFactory:
+    """Budget-``k`` targeted removals, then i.i.d. link faults at p."""
+
+    budget: int
+
+    def __call__(self, graph, p, seed):
+        return AdversarialCutPercolation(
+            graph, p, seed=seed, budget=self.budget
+        )
+
+
+def _factories(k: int) -> dict:
+    return {
+        "iid": None,  # default TablePercolation — the kernel path
+        "node": _node_factory,
+        "correlated": _CorrelatedFactory(spread=CORRELATED_SPREAD),
+        "adversarial": _AdversarialFactory(budget=k // 2 - 1),
+    }
+
+
+def run(scale: str, seed: int, runner=None) -> ResultTable:
+    runner = runner if runner is not None else SerialRunner()
+    k = pick(scale, tiny=4, small=4, medium=6)
+    ps = pick(
+        scale,
+        tiny=[0.6, 0.9],
+        small=[0.5, 0.7, 0.85, 0.95],
+        medium=[0.5, 0.6, 0.7, 0.8, 0.9, 0.95],
+    )
+    trials = pick(scale, tiny=5, small=12, medium=24)
+
+    table = ResultTable(
+        "E15",
+        "Fat-tree routing under i.i.d. vs node vs correlated vs "
+        "adversarial faults",
+        columns=COLUMNS,
+    )
+
+    graph = FatTree(k)
+    router = WaypointRouter()
+    factories = _factories(k)
+    groups = [
+        (
+            (p, fault_model),
+            complexity_specs(
+                graph,
+                p=p,
+                router=router,
+                trials=trials,
+                seed=derive_seed(seed, "e15", p, fault_model),
+                model_factory=factories[fault_model],
+                key=("e15", p, fault_model),
+            ),
+        )
+        for p in ps
+        for fault_model in factories
+    ]
+    records = runner.run_grouped(groups)
+
+    for p in ps:
+        for fault_model in factories:
+            m = assemble_measurement(
+                graph, p, router, records[(p, fault_model)]
+            )
+            if m.connected_trials and m.successes():
+                summary = m.query_summary()
+                median_q = summary.median
+                frac = summary.median / graph.num_edges()
+            else:
+                median_q = frac = float("nan")
+            table.add_row(
+                k=k,
+                p=p,
+                fault_model=fault_model,
+                connected_trials=m.connected_trials,
+                median_queries=median_q,
+                median_frac_probed=frac,
+            )
+    table.add_note(
+        "Structure, not mass: node faults concentrate damage (a "
+        "surviving switch keeps all k links), so pinned-pair "
+        "connectivity at equal nominal p is no worse than i.i.d. link "
+        "faults; clustering the same epicenter mass (correlated) "
+        "carves voids and disconnects far more often; the "
+        "budget-(k/2-1) adversary sits one removal from the uplink "
+        "cut — when the pair survives, its median probe count runs "
+        "well above every oblivious arm."
+    )
+    return table
+
+
+register(
+    ExperimentSpec(
+        experiment_id="E15",
+        title="Fat-tree fault-model comparison (extension)",
+        claim=(
+            "On a k-ary fat-tree at equal nominal survival p, fault "
+            "structure — not fault mass — drives routing complexity: "
+            "concentrated node faults leave a pinned pair no worse "
+            "connected than i.i.d. link faults, clustered outages "
+            "disconnect it far more often, and a budget-(k/2-1) "
+            "adversary forces the longest detours of all."
+        ),
+        reference=(
+            "Related work (Safaei-ValadBeigi; Lenzen et al.) + "
+            "Section 6 (extension)"
+        ),
+        run=run,
+    )
+)

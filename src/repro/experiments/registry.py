@@ -31,6 +31,9 @@ _DEF_MODULES = (
     "repro.experiments.defs.e12_open_question",
     "repro.experiments.defs.e13_middle_regime",
     "repro.experiments.defs.e14_site_faults",
+    "repro.experiments.defs.e15_clos_faults",
+    "repro.experiments.defs.e16_correlated_faults",
+    "repro.experiments.defs.e17_adversarial_budget",
     "repro.experiments.defs.a1_conditioning",
     "repro.experiments.defs.a2_waypoint",
     "repro.experiments.defs.a3_gnp_policies",

@@ -15,12 +15,14 @@ Topologies
 :class:`Butterfly`            Section 6 open question
 :class:`DeBruijn`             Section 6 open question
 :class:`ShuffleExchange`      Section 6 open question
+:class:`FatTree`              E15/E17 structured-fault fabric
 :class:`ExplicitGraph`        user-supplied / test topologies
 ============================  =======================================
 """
 
 from repro.graphs.base import Edge, Graph, Vertex
 from repro.graphs.butterfly import Butterfly
+from repro.graphs.clos import FatTree
 from repro.graphs.complete import CompleteGraph
 from repro.graphs.cycle_matching import RandomMatchingCycle
 from repro.graphs.debruijn import DeBruijn
@@ -37,6 +39,7 @@ __all__ = [
     "DoubleBinaryTree",
     "Edge",
     "ExplicitGraph",
+    "FatTree",
     "Graph",
     "Hypercube",
     "Mesh",

@@ -1,0 +1,161 @@
+"""The folded-Clos / fat-tree datacenter fabric.
+
+The paper's topologies are processor networks; the neighbouring fault
+literature (Safaei & ValadBeigi's router failures, the WAN-router
+failure-pattern studies) lives on *switching fabrics* — and the
+canonical one is the ``k``-ary fat-tree (Al-Fares et al.): a 3-layer
+folded Clos with ``(k/2)²`` core switches and ``k`` pods of ``k/2``
+aggregation plus ``k/2`` edge switches each.  Its defining property is
+*path diversity*: every inter-pod pair is joined by ``(k/2)²``
+core-disjoint shortest paths, so i.i.d. edge faults are absorbed until
+deep subcriticality while a targeted adversary can sever a pair with
+just ``k/2`` edge removals (the edge-switch uplink cut).  Experiments
+E15 and E17 measure exactly that contrast.
+
+Vertices are layer-tagged tuples, mutually comparable within and
+across layers (the tag decides cross-layer order, the indices decide
+order within a layer):
+
+* ``("core", c)`` for ``c ∈ [0, (k/2)²)``;
+* ``("agg", pod, a)``, ``("edge", pod, e)`` for ``pod ∈ [0, k)`` and
+  ``a, e ∈ [0, k/2)``;
+* ``("host", pod, e, h)`` for ``h ∈ [0, k/2)`` when built with
+  ``with_hosts=True``.
+
+Wiring (standard ``k``-ary fat-tree): aggregation switch ``a`` of every
+pod uplinks to the core *stripe* ``c ∈ [a·k/2, (a+1)·k/2)``; within a
+pod, aggregation and edge switches form a complete bipartite graph;
+hosts hang off their edge switch.  Without hosts the graph is
+``k``-regular on core/aggregation switches and ``k/2``-regular on edge
+switches.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.graphs.base import Graph, Vertex
+
+__all__ = ["FatTree"]
+
+_LAYERS = ("core", "agg", "edge", "host")
+
+
+class FatTree(Graph):
+    """The ``k``-ary fat-tree (``k`` even): a 3-layer folded Clos.
+
+    ``with_hosts=False`` (default) keeps only the switching fabric —
+    the multipath object routing experiments care about; hosts are
+    degree-1 leaves that add nothing but a fragile last hop.
+
+    >>> ft = FatTree(4)
+    >>> ft.num_vertices(), ft.num_edges()
+    (20, 32)
+    >>> sorted(ft.neighbors(("edge", 0, 0)))
+    [('agg', 0, 0), ('agg', 0, 1)]
+    """
+
+    def __init__(self, k: int, with_hosts: bool = False) -> None:
+        if k < 2 or k % 2:
+            raise ValueError(
+                f"fat-tree arity must be an even integer >= 2, got {k!r}"
+            )
+        self.k = k
+        self.half = k // 2
+        self.with_hosts = bool(with_hosts)
+        self.name = f"fattree(k={k}{',hosts' if with_hosts else ''})"
+
+    # -- topology ---------------------------------------------------------
+
+    def neighbors(self, v: Vertex) -> list[tuple]:
+        self._require_vertex(v)
+        half = self.half
+        layer = v[0]
+        if layer == "core":
+            (_, c) = v
+            a = c // half  # the stripe this core belongs to
+            return [("agg", pod, a) for pod in range(self.k)]
+        if layer == "agg":
+            (_, pod, a) = v
+            up = [("core", c) for c in range(a * half, (a + 1) * half)]
+            down = [("edge", pod, e) for e in range(half)]
+            return up + down
+        if layer == "edge":
+            (_, pod, e) = v
+            up = [("agg", pod, a) for a in range(half)]
+            if not self.with_hosts:
+                return up
+            return up + [("host", pod, e, h) for h in range(half)]
+        # "host"
+        (_, pod, e, _) = v
+        return [("edge", pod, e)]
+
+    def has_vertex(self, v) -> bool:
+        if not isinstance(v, tuple) or not v or v[0] not in _LAYERS:
+            return False
+        layer, *idx = v
+        if not all(isinstance(i, int) for i in idx):
+            return False
+        half = self.half
+        if layer == "core":
+            return len(idx) == 1 and 0 <= idx[0] < half * half
+        if layer in ("agg", "edge"):
+            return (
+                len(idx) == 2
+                and 0 <= idx[0] < self.k
+                and 0 <= idx[1] < half
+            )
+        return (
+            self.with_hosts
+            and len(idx) == 3
+            and 0 <= idx[0] < self.k
+            and 0 <= idx[1] < half
+            and 0 <= idx[2] < half
+        )
+
+    def num_vertices(self) -> int:
+        switches = self.half * self.half + 2 * self.k * self.half
+        if not self.with_hosts:
+            return switches
+        return switches + self.k * self.half * self.half
+
+    def vertices(self) -> Iterator[tuple]:
+        half = self.half
+        for c in range(half * half):
+            yield ("core", c)
+        for pod in range(self.k):
+            for a in range(half):
+                yield ("agg", pod, a)
+        for pod in range(self.k):
+            for e in range(half):
+                yield ("edge", pod, e)
+        if self.with_hosts:
+            for pod in range(self.k):
+                for e in range(half):
+                    for h in range(half):
+                        yield ("host", pod, e, h)
+
+    def num_edges(self) -> int:
+        # core↔agg and agg↔edge tiers carry k³/4 links each; the host
+        # tier (when present) another k³/4.
+        tier = self.k * self.half * self.half
+        return tier * (3 if self.with_hosts else 2)
+
+    # -- experiment support ----------------------------------------------
+
+    def canonical_pair(self) -> tuple[tuple, tuple]:
+        """The extreme inter-pod pair: first and last leaf switch/host.
+
+        Crossing from pod ``0`` to pod ``k-1`` forces the route through
+        the core, which is where the fabric's path diversity (and the
+        adversary's cut target) lives.
+        """
+        if self.with_hosts:
+            last = self.half - 1
+            return ("host", 0, 0, 0), ("host", self.k - 1, last, last)
+        return ("edge", 0, 0), ("edge", self.k - 1, self.half - 1)
+
+    def pod_of(self, v: Vertex) -> int | None:
+        """The pod a switch/host belongs to (``None`` for core)."""
+        self._require_vertex(v)
+        return None if v[0] == "core" else v[1]

@@ -280,7 +280,12 @@ def compile_run_trial_chunk(workload: Workload):
     if conditioning not in ("exact", "router", "none"):
         return None
     factory = workload.kwargs.get("model_factory") or _default_factory(graph)
-    compiler = _MODEL_KERNELS.get(factory)
+    try:
+        compiler = _MODEL_KERNELS.get(factory)
+    except TypeError:
+        # Unhashable factory (e.g. an unfrozen dataclass instance) —
+        # it can't be registered, so it can't have a kernel: fall back.
+        compiler = None
     if compiler is None:
         return None
     index = build_edge_index(graph)

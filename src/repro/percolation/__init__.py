@@ -5,6 +5,9 @@ edge kept independently with probability ``p``.  This package provides:
 
 * percolation **models** (lazy hash-based, materialised, and sparse
   ``G(n,p)``) — :mod:`repro.percolation.models`;
+* structured **fault models** (node failures, correlated outage
+  clusters, adversarial budget-``k`` cuts) —
+  :mod:`repro.percolation.faults`;
 * **cluster** ground truth (components, connectivity, chemical distance)
   — :mod:`repro.percolation.cluster`;
 * **giant-component** scans and threshold estimation —
@@ -30,6 +33,11 @@ from repro.percolation.coupled import (
     giant_threshold,
     pair_threshold,
     threshold_sample,
+)
+from repro.percolation.faults import (
+    AdversarialCutPercolation,
+    CorrelatedFaultPercolation,
+    NodeFaultPercolation,
 )
 from repro.percolation.galton_watson import (
     critical_probability,
@@ -65,8 +73,11 @@ from repro.percolation.thresholds import (
 
 __all__ = [
     "MESH_PC",
+    "AdversarialCutPercolation",
+    "CorrelatedFaultPercolation",
     "GnpPercolation",
     "HashPercolation",
+    "NodeFaultPercolation",
     "PercolationModel",
     "SitePercolation",
     "TablePercolation",

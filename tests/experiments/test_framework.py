@@ -97,6 +97,9 @@ class TestRegistry:
             "E12",
             "E13",
             "E14",
+            "E15",
+            "E16",
+            "E17",
             "A1",
             "A2",
             "A3",

@@ -27,6 +27,9 @@ EXPECTED_COLUMNS = {
     "E12": {"family", "p", "giant_fraction", "median_frac_probed"},
     "E13": {"alpha", "giant_fraction", "giant_diameter_lb", "oracle_frac_probed"},
     "E14": {"alpha", "fault_model", "median_frac_probed"},
+    "E15": {"k", "p", "fault_model", "median_frac_probed"},
+    "E16": {"n", "spread", "mean_dead_frac", "median_frac_probed"},
+    "E17": {"k", "budget", "placement", "median_queries"},
     "A1": {"graph", "mode", "verdicts_agree"},
     "A2": {"graph", "router", "success_rate", "mean_queries"},
     "A3": {"n", "router", "vs_local"},
@@ -78,6 +81,7 @@ class TestPhysicalSanity:
             "E6": ["pr_empirical", "pr_exact"],
             "E8": ["mirror_success_rate"],
             "E11": ["value"],
+            "E16": ["mean_dead_frac"],
             "A2": ["success_rate"],
         }
         for exp_id, columns in prob_columns.items():
@@ -88,7 +92,7 @@ class TestPhysicalSanity:
                     assert 0.0 <= value <= 1.0 + 1e-9, (exp_id, column, value)
 
     def test_fractions_of_edges_bounded(self, tables):
-        for exp_id in ("E1", "E12", "E13", "E14"):
+        for exp_id in ("E1", "E12", "E13", "E14", "E15", "E16"):
             col = (
                 "frac_edges_probed" if exp_id == "E1" else "median_frac_probed"
             )

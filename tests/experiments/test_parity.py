@@ -16,9 +16,11 @@ the parent, so every shared payload must travel through the workload
 shipping protocol — fork-masked cache bugs fail there.
 """
 
+import importlib
 import multiprocessing
 import os
 import pickle
+from pathlib import Path
 
 import pytest
 
@@ -30,6 +32,31 @@ from repro.runtime import ProcessPoolRunner, SerialRunner, TrialSpec
 from repro.util.rng import derive_seed
 
 ALL_IDS = [spec.experiment_id for spec in all_experiments()]
+
+
+def test_every_def_module_is_registered():
+    # The parity sweep above parametrizes over *registered* defs — a
+    # def module missing from the registry's ``_DEF_MODULES`` list
+    # never imports, never registers, and would silently skip every
+    # gate in this file.  Close the loop: every module under
+    # ``experiments/defs/`` must surface at least one registered
+    # experiment.
+    defs_dir = (
+        Path(importlib.import_module("repro.experiments.defs").__file__)
+        .parent
+    )
+    modules = {
+        f"repro.experiments.defs.{path.stem}"
+        for path in defs_dir.glob("*.py")
+        if path.stem != "__init__"
+    }
+    registered = {spec.run.__module__ for spec in all_experiments()}
+    missing = modules - registered
+    assert not missing, (
+        f"def modules not in the registry sweep (add them to "
+        f"_DEF_MODULES in repro/experiments/registry.py): "
+        f"{sorted(missing)}"
+    )
 
 
 @pytest.mark.parametrize("experiment_id", ALL_IDS)

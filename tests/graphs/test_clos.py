@@ -1,0 +1,135 @@
+"""Structural invariants of the k-ary fat-tree."""
+
+import itertools
+
+import pytest
+
+from repro.graphs.clos import FatTree
+from repro.graphs.traversal import bfs_distances
+from repro.percolation.faults import AdversarialCutPercolation
+from repro.percolation.cluster import connected
+
+
+@pytest.mark.parametrize("k", [2, 4, 6])
+@pytest.mark.parametrize("with_hosts", [False, True])
+class TestFatTreeInvariants:
+    def test_axioms(self, k, with_hosts, axioms):
+        axioms(FatTree(k, with_hosts=with_hosts))
+
+    def test_counts_match_closed_forms(self, k, with_hosts):
+        g = FatTree(k, with_hosts=with_hosts)
+        half = k // 2
+        switches = half * half + 2 * k * half
+        hosts = k * half * half if with_hosts else 0
+        assert g.num_vertices() == switches + hosts
+        tier = k * half * half  # links per adjacent layer pair
+        assert g.num_edges() == tier * (3 if with_hosts else 2)
+        # Handshake: the analytic edge count vs summed degrees.
+        degree_sum = sum(len(g.neighbors(v)) for v in g.vertices())
+        assert degree_sum == 2 * g.num_edges()
+
+    def test_degree_regular_per_layer(self, k, with_hosts):
+        g = FatTree(k, with_hosts=with_hosts)
+        half = k // 2
+        expected = {
+            "core": k,
+            "agg": k,
+            "edge": half + (half if with_hosts else 0),
+            "host": 1,
+        }
+        for v in g.vertices():
+            assert len(g.neighbors(v)) == expected[v[0]], v
+
+    def test_edges_only_between_adjacent_layers(self, k, with_hosts):
+        g = FatTree(k, with_hosts=with_hosts)
+        adjacent = {("core", "agg"), ("agg", "edge"), ("edge", "host")}
+        for u, v in g.edges():
+            layers = tuple(sorted((u[0], v[0])))
+            assert (
+                layers in adjacent or tuple(reversed(layers)) in adjacent
+            ), (u, v)
+
+    def test_intra_pod_wiring(self, k, with_hosts):
+        # Aggregation↔edge is complete bipartite within a pod and
+        # absent across pods; hosts hang off exactly their own switch.
+        g = FatTree(k, with_hosts=with_hosts)
+        half = k // 2
+        for pod, a, e in itertools.product(
+            range(k), range(half), range(half)
+        ):
+            assert ("edge", pod, e) in g.neighbors(("agg", pod, a))
+        other = ("agg", 1, 0)
+        assert other not in g.neighbors(("edge", 0, 0))
+
+    def test_core_stripe_wiring(self, k, with_hosts):
+        # Core c connects to aggregation switch c // (k/2) of EVERY
+        # pod — the stripe pattern that gives (k/2)² disjoint paths.
+        g = FatTree(k, with_hosts=with_hosts)
+        half = k // 2
+        for c in range(half * half):
+            neigh = g.neighbors(("core", c))
+            assert neigh == [("agg", pod, c // half) for pod in range(k)]
+
+    def test_canonical_pair(self, k, with_hosts):
+        g = FatTree(k, with_hosts=with_hosts)
+        u, v = g.canonical_pair()
+        assert g.has_vertex(u) and g.has_vertex(v)
+        assert g.pod_of(u) == 0 and g.pod_of(v) == k - 1
+
+    def test_metric_against_bfs(self, k, with_hosts, metric_check):
+        g = FatTree(k, with_hosts=with_hosts)
+        vertices = list(g.vertices())
+        pairs = [
+            g.canonical_pair(),
+            (vertices[0], vertices[-1]),
+            (("core", 0), ("edge", k - 1, 0)),
+        ]
+        metric_check(g, pairs)
+
+
+class TestFatTreeGeometry:
+    def test_inter_pod_distance(self):
+        # edge → agg → core → agg → edge crossing pods: 4 hops
+        # (6 host-to-host).
+        assert FatTree(4).distance(*FatTree(4).canonical_pair()) == 4
+        ft = FatTree(4, with_hosts=True)
+        assert ft.distance(*ft.canonical_pair()) == 6
+
+    def test_path_diversity_matches_uplink_cut(self):
+        # Min cut between inter-pod edge switches is the k/2 uplinks:
+        # removing them severs; removing all but one of them does not.
+        g = FatTree(6)
+        m = AdversarialCutPercolation(g, 1.0, seed=0, budget=g.k // 2)
+        assert len(m.removed_edges()) == g.k // 2
+        assert not connected(m, *g.canonical_pair())
+        short = AdversarialCutPercolation(
+            g, 1.0, seed=0, budget=g.k // 2 - 1
+        )
+        assert connected(short, *g.canonical_pair())
+
+    def test_whole_fabric_connected(self):
+        g = FatTree(4, with_hosts=True)
+        reach = bfs_distances(g, ("core", 0))
+        assert len(reach) == g.num_vertices()
+
+    def test_has_vertex_rejects_malformed(self):
+        g = FatTree(4)
+        assert not g.has_vertex(("core", 4))
+        assert not g.has_vertex(("agg", 4, 0))
+        assert not g.has_vertex(("edge", 0, 2))
+        assert not g.has_vertex(("host", 0, 0, 0))  # no hosts built
+        assert not g.has_vertex(("core", 0, 0))
+        assert not g.has_vertex("core")
+        assert not g.has_vertex(("spine", 0))
+        assert FatTree(4, with_hosts=True).has_vertex(("host", 0, 0, 0))
+
+    def test_pod_of(self):
+        g = FatTree(4)
+        assert g.pod_of(("core", 1)) is None
+        assert g.pod_of(("agg", 2, 0)) == 2
+        assert g.pod_of(("edge", 3, 1)) == 3
+
+    @pytest.mark.parametrize("bad", [0, 1, 3, 5, -2])
+    def test_rejects_bad_arity(self, bad):
+        with pytest.raises(ValueError):
+            FatTree(bad)

@@ -1,0 +1,326 @@
+"""Property suites for the structured fault models.
+
+The fault-model seam promises three things (see
+:mod:`repro.percolation.faults`): the determinism contract (pure
+function of ``(seed, key)``, monotone-coupled in the dials), exact
+structural semantics (a node fault kills exactly its incident edges;
+an adversary never exceeds its budget), and sample-for-sample
+agreement with the independent implementations it claims to match
+(:class:`SitePercolation`).  Hypothesis drives all three across seeds
+and parameters.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs.clos import FatTree
+from repro.graphs.hypercube import Hypercube
+from repro.percolation.cluster import connected
+from repro.percolation.faults import (
+    AdversarialCutPercolation,
+    CorrelatedFaultPercolation,
+    NodeFaultPercolation,
+)
+from repro.percolation.site import SitePercolation
+from repro.util.rng import derive_seed
+
+SEEDS = st.integers(min_value=0, max_value=2**48)
+PROBS = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+SPREADS = st.floats(
+    min_value=0.0, max_value=0.9, allow_nan=False, exclude_max=False
+)
+
+
+def _graph():
+    return Hypercube(4)
+
+
+def _open_set(model):
+    return set(model.open_edges())
+
+
+class TestNodeFaultPercolation:
+    @given(seed=SEEDS, p=PROBS)
+    @settings(max_examples=60)
+    def test_same_seed_determinism(self, seed, p):
+        g = _graph()
+        a = NodeFaultPercolation(g, p, seed=seed)
+        b = NodeFaultPercolation(g, p, seed=seed)
+        assert a.failed_nodes() == b.failed_nodes()
+        assert _open_set(a) == _open_set(b)
+
+    @given(seed=SEEDS, p=st.floats(min_value=0.2, max_value=0.8))
+    @settings(max_examples=60)
+    def test_kills_exactly_incident_edges(self, seed, p):
+        g = _graph()
+        m = NodeFaultPercolation(g, p, seed=seed)
+        killed = m.killed_edges()
+        every = {g.edge_key(*e) for e in g.edges()}
+        # Killed and open partition the edge set.
+        assert killed | _open_set(m) == every
+        assert killed & _open_set(m) == set()
+        # Killed is exactly the incident set of the failed nodes...
+        for e in killed:
+            assert m.failed_nodes().intersection(e)
+        # ...and every incident edge of a failed node is killed.
+        for v in m.failed_nodes():
+            for w in g.neighbors(v):
+                assert g.edge_key(v, w) in killed
+                assert not m.is_open(v, w)
+
+    @given(seed=SEEDS, p=PROBS)
+    @settings(max_examples=60)
+    def test_matches_site_percolation_sample_for_sample(self, seed, p):
+        # Two independent implementations of the same coin stream must
+        # agree on every vertex and every edge, not just in law.
+        g = _graph()
+        node = NodeFaultPercolation(g, p, seed=seed)
+        site = SitePercolation(g, p, seed=seed)
+        for v in g.vertices():
+            assert node.is_up(v) == site.is_up(v)
+        for e in g.edges():
+            assert node.is_open(*e) == site.is_open(*e)
+
+    @given(seed=SEEDS, p_lo=PROBS, p_hi=PROBS)
+    @settings(max_examples=60)
+    def test_monotone_coupling_in_p(self, seed, p_lo, p_hi):
+        if p_lo > p_hi:
+            p_lo, p_hi = p_hi, p_lo
+        g = _graph()
+        lo = NodeFaultPercolation(g, p_lo, seed=seed)
+        hi = NodeFaultPercolation(g, p_hi, seed=seed)
+        assert hi.failed_nodes() <= lo.failed_nodes()
+        assert _open_set(lo) <= _open_set(hi)
+
+    @given(seed=SEEDS)
+    @settings(max_examples=40)
+    def test_pinned_never_fail(self, seed):
+        g = _graph()
+        pair = g.canonical_pair()
+        m = NodeFaultPercolation(g, 0.0, seed=seed, pinned=pair)
+        assert set(pair).isdisjoint(m.failed_nodes())
+        assert all(m.is_up(v) for v in pair)
+        # Everything unpinned died at p=0.
+        assert len(m.failed_nodes()) == g.num_vertices() - 2
+
+    def test_trial_streams_independent(self):
+        # Seeds derived for distinct trial indices must give distinct
+        # samples (the per-trial independence the runner relies on).
+        g = Hypercube(6)
+        outcomes = {
+            NodeFaultPercolation(
+                g, 0.5, seed=derive_seed(11, "complexity", t)
+            ).failed_nodes()
+            for t in range(16)
+        }
+        assert len(outcomes) == 16
+
+    def test_rejects_bad_p(self):
+        with pytest.raises(ValueError):
+            NodeFaultPercolation(_graph(), 1.5, seed=0)
+
+
+class TestCorrelatedFaultPercolation:
+    @given(seed=SEEDS, rate=PROBS, spread=SPREADS)
+    @settings(max_examples=60)
+    def test_same_seed_determinism(self, seed, rate, spread):
+        g = _graph()
+        a = CorrelatedFaultPercolation(
+            g, 0.9, seed=seed, epicenter_rate=rate, spread=spread
+        )
+        b = CorrelatedFaultPercolation(
+            g, 0.9, seed=seed, epicenter_rate=rate, spread=spread
+        )
+        assert a.dead_nodes() == b.dead_nodes()
+        assert _open_set(a) == _open_set(b)
+
+    @given(seed=SEEDS, rate=PROBS)
+    @settings(max_examples=60)
+    def test_spread_zero_is_iid_node_faults(self, seed, rate):
+        g = _graph()
+        m = CorrelatedFaultPercolation(
+            g, 1.0, seed=seed, epicenter_rate=rate, spread=0.0
+        )
+        assert m.dead_nodes() == m.epicenters()
+
+    @given(seed=SEEDS)
+    @settings(max_examples=40)
+    def test_no_epicenters_no_deaths(self, seed):
+        g = _graph()
+        m = CorrelatedFaultPercolation(
+            g, 1.0, seed=seed, epicenter_rate=0.0, spread=0.5
+        )
+        assert m.epicenters() == frozenset()
+        assert m.dead_nodes() == frozenset()
+        assert len(_open_set(m)) == g.num_edges()
+
+    @given(seed=SEEDS, rate=PROBS, s_lo=SPREADS, s_hi=SPREADS)
+    @settings(max_examples=60)
+    def test_monotone_coupling_in_spread(self, seed, rate, s_lo, s_hi):
+        if s_lo > s_hi:
+            s_lo, s_hi = s_hi, s_lo
+        g = _graph()
+        lo = CorrelatedFaultPercolation(
+            g, 1.0, seed=seed, epicenter_rate=rate, spread=s_lo
+        )
+        hi = CorrelatedFaultPercolation(
+            g, 1.0, seed=seed, epicenter_rate=rate, spread=s_hi
+        )
+        # Same epicenters, only the balls grow.
+        assert lo.epicenters() == hi.epicenters()
+        assert lo.dead_nodes() <= hi.dead_nodes()
+
+    @given(seed=SEEDS, p_lo=PROBS, p_hi=PROBS)
+    @settings(max_examples=60)
+    def test_monotone_coupling_in_edge_p(self, seed, p_lo, p_hi):
+        if p_lo > p_hi:
+            p_lo, p_hi = p_hi, p_lo
+        g = _graph()
+        lo = CorrelatedFaultPercolation(
+            g, p_lo, seed=seed, epicenter_rate=0.1, spread=0.3
+        )
+        hi = CorrelatedFaultPercolation(
+            g, p_hi, seed=seed, epicenter_rate=0.1, spread=0.3
+        )
+        assert _open_set(lo) <= _open_set(hi)
+
+    @given(seed=SEEDS, rate=PROBS, spread=SPREADS)
+    @settings(max_examples=60)
+    def test_dead_endpoints_close_edges(self, seed, rate, spread):
+        g = _graph()
+        m = CorrelatedFaultPercolation(
+            g, 1.0, seed=seed, epicenter_rate=rate, spread=spread
+        )
+        for e in g.edges():
+            if m.dead_nodes().intersection(e):
+                assert not m.is_open(*e)
+            else:
+                assert m.is_open(*e)  # p=1: survival is the only gate
+
+    @given(seed=SEEDS)
+    @settings(max_examples=40)
+    def test_pinned_survive_inside_a_ball(self, seed):
+        g = _graph()
+        pair = g.canonical_pair()
+        m = CorrelatedFaultPercolation(
+            g,
+            1.0,
+            seed=seed,
+            epicenter_rate=1.0,
+            spread=0.0,
+            pinned=pair,
+        )
+        assert set(pair).isdisjoint(m.dead_nodes())
+        assert all(m.is_up(v) for v in pair)
+
+    def test_rejects_bad_parameters(self):
+        g = _graph()
+        with pytest.raises(ValueError):
+            CorrelatedFaultPercolation(
+                g, 0.5, seed=0, epicenter_rate=1.5, spread=0.0
+            )
+        with pytest.raises(ValueError):
+            CorrelatedFaultPercolation(
+                g, 0.5, seed=0, epicenter_rate=0.5, spread=1.0
+            )
+
+
+class TestAdversarialCutPercolation:
+    @given(seed=SEEDS, budget=st.integers(min_value=0, max_value=12))
+    @settings(max_examples=60)
+    def test_never_exceeds_budget(self, seed, budget):
+        g = FatTree(4)
+        m = AdversarialCutPercolation(g, 1.0, seed=seed, budget=budget)
+        removed = m.removed_edges()
+        assert len(removed) <= budget
+        every = {g.edge_key(*e) for e in g.edges()}
+        assert set(removed) <= every
+        assert len(set(removed)) == len(removed)  # no double spend
+        for e in removed:
+            assert not m.is_open(*e)
+
+    @given(budget=st.integers(min_value=0, max_value=8))
+    @settings(max_examples=30)
+    def test_prefix_monotone_in_budget(self, budget):
+        g = FatTree(4)
+        small = AdversarialCutPercolation(g, 1.0, seed=0, budget=budget)
+        large = AdversarialCutPercolation(
+            g, 1.0, seed=0, budget=budget + 1
+        )
+        prefix = large.removed_edges()[: len(small.removed_edges())]
+        assert prefix == small.removed_edges()
+
+    @given(seed=SEEDS, p=PROBS)
+    @settings(max_examples=60)
+    def test_placement_ignores_coins(self, seed, p):
+        # The adversary sees topology and pair, never the randomness:
+        # removals must not depend on seed or p.
+        g = FatTree(4)
+        m = AdversarialCutPercolation(g, p, seed=seed, budget=2)
+        baseline = AdversarialCutPercolation(g, 1.0, seed=0, budget=2)
+        assert m.removed_edges() == baseline.removed_edges()
+
+    @given(seed=SEEDS, p_lo=PROBS, p_hi=PROBS)
+    @settings(max_examples=60)
+    def test_monotone_coupling_in_p(self, seed, p_lo, p_hi):
+        if p_lo > p_hi:
+            p_lo, p_hi = p_hi, p_lo
+        g = FatTree(4)
+        lo = AdversarialCutPercolation(g, p_lo, seed=seed, budget=1)
+        hi = AdversarialCutPercolation(g, p_hi, seed=seed, budget=1)
+        assert _open_set(lo) <= _open_set(hi)
+
+    def test_finds_the_uplink_cut(self):
+        # FatTree(k) pairs are separated by the k/2 uplinks of the
+        # source edge switch; the greedy adversary must find that cut
+        # with exactly k/2 removals, then stop spending.
+        g = FatTree(4)
+        m = AdversarialCutPercolation(g, 1.0, seed=0, budget=10)
+        assert len(m.removed_edges()) == 2
+        assert not connected(m, *m.pair)
+        source = g.canonical_pair()[0]
+        for e in m.removed_edges():
+            assert source in e
+
+    def test_random_damage_of_equal_mass_rarely_severs(self):
+        # The E17 contrast in miniature: budget-2 targeted removal
+        # always severs; 2 random removals almost never do.
+        g = FatTree(6)
+        cut = g.k // 2  # 3
+        m = AdversarialCutPercolation(g, 1.0, seed=0, budget=cut)
+        assert not connected(m, *m.pair)
+        p_matched = (g.num_edges() - cut) / g.num_edges()
+        severed = sum(
+            not connected(
+                AdversarialCutPercolation(
+                    g, p_matched, seed=s, budget=0
+                ),
+                *g.canonical_pair(),
+            )
+            for s in range(30)
+        )
+        assert severed <= 3
+
+    def test_background_fraction_matches_p(self):
+        g = Hypercube(9)  # 2304 edges; budget 0 → pure i.i.d.
+        p = 0.4
+        m = AdversarialCutPercolation(g, p, seed=5, budget=0)
+        frac = m.num_open_edges() / g.num_edges()
+        assert abs(frac - p) < 5 * math.sqrt(
+            p * (1 - p) / g.num_edges()
+        )
+
+    def test_rejects_negative_budget(self):
+        with pytest.raises(ValueError):
+            AdversarialCutPercolation(FatTree(4), 1.0, seed=0, budget=-1)
+
+    def test_self_probe_spends_nothing(self):
+        g = FatTree(4)
+        v = ("edge", 0, 0)
+        m = AdversarialCutPercolation(
+            g, 1.0, seed=0, budget=5, pair=(v, v)
+        )
+        assert m.removed_edges() == ()
