@@ -33,6 +33,7 @@ from repro.experiments.defs.e14_site_faults import _site_factory
 from repro.experiments.spec import SCALES, pick
 from repro.graphs.hypercube import Hypercube
 from repro.graphs.mesh import Mesh
+from repro.routers.bfs import BidirectionalBFSRouter, LocalBFSRouter
 from repro.routers.waypoint import MeshWaypointRouter, WaypointRouter
 from repro.runtime import supports_run_chunk
 from repro.runtime.chunkexec import execute_specs
@@ -47,10 +48,11 @@ def _scenarios(scale: str, seed: int):
     trials = pick(scale, tiny=20, small=40, medium=60)
     hypercube = Hypercube(n)
     mesh = Mesh(2, side)
+    supercritical = float(n) ** -0.3
     cases = [
         ("hypercube-subcritical", hypercube, float(n) ** -1.0,
          WaypointRouter(), None),
-        ("hypercube-supercritical", hypercube, float(n) ** -0.3,
+        ("hypercube-supercritical", hypercube, supercritical,
          WaypointRouter(), None),
         ("mesh-subcritical", mesh, 0.40, MeshWaypointRouter(), None),
         ("mesh-supercritical", mesh, 0.70, MeshWaypointRouter(), None),
@@ -58,6 +60,14 @@ def _scenarios(scale: str, seed: int):
          WaypointRouter(), _site_factory),
         ("site-subcritical", hypercube, float(n) ** -1.0,
          WaypointRouter(), _site_factory),
+        # Routing-dominated regimes: supercritical, so (nearly) every
+        # trial conditions in and the wall clock is the router itself —
+        # the lockstep frontier engines against the per-trial loop.
+        ("routing-local-bfs", hypercube, supercritical,
+         LocalBFSRouter(), None),
+        ("routing-bidirectional", hypercube, supercritical,
+         BidirectionalBFSRouter(), None),
+        ("routing-waypoint", mesh, 0.75, WaypointRouter(), None),
     ]
     for label, graph, p, router, factory in cases:
         yield label, complexity_specs(
@@ -78,14 +88,21 @@ def record(scale: str = "small", seed: int = 0, out: Path | None = None):
         workload = specs[0].workload
         if not supports_run_chunk(workload):  # also warms the compile
             raise AssertionError(f"{label}: workload has no chunk kernel")
-        start = time.perf_counter()
-        loop = [spec.execute() for spec in specs]
-        loop_s = time.perf_counter() - start
-        start = time.perf_counter()
-        kernel = execute_specs(specs)
-        kernel_s = time.perf_counter() - start
-        if repr(kernel) != repr(loop):
-            raise AssertionError(f"{label}: kernel records diverge")
+        # Best of three interleaved passes: the first kernel pass pays
+        # one-time costs (incidence build, key-blob serialisation)
+        # that are not steady-state throughput, and the fastest
+        # regimes finish in milliseconds where single-pass timing is
+        # noise-bound.
+        loop_s = kernel_s = float("inf")
+        for _ in range(3):
+            start = time.perf_counter()
+            loop = [spec.execute() for spec in specs]
+            loop_s = min(loop_s, time.perf_counter() - start)
+            start = time.perf_counter()
+            kernel = execute_specs(specs)
+            kernel_s = min(kernel_s, time.perf_counter() - start)
+            if repr(kernel) != repr(loop):
+                raise AssertionError(f"{label}: kernel records diverge")
         trials = len(specs)
         entries.append(
             {
@@ -114,15 +131,18 @@ def record(scale: str = "small", seed: int = 0, out: Path | None = None):
             "python": platform.python_version(),
         },
         "note": (
-            "same specs, same records (asserted repr-identical); the "
-            "kernel batches percolation draws and connectivity BFS per "
-            "chunk while routing stays the exact per-trial algorithm, "
-            "so edge-percolation subcritical regimes gain the most. "
-            "site-subcritical is the known loss: the batched draw "
-            "hashes every vertex coin up front while the lazy per-"
-            "trial model only hashes the few vertices a dying cluster "
-            "touches — E14 still nets a large win because its "
-            "supercritical points dominate the wall clock"
+            "same specs, same records (asserted repr-identical); "
+            "timings are the best of three interleaved passes. the "
+            "kernel batches percolation draws, connectivity BFS and — "
+            "for registered routers — the routing stage itself "
+            "(lockstep frontier engines replaying the exact per-trial "
+            "probe sequence). subcritical regimes gain from the "
+            "batched draw+BFS; the routing-* scenarios measure the "
+            "vectorized routing stage where it dominates the wall "
+            "clock. site-subcritical, once the seam's known loss "
+            "(eager site draw vs the lazy per-trial model), now draws "
+            "coins lazily per frontier block and stays at or above "
+            "parity"
         ),
         "results": entries,
     }

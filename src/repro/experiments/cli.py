@@ -316,18 +316,24 @@ def _make_kernel_audit_runner():
     ``execute_specs`` makes at run time — then runs them normally.
     """
     from repro.runtime import SerialRunner
-    from repro.runtime.chunkexec import kernel_split
+    from repro.runtime.chunkexec import STAGES, kernel_split, stage_split
 
     class _KernelAuditRunner(SerialRunner):
         def __init__(self) -> None:
             self.kernel = 0
             self.fallback = 0
+            self.stages = {
+                stage: {"kernel": 0, "per-trial": 0} for stage in STAGES
+            }
 
         def run(self, specs):
             specs = list(specs)
             kernel, fallback = kernel_split(specs)
             self.kernel += kernel
             self.fallback += fallback
+            for stage, counts in stage_split(specs).items():
+                for mode, n in counts.items():
+                    self.stages[stage][mode] += n
             return super().run(specs)
 
     return _KernelAuditRunner()
@@ -343,9 +349,17 @@ def _kernel_audit_line(spec) -> str:
         shape = "vectorized chunk kernel + per-trial fallback"
     else:
         shape = "per-trial fallback"
+    # A kernel-eligible spec can still run individual stages per trial
+    # (e.g. an unregistered router drops only the routing stage), so
+    # break the split down per pipeline stage underneath the headline.
+    stages = "  ".join(
+        f"{stage} {counts['kernel']}/{total} kernel"
+        for stage, counts in audit.stages.items()
+    )
     return (
         f"execution: {shape} "
         f"({audit.kernel}/{total} specs kernel-eligible at tiny scale)"
+        f"\nstages: {stages}"
     )
 
 

@@ -25,6 +25,10 @@ Layout
 :mod:`~repro.kernels.bfs`
     Chunk-wide reachability (the conditioning step) by batched
     frontier expansion.
+:mod:`~repro.kernels.routing`
+    Lockstep frontier-array routing kernels replaying the complete
+    -information routers probe for probe, plus the router-kernel
+    registry router types opt into.
 :mod:`~repro.kernels.complexity`
     The ``run_trial`` chunk compiler tying the above together, plus
     the model-kernel registry percolation factories opt into.
@@ -33,26 +37,38 @@ Layout
 from repro.kernels.bfs import batched_connected
 from repro.kernels.complexity import (
     compile_run_trial_chunk,
+    node_model_kernel,
     register_model_kernel,
     site_model_kernel,
     table_model_kernel,
 )
 from repro.kernels.percolation import (
+    LazySiteDraw,
     MaskEdgePercolation,
     MaskSitePercolation,
     site_up_masks,
     table_edge_masks,
 )
+from repro.kernels.routing import (
+    register_router_kernel,
+    router_kernel_for,
+    routing_incidence,
+)
 from repro.kernels.topology import EdgeIndex, build_edge_index
 
 __all__ = [
     "EdgeIndex",
+    "LazySiteDraw",
     "MaskEdgePercolation",
     "MaskSitePercolation",
     "batched_connected",
     "build_edge_index",
     "compile_run_trial_chunk",
+    "node_model_kernel",
     "register_model_kernel",
+    "register_router_kernel",
+    "router_kernel_for",
+    "routing_incidence",
     "site_model_kernel",
     "site_up_masks",
     "table_edge_masks",

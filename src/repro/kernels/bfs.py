@@ -22,13 +22,20 @@ import numpy as np
 
 from repro.kernels.topology import EdgeIndex
 
-__all__ = ["batched_connected"]
+__all__ = ["BLOCK_BYTES", "batched_connected", "block_rows"]
 
 #: Soft cap on the per-sweep boolean workspace, in bytes.
 BLOCK_BYTES = 64 * 1024 * 1024
 
 
-def _block_rows(num_vertices: int, width: int) -> int:
+def block_rows(num_vertices: int, width: int) -> int:
+    """Trials per block for a ``(block, vertices, width)`` workspace.
+
+    Shared by every chunk-wide sweep that keeps per-trial state of that
+    shape — the eager BFS below, the lazy site-coin BFS in
+    :mod:`repro.kernels.percolation` — so they all honour the same
+    :data:`BLOCK_BYTES` soft cap.
+    """
     per_row = max(1, num_vertices * width)
     return max(1, BLOCK_BYTES // per_row)
 
@@ -51,7 +58,7 @@ def batched_connected(
         return out
     inc_nbr, inc_eid, inc_valid = index.incidence()
     num_vertices, width = inc_nbr.shape
-    block = _block_rows(num_vertices, width)
+    block = block_rows(num_vertices, width)
     for lo in range(0, trials, block):
         hi = min(lo + block, trials)
         # Which incidence slots are open, per trial in the block.

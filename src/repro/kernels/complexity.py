@@ -5,31 +5,38 @@ pair, factory, conditioning) into one workload whose specs differ only
 in their ``(trial, seed)`` tail.  :func:`compile_run_trial_chunk`
 inspects that context once and — when every ingredient has a vectorized
 counterpart — returns a chunk runner that executes *all* tails in one
-pass:
+pass, stage by stage:
 
-1. the topology compiles to an :class:`~repro.kernels.topology.
+1. **topology** compiles to an :class:`~repro.kernels.topology.
    EdgeIndex` (implicit graphs arithmetically, other enumerable graphs
    via one ``edges()`` walk, amortised over the workload's lifetime);
-2. the percolation factory's *model kernel* draws every trial's mask as
-   one matrix, bit-identical per row to the per-trial model;
-3. conditioning runs as chunk-wide batched BFS
-   (:func:`~repro.kernels.bfs.batched_connected` — same verdicts, no
-   per-trial Python BFS);
-4. routing stays the per-trial router — it is probe-order dependent and
-   must stay *exactly* the measured algorithm — but runs against a
-   cheap mask-backed model instead of rebuilding adjacency per trial.
+2. **draw** — the percolation factory's *model kernel* draws every
+   trial's mask as one matrix (or a lazily-demanded one), bit-identical
+   per row to the per-trial model;
+3. **conditioning** runs as chunk-wide batched BFS
+   (:func:`~repro.kernels.bfs.batched_connected`, or the draw's own
+   lazy variant — same verdicts, no per-trial Python BFS);
+4. **routing** runs through the router's registered *routing kernel*
+   (:mod:`repro.kernels.routing`): a lockstep frontier-array replay of
+   the exact per-trial probe sequence, same counts, same paths.
+   Unregistered routers keep the per-trial loop against cheap
+   mask-backed models — behaviour, not speed, is the invariant.
 
 The result is the same list of :class:`~repro.core.complexity.
 TrialRecord` objects ``spec.execute()`` would produce, field for field.
 Unsupported ingredients (a lazy :class:`~repro.percolation.models.
 HashPercolation` factory, an unenumerable graph, an unregistered
 factory) make the compiler return ``None`` and the runners fall back to
-the per-trial loop — behaviour, not speed, is the invariant.
+the per-trial loop.  The compiled runner reports its per-stage verdicts
+through ``stages()`` — what ``repro info``'s kernel audit prints.
 
 Model kernels are registered per factory *callable* with
 :func:`register_model_kernel`; :class:`~repro.percolation.models.
-TablePercolation` ships registered, and site-percolation factories can
-opt in through :func:`site_model_kernel` (experiment E14 does).
+TablePercolation` ships registered, site-percolation factories can opt
+in through :func:`site_model_kernel` (experiment E14 does), and
+node-fault factories — the same ``"site"`` coin stream viewed as
+incident-edge kill — through :func:`node_model_kernel` (E15's node arm
+does).
 """
 
 from __future__ import annotations
@@ -42,11 +49,11 @@ import numpy as np
 from repro.graphs.base import Graph, Vertex
 from repro.kernels.bfs import batched_connected
 from repro.kernels.percolation import (
+    LazySiteDraw,
     MaskEdgePercolation,
-    MaskSitePercolation,
-    site_up_masks,
     table_edge_masks,
 )
+from repro.kernels.routing import router_kernel_for
 from repro.kernels.topology import EdgeIndex, build_edge_index
 from repro.percolation.models import TablePercolation
 from repro.runtime.trial import TrialExecutionError
@@ -54,6 +61,7 @@ from repro.runtime.workload import Workload
 
 __all__ = [
     "compile_run_trial_chunk",
+    "node_model_kernel",
     "register_model_kernel",
     "site_model_kernel",
     "table_model_kernel",
@@ -74,9 +82,13 @@ def register_model_kernel(factory: Callable, compiler: Callable) -> None:
     conditioning) and ``model(i)`` (a
     :class:`~repro.percolation.models.PercolationModel`
     response-identical to ``factory(graph, p, seeds[i])``) — or ``None``
-    to decline this workload.  Registration is per process; do it at
-    import time of the module defining the factory, so worker processes
-    registering by unpickling the workload see it too.
+    to decline this workload.  A draw may additionally expose
+    ``connected(source_code, target_code)`` (lazy conditioning) and
+    ``edge_masks_for(rows)`` (mask rows for the routed trials only);
+    the chunk runner prefers them when present.  Registration is per
+    process; do it at import time of the module defining the factory,
+    so worker processes registering by unpickling the workload see it
+    too.
     """
     _MODEL_KERNELS[factory] = compiler
 
@@ -109,30 +121,41 @@ def table_model_kernel(graph: Graph, index: EdgeIndex, p: float):
     return _TableModelKernel(index, p)
 
 
-class _SiteDraw:
-    def __init__(self, index: EdgeIndex, p: float, up: np.ndarray):
-        self._index = index
-        self._p = p
-        self._up = up
-
-    def edge_masks(self) -> np.ndarray:
-        # An edge is traversable iff both endpoints are up — the
-        # SitePercolation.is_open rule, lifted to the whole chunk.
-        return self._up[:, self._index.edge_u] & self._up[:, self._index.edge_v]
-
-    def model(self, i: int) -> MaskSitePercolation:
-        return MaskSitePercolation(self._index, self._p, self._up[i])
-
-
 class _SiteModelKernel:
-    def __init__(self, index: EdgeIndex, p: float, pinned_codes: tuple):
+    def __init__(
+        self,
+        index: EdgeIndex,
+        p: float,
+        pinned_codes: tuple,
+        node_view: bool = False,
+    ):
         self._index = index
         self._p = p
         self._pinned = pinned_codes
+        self._node_view = node_view
 
-    def draw(self, seeds: Sequence[int]) -> _SiteDraw:
-        up = site_up_masks(self._p, seeds, self._index.verts, self._pinned)
-        return _SiteDraw(self._index, self._p, up)
+    def draw(self, seeds: Sequence[int]) -> LazySiteDraw:
+        return LazySiteDraw(
+            self._index,
+            self._p,
+            seeds,
+            self._pinned,
+            node_view=self._node_view,
+        )
+
+
+def _site_compiler(pinned, node_view: bool):
+    def compiler(graph: Graph, index: EdgeIndex, p: float):
+        pinned_verts = () if pinned is None else tuple(pinned(graph))
+        codes = []
+        for v in pinned_verts:
+            code = index.code.get(v)
+            if code is None:
+                return None  # pinned vertex outside the graph
+            codes.append(code)
+        return _SiteModelKernel(index, p, tuple(codes), node_view=node_view)
+
+    return compiler
 
 
 def site_model_kernel(
@@ -145,18 +168,24 @@ def site_model_kernel(
     the factory passes to :class:`~repro.percolation.site.
     SitePercolation`, or the parity gate fails.
     """
+    return _site_compiler(pinned, node_view=False)
 
-    def compiler(graph: Graph, index: EdgeIndex, p: float):
-        pinned_verts = () if pinned is None else tuple(pinned(graph))
-        codes = []
-        for v in pinned_verts:
-            code = index.code.get(v)
-            if code is None:
-                return None  # pinned vertex outside the graph
-            codes.append(code)
-        return _SiteModelKernel(index, p, tuple(codes))
 
-    return compiler
+def node_model_kernel(
+    pinned: Callable[[Graph], Sequence[Vertex]] | None = None,
+):
+    """Build a model-kernel compiler for a node-fault factory.
+
+    :class:`~repro.percolation.faults.NodeFaultPercolation` flips the
+    *same* ``"site"`` BLAKE2b coin stream as ``SitePercolation`` — a
+    vertex survives iff pinned or its coin lands under ``p`` — and an
+    edge is open iff both endpoints survive.  That is exactly the site
+    up-mask viewed as incident-edge kill, so the kernel reuses the lazy
+    site draw and hands per-trial rows out as edge masks.  ``pinned``
+    must return the vertices the factory pins (E15 pins the probe
+    pair).
+    """
+    return _site_compiler(pinned, node_view=True)
 
 
 register_model_kernel(TablePercolation, table_model_kernel)
@@ -170,6 +199,7 @@ class _RunTrialChunk:
         index: EdgeIndex,
         model_kernel,
         router,
+        router_kernel,
         source: Vertex,
         target: Vertex,
         source_code: int,
@@ -180,12 +210,31 @@ class _RunTrialChunk:
         self._index = index
         self._model_kernel = model_kernel
         self._router = router
+        self._router_kernel = router_kernel
         self._source = source
         self._target = target
         self._source_code = source_code
         self._target_code = target_code
         self._budget = budget
         self._conditioning = conditioning
+
+    def stages(self) -> dict[str, str]:
+        """Per-stage execution verdicts for the kernel audit.
+
+        ``conditioning`` under ``"router"``/``"none"`` *is* the routing
+        attempt, so it reports whatever the routing stage does.
+        """
+        routing = (
+            "kernel" if self._router_kernel is not None else "per-trial"
+        )
+        conditioning = (
+            "kernel" if self._conditioning == "exact" else routing
+        )
+        return {
+            "draw": "kernel",
+            "conditioning": conditioning,
+            "routing": routing,
+        }
 
     def __call__(
         self, keys: Sequence[tuple], tails: Sequence[tuple]
@@ -197,12 +246,16 @@ class _RunTrialChunk:
             draw = self._model_kernel.draw(seeds)
             conn = None
             if self._conditioning == "exact":
-                conn = batched_connected(
-                    self._index,
-                    draw.edge_masks(),
-                    self._source_code,
-                    self._target_code,
-                )
+                lazy = getattr(draw, "connected", None)
+                if lazy is not None:
+                    conn = lazy(self._source_code, self._target_code)
+                else:
+                    conn = batched_connected(
+                        self._index,
+                        draw.edge_masks(),
+                        self._source_code,
+                        self._target_code,
+                    )
         except TrialExecutionError:
             raise
         except Exception as exc:
@@ -210,47 +263,69 @@ class _RunTrialChunk:
                 keys[0] if keys else ("<chunk-kernel>",),
                 f"{type(exc).__name__}: {exc}\n{traceback.format_exc()}",
             ) from exc
-        records = []
-        route = self._router.route
-        for i, (trial, seed) in enumerate(tails):
-            try:
-                if conn is not None:  # "exact"
-                    is_conn = bool(conn[i])
-                    result = None
-                    if is_conn:
-                        result = route(
-                            draw.model(i),
-                            self._source,
-                            self._target,
-                            budget=self._budget,
-                        )
-                elif self._conditioning == "router":
-                    result = route(
-                        draw.model(i), self._source, self._target, budget=None
-                    )
-                    is_conn = result.success
-                else:  # "none"
-                    result = route(
+
+        # Under "exact" conditioning only connected trials route; the
+        # other modes route everything and read `connected` off the
+        # attempt ("router" mode routes without a budget).
+        if conn is not None:
+            route_rows = [i for i in range(len(tails)) if conn[i]]
+        else:
+            route_rows = list(range(len(tails)))
+        budget = None if self._conditioning == "router" else self._budget
+        results: list = [None] * len(tails)
+        if self._router_kernel is not None:
+            if route_rows:
+                try:
+                    masks = self._row_masks(draw, route_rows)
+                    routed = self._router_kernel.route_rows(masks)
+                except TrialExecutionError:
+                    raise
+                except Exception as exc:
+                    raise TrialExecutionError(
+                        keys[route_rows[0]],
+                        f"{type(exc).__name__}: {exc}\n"
+                        f"{traceback.format_exc()}",
+                    ) from exc
+                for i, result in zip(route_rows, routed):
+                    results[i] = result
+        else:
+            route = self._router.route
+            for i in route_rows:
+                try:
+                    results[i] = route(
                         draw.model(i),
                         self._source,
                         self._target,
-                        budget=self._budget,
+                        budget=budget,
                     )
-                    is_conn = result.success
-            except TrialExecutionError:
-                raise
-            except Exception as exc:
-                raise TrialExecutionError(
-                    keys[i],
-                    f"{type(exc).__name__}: {exc}\n"
-                    f"{traceback.format_exc()}",
-                ) from exc
+                except TrialExecutionError:
+                    raise
+                except Exception as exc:
+                    raise TrialExecutionError(
+                        keys[i],
+                        f"{type(exc).__name__}: {exc}\n"
+                        f"{traceback.format_exc()}",
+                    ) from exc
+        records = []
+        for i, (trial, seed) in enumerate(tails):
+            result = results[i]
+            if conn is not None:
+                is_conn = bool(conn[i])
+            else:
+                is_conn = result.success
             records.append(
                 TrialRecord(
                     trial=trial, seed=seed, connected=is_conn, result=result
                 )
             )
         return records
+
+    @staticmethod
+    def _row_masks(draw, rows: list[int]) -> np.ndarray:
+        rows_fn = getattr(draw, "edge_masks_for", None)
+        if rows_fn is not None:
+            return rows_fn(rows)
+        return draw.edge_masks()[rows]
 
 
 def compile_run_trial_chunk(workload: Workload):
@@ -259,7 +334,10 @@ def compile_run_trial_chunk(workload: Workload):
     ``None`` — the per-trial fallback — whenever any ingredient lacks a
     vectorized counterpart; anything the fallback would *reject* (bad
     ``p``, unknown conditioning) is also declined, so the error
-    surfaces through the unchanged per-trial code path.
+    surfaces through the unchanged per-trial code path.  A registered
+    model kernel with an unregistered *router* still compiles: draw and
+    conditioning vectorize, routing takes the per-trial loop (the
+    runner's ``stages()`` reports the split).
     """
     from repro.core.complexity import _default_factory, run_trial
 
@@ -298,10 +376,18 @@ def compile_run_trial_chunk(workload: Workload):
     model_kernel = compiler(graph, index, p)
     if model_kernel is None:
         return None
+    # "router" conditioning routes with no budget (run_trial's rule);
+    # the effective budget is fixed per workload, so the routing kernel
+    # compiles once against it.
+    route_budget = None if conditioning == "router" else budget
+    router_kernel = router_kernel_for(
+        router, index, source_code, target_code, route_budget
+    )
     return _RunTrialChunk(
         index,
         model_kernel,
         router,
+        router_kernel,
         source,
         target,
         source_code,

@@ -21,6 +21,14 @@ lazily on the first chunk so the serial import path stays light.
 ``$REPRO_KERNEL=off`` disables the seam entirely (every spec executes
 per trial) — the escape hatch if a kernel is ever suspected of
 diverging; results must not change, only speed.
+``$REPRO_KERNEL_CACHE`` bounds the compiled-runner cache (default 64
+workloads, ``0`` = unbounded) for sweeps that touch more distinct
+workloads than the default keeps warm.
+
+A chunk runner may expose a ``stages()`` method describing which
+pipeline stages (draw / conditioning / routing) execute vectorized and
+which drop to the per-trial algorithm; :func:`stage_split` aggregates
+that per spec for ``repro info``.
 """
 
 from __future__ import annotations
@@ -42,12 +50,17 @@ __all__ = [
     "kernel_enabled",
     "kernel_split",
     "register_chunk_kernel",
+    "resolve_cache_cap",
     "run_chunk",
+    "stage_split",
     "supports_run_chunk",
 ]
 
 #: Environment switch for the whole seam; default on.
 KERNEL_ENV = "REPRO_KERNEL"
+
+#: Compile-cache bound; default :data:`_COMPILED_CAP`, ``0`` unbounded.
+CACHE_ENV = "REPRO_KERNEL_CACHE"
 
 #: Workload ``fn`` -> compiler(workload) -> chunk runner | None.
 _COMPILERS: dict[Callable, Callable] = {}
@@ -69,6 +82,29 @@ def kernel_enabled() -> bool:
     raise ValueError(
         f"${KERNEL_ENV} must be on/off (or 1/0, true/false), got {raw!r}"
     )
+
+
+def resolve_cache_cap() -> int:
+    """Compiled-runner cache bound — ``$REPRO_KERNEL_CACHE``.
+
+    Unset falls back to the module default (:data:`_COMPILED_CAP`,
+    64 workloads).  ``0`` means unbounded; anything that is not a
+    non-negative integer raises :class:`ValueError` — same
+    garbage-rejection contract as :func:`kernel_enabled`.
+    """
+    raw = os.environ.get(CACHE_ENV, "").strip()
+    if raw == "":
+        return _COMPILED_CAP
+    try:
+        cap = int(raw)
+    except ValueError:
+        cap = -1
+    if cap < 0:
+        raise ValueError(
+            f"${CACHE_ENV} must be a non-negative integer "
+            f"(0 = unbounded), got {raw!r}"
+        )
+    return cap
 
 
 def register_chunk_kernel(fn: Callable, compiler: Callable) -> None:
@@ -111,7 +147,8 @@ def chunk_runner(workload: Workload) -> Callable | None:
     compiler = _COMPILERS.get(workload.fn)
     runner = None if compiler is None else compiler(workload)
     _COMPILED[workload_id] = runner
-    while len(_COMPILED) > _COMPILED_CAP:
+    cap = resolve_cache_cap()
+    while cap and len(_COMPILED) > cap:
         _COMPILED.popitem(last=False)
     return runner
 
@@ -231,3 +268,36 @@ def kernel_split(specs: Iterable[TrialSpec]) -> tuple[int, int]:
         else:
             kernel += 1
     return kernel, fallback
+
+
+#: The pipeline stages a chunk runner may break down via ``stages()``.
+STAGES = ("draw", "conditioning", "routing")
+
+
+def stage_split(specs: Iterable[TrialSpec]) -> dict[str, dict[str, int]]:
+    """Count kernel vs per-trial specs for each pipeline stage.
+
+    Refines :func:`kernel_split`: a kernel-executed spec may still run
+    some stages per trial (e.g. an unregistered router drops only the
+    routing stage to the exact per-trial algorithm).  Runners report
+    their breakdown through ``stages()``; runners without one count as
+    all-kernel, fallback specs as per-trial in every stage.
+    """
+    split = {stage: {"kernel": 0, "per-trial": 0} for stage in STAGES}
+    enabled = kernel_enabled()
+    for spec in specs:
+        runner = None
+        if enabled and _eligible_tail(spec):
+            workload = _live_workload(spec)
+            if workload is not None:
+                runner = chunk_runner(workload)
+        if runner is None:
+            for counts in split.values():
+                counts["per-trial"] += 1
+            continue
+        breakdown = getattr(runner, "stages", None)
+        per_stage = breakdown() if callable(breakdown) else {}
+        for stage, counts in split.items():
+            mode = per_stage.get(stage, "kernel")
+            counts["kernel" if mode == "kernel" else "per-trial"] += 1
+    return split

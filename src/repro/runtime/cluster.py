@@ -92,7 +92,12 @@ with a lock, so replies raced by pool callbacks and pongs never
 interleave mid-frame.  Messages are ``(kind, body)`` tuples; the
 handshake is ``("hello", {"version"})`` → ``("welcome", {"version",
 "pid"})``, then ``("chunk", {"chunk", "specs", "payloads"})`` answered
-by one of ``("done", {"chunk", "results"})``, ``("miss", {"chunk",
+by one of ``("done", {"chunk", "packed"})`` (record arrays — chunks of
+``run_trial`` records flatten column-wise on the node and reassemble
+to identical ``TrialResult`` lists coordinator-side; see
+:mod:`repro.runtime.recordwire`) or ``("done", {"chunk", "results"})``
+(the pickled list — the fallback for chunks the packer declines, and
+everything under ``$REPRO_RECORD_WIRE=pickle``), ``("miss", {"chunk",
 "workload_ids"})``, ``("failed", {"chunk", "key", "detail"})`` or
 ``("lost", {"chunk", "reason"})`` (the node abandoned the chunk —
 requeue it elsewhere; a graceful drain refusal carries ``"draining":
@@ -156,6 +161,7 @@ __all__ = [
     "PIPELINE_ENV",
     "PROTOCOL_VERSION",
     "ProtocolError",
+    "RECORD_WIRE_ENV",
     "WorkloadCache",
     "encode_frame",
     "node_process_pid",
@@ -164,6 +170,7 @@ __all__ = [
     "resolve_heartbeat",
     "resolve_node_workers",
     "resolve_pipeline_depth",
+    "resolve_record_wire",
     "serve",
     "spawn_local_nodes",
 ]
@@ -225,7 +232,30 @@ MISS_ROUND_CAP = 32
 
 #: Bumped on any incompatible wire change; checked in the handshake.
 #: v2: ping/pong heartbeats, the "lost" chunk reply, node-side pools.
-PROTOCOL_VERSION = 2
+#: v3: packed record arrays in the "done" reply (the "packed" body).
+PROTOCOL_VERSION = 3
+
+#: Record wire selector: "packed" (default) or "pickle".
+RECORD_WIRE_ENV = "REPRO_RECORD_WIRE"
+
+
+def resolve_record_wire() -> str:
+    """How a node ships chunk records — ``$REPRO_RECORD_WIRE``.
+
+    ``packed`` (the default) flattens eligible chunks into record
+    arrays (:mod:`repro.runtime.recordwire`); ``pickle`` forces the
+    legacy pickled ``TrialResult`` list.  Anything else raises
+    :class:`ValueError` — same garbage-rejection contract as the other
+    ``$REPRO_*`` switches.
+    """
+    raw = os.environ.get(RECORD_WIRE_ENV, "").strip().lower()
+    if raw in ("", "packed"):
+        return "packed"
+    if raw == "pickle":
+        return "pickle"
+    raise ValueError(
+        f"${RECORD_WIRE_ENV} must be packed or pickle, got {raw!r}"
+    )
 
 #: Stdout line a worker prints once its socket is bound (the spawner
 #: parses it to learn an ephemeral port).
@@ -845,7 +875,49 @@ def _job_done(job: _ChunkJob, future) -> None:
             ),
         )
         return
-    _finish_job(job, ("done", {"chunk": chunk_id, "results": results}))
+    try:
+        message = _done_message(job, results)
+    except ValueError as exc:
+        # Garbage $REPRO_RECORD_WIRE on the node: a config error, not
+        # a wire violation — report it as the failure it is.
+        _finish_job(
+            job,
+            (
+                "failed",
+                {
+                    "chunk": chunk_id,
+                    "key": ("<node>",),
+                    "detail": str(exc),
+                },
+            ),
+        )
+        return
+    _finish_job(job, message)
+
+
+def _done_message(job: _ChunkJob, results) -> tuple:
+    """Build the ``done`` reply — packed record arrays when possible.
+
+    Chunks of ``run_trial`` records flatten to a handful of flat
+    arrays (:func:`repro.runtime.recordwire.pack_records`); anything
+    the packer declines — foreign workloads, records it cannot
+    represent, ``$REPRO_RECORD_WIRE=pickle`` — ships as the legacy
+    pickled list.  Both bodies reassemble to identical results.
+    """
+    body = {"chunk": job.chunk_id}
+    if resolve_record_wire() == "packed":
+        from repro.runtime.recordwire import pack_records
+
+        def _resolve(workload_id):
+            found, _missing = job.server.cache.lookup([workload_id])
+            return found.get(workload_id)
+
+        packed = pack_records(job.specs, results, resolve=_resolve)
+        if packed is not None:
+            body["packed"] = packed
+            return ("done", body)
+    body["results"] = results
+    return ("done", body)
 
 
 def _finish_job(job: _ChunkJob, message) -> None:
@@ -1890,7 +1962,22 @@ class ClusterRunner(TrialRunner):
                     f"{node.label()} (no such chunk in flight)"
                 )
             if kind == "done":
-                results = body["results"]
+                packed = body.get("packed")
+                if packed is not None:
+                    from repro.runtime.recordwire import unpack_records
+
+                    try:
+                        results = unpack_records(packed, task.chunk)
+                    except Exception as exc:
+                        # An undecodable packed body is a protocol
+                        # violation like a short reply: drop the node,
+                        # requeue the chunk elsewhere.
+                        raise ProtocolError(
+                            f"node {node.label()} sent an undecodable "
+                            f"packed record chunk: {exc}"
+                        )
+                else:
+                    results = body["results"]
                 if len(results) != len(task.chunk):
                     # A short reply would leave trials unplaced (and be
                     # misreported later); a long one could overwrite a

@@ -76,8 +76,31 @@ def test_info_line_reports_fallback_for_e16():
     assert "0/" in line
 
 
+def test_registered_node_factory_audits_as_kernel():
+    # E15's own node factory is registered with the kernel seam
+    # (node_model_kernel); the identically-behaved local factory above
+    # is not — eligibility keys on the factory callable, not on what
+    # it builds.
+    from repro.experiments.defs.e15_clos_faults import _node_factory
+
+    kernel, fallback = kernel_split(_specs(_node_factory))
+    assert (kernel, fallback) == (6, 0)
+
+
 def test_info_line_reports_mixed_split_for_e15():
-    # E15's iid arm rides the TablePercolation kernel; the structured
-    # arms fall back — the audit must show both.
+    # E15's iid and node arms ride chunk kernels; the correlated and
+    # adversarial arms fall back — the audit must show both.
     line = _kernel_audit_line(get_experiment("E15"))
     assert "vectorized chunk kernel + per-trial fallback" in line
+
+
+def test_info_line_reports_per_stage_breakdown():
+    line = _kernel_audit_line(get_experiment("E15"))
+    stages = [l for l in line.splitlines() if l.startswith("stages:")]
+    assert len(stages) == 1
+    # Half the tiny-scale specs (iid + node of four arms) are
+    # kernel-eligible in every stage.
+    assert stages[0] == (
+        "stages: draw 20/40 kernel  conditioning 20/40 kernel  "
+        "routing 20/40 kernel"
+    )

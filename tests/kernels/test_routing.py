@@ -1,0 +1,317 @@
+"""Golden + property parity for the vectorized routing engines.
+
+The routing stage of the chunk kernel replays each router's exact
+probe sequence across all trials in lockstep, so every
+:class:`RoutingResult` — success flag, query count, path, failure
+reason — must be ``repr``-identical to ``router.route`` on the same
+percolated graph.  The golden grid pins the supported ingredient
+combinations (including budget-exhaustion boundaries and disconnected
+trials); the hypothesis suite drives batched-frontier routing against
+the per-trial reference over random graphs, masks and pairs.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.runtime.chunkexec as chunkexec
+from repro.core.complexity import complexity_specs
+from repro.graphs.explicit import ExplicitGraph
+from repro.graphs.hypercube import Hypercube
+from repro.graphs.mesh import Mesh
+from repro.kernels.routing import (
+    register_router_kernel,
+    router_kernel_for,
+    routing_incidence,
+)
+from repro.kernels.topology import build_edge_index
+from repro.routers.bfs import BidirectionalBFSRouter, LocalBFSRouter
+from repro.routers.waypoint import HypercubeWaypointRouter, WaypointRouter
+from repro.runtime import TrialExecutionError
+from repro.runtime.chunkexec import chunk_runner, execute_specs
+
+
+@pytest.fixture(autouse=True)
+def _fresh_compile_cache():
+    chunkexec._COMPILED.clear()
+    yield
+    chunkexec._COMPILED.clear()
+
+
+def _assert_parity(specs, *, routing="kernel"):
+    runner = chunk_runner(specs[0].workload)
+    assert runner is not None
+    assert runner.stages()["routing"] == routing
+    reference = [spec.execute() for spec in specs]
+    got = execute_specs(specs)
+    assert repr(got) == repr(reference)
+    return got
+
+
+CASES = [
+    pytest.param(
+        Hypercube(5), 0.6, LocalBFSRouter(), None, "exact",
+        id="local-bfs-exact",
+    ),
+    pytest.param(
+        Hypercube(5), 0.25, LocalBFSRouter(), 200, "none",
+        id="local-bfs-disconnected-exhausted",
+    ),
+    pytest.param(
+        Hypercube(5), 0.55, BidirectionalBFSRouter(), 100, "exact",
+        id="bidirectional-budget",
+    ),
+    pytest.param(
+        Hypercube(5), 0.25, BidirectionalBFSRouter(), 200, "none",
+        id="bidirectional-disconnected",
+    ),
+    pytest.param(
+        Hypercube(6), 0.55, BidirectionalBFSRouter(), None, "router",
+        id="bidirectional-router-conditioning",
+    ),
+    pytest.param(
+        Mesh(2, 6), 0.7, WaypointRouter(), 300, "exact",
+        id="mesh-waypoint-budget",
+    ),
+    pytest.param(
+        Mesh(2, 6), 0.6, WaypointRouter(max_radius=2), 300, "exact",
+        id="waypoint-capped-gave-up",
+    ),
+    pytest.param(
+        Hypercube(6), 0.6, HypercubeWaypointRouter(alpha=0.3), 200,
+        "exact",
+        id="hypercube-waypoint-alpha",
+    ),
+    pytest.param(
+        Hypercube(5), 0.7, WaypointRouter(), 8, "none",
+        id="waypoint-tiny-budget",
+    ),
+]
+
+
+@pytest.mark.parametrize("graph,p,router,budget,conditioning", CASES)
+def test_router_engine_matches_per_trial(
+    graph, p, router, budget, conditioning
+):
+    specs = complexity_specs(
+        graph,
+        p=p,
+        router=router,
+        trials=16,
+        seed=43,
+        budget=budget,
+        conditioning=conditioning,
+        key=("routing-golden",),
+    )
+    _assert_parity(specs)
+
+
+@pytest.mark.parametrize(
+    "router",
+    [LocalBFSRouter(), BidirectionalBFSRouter(), WaypointRouter()],
+    ids=["local", "bidirectional", "waypoint"],
+)
+@pytest.mark.parametrize("budget", [1, 2, 3, 5, 8])
+def test_budget_exhaustion_boundaries(router, budget):
+    # Tiny budgets make almost every trial raise mid-neighbourhood;
+    # the exact query count at the raise (and the tie between "budget
+    # hit" and "target discovered on the same probe") must match the
+    # per-trial oracle.
+    specs = complexity_specs(
+        Hypercube(4),
+        p=0.6,
+        router=router,
+        trials=16,
+        seed=71,
+        budget=budget,
+        conditioning="none",
+        key=("budget-boundary",),
+    )
+    got = _assert_parity(specs)
+    from repro.core.result import FailureReason
+
+    assert any(
+        r.value.result.failure is FailureReason.BUDGET for r in got
+    )
+
+
+@pytest.mark.parametrize(
+    "router",
+    [LocalBFSRouter(), BidirectionalBFSRouter(), WaypointRouter()],
+    ids=["local", "bidirectional", "waypoint"],
+)
+def test_source_equals_target(router):
+    graph = Hypercube(4)
+    v = next(iter(graph.vertices()))
+    specs = complexity_specs(
+        graph,
+        p=0.5,
+        router=router,
+        pair=(v, v),
+        trials=4,
+        seed=9,
+        key=("self-pair",),
+    )
+    got = _assert_parity(specs)
+    assert all(r.value.result.path == [v] for r in got)
+    assert all(r.value.result.queries == 0 for r in got)
+
+
+def test_kernel_declines_budget_below_one():
+    # budget < 1 makes the per-trial ProbeOracle raise ValueError; the
+    # kernel declines so that error keeps surfacing through the
+    # unchanged per-trial path.
+    index = build_edge_index(Hypercube(3))
+    assert (
+        router_kernel_for(LocalBFSRouter(), index, 0, 1, 0) is None
+    )
+    assert (
+        router_kernel_for(LocalBFSRouter(), index, 0, 1, 1) is not None
+    )
+
+
+def test_waypoint_declines_on_disconnected_base_graph():
+    # WaypointRouter needs a shortest path in the *base* graph; on a
+    # disconnected pair that lookup fails.  The kernel declines at
+    # compile time and the per-trial error surfaces unchanged.
+    graph = ExplicitGraph(
+        [(0, 1), (2, 3)], vertices=range(4), name="two-components"
+    )
+    index = build_edge_index(graph)
+    assert router_kernel_for(WaypointRouter(), index, 0, 3, None) is None
+    specs = complexity_specs(
+        graph,
+        p=1.0,
+        router=WaypointRouter(),
+        pair=(0, 3),
+        trials=2,
+        seed=5,
+        conditioning="none",
+        key=("disconnected-base",),
+    )
+    with pytest.raises(TrialExecutionError) as kernel_err:
+        execute_specs(specs)
+    with pytest.raises(TrialExecutionError) as fallback_err:
+        specs[0].execute()
+    assert kernel_err.value.key == fallback_err.value.key
+
+
+class _SubclassedLocalBFS(LocalBFSRouter):
+    """Same algorithm, different type: must not inherit the kernel."""
+
+
+def test_unregistered_subclass_routes_per_trial_identically():
+    specs = complexity_specs(
+        Hypercube(4),
+        p=0.6,
+        router=_SubclassedLocalBFS(),
+        trials=8,
+        seed=13,
+        budget=50,
+        key=("subclass",),
+    )
+    _assert_parity(specs, routing="per-trial")
+
+
+def test_register_router_kernel_is_exact_type():
+    class _Custom(LocalBFSRouter):
+        name = "custom"
+
+    class _CustomChild(_Custom):
+        name = "custom-child"
+
+    sentinel = object()
+    register_router_kernel(
+        _Custom, lambda router, index, s, t, budget: sentinel
+    )
+    try:
+        index = build_edge_index(Hypercube(3))
+        assert router_kernel_for(_Custom(), index, 0, 1, None) is sentinel
+        assert (
+            router_kernel_for(_CustomChild(), index, 0, 1, None) is None
+        )
+    finally:
+        from repro.kernels.routing import _ROUTER_KERNELS
+
+        _ROUTER_KERNELS.pop(_Custom, None)
+
+
+def test_routing_incidence_is_neighbor_ordered():
+    graph = Hypercube(3)
+    index = build_edge_index(graph)
+    inc_nbr, inc_eid, inc_valid = routing_incidence(index)
+    code, eid = index.code, index.eid
+    for v in graph.vertices():
+        c = code[v]
+        row = [
+            (code[w], eid[graph.edge_key(v, w)])
+            for w in graph.neighbors(v)
+        ]
+        assert inc_valid[c].sum() == len(row)
+        got = list(zip(inc_nbr[c, : len(row)], inc_eid[c, : len(row)]))
+        assert [(int(a), int(b)) for a, b in got] == row
+    # Padding carries sentinels, never a real vertex or edge id.
+    assert (inc_nbr[~inc_valid] == index.num_vertices).all()
+    assert (inc_eid[~inc_valid] == index.num_edges).all()
+
+
+# -- hypothesis: random graphs x masks x pairs -------------------------
+
+
+_ROUTERS = [LocalBFSRouter(), BidirectionalBFSRouter(), WaypointRouter()]
+
+
+@st.composite
+def _random_case(draw):
+    n = draw(st.integers(min_value=3, max_value=9))
+    # A spanning path keeps the base graph connected (WaypointRouter
+    # needs a base shortest path); extra random edges vary the shape.
+    spine = [(i, i + 1) for i in range(n - 1)]
+    possible = [
+        (i, j)
+        for i in range(n)
+        for j in range(i + 2, n)
+    ]
+    extra = draw(
+        st.lists(
+            st.sampled_from(possible), unique=True, max_size=len(possible)
+        )
+        if possible
+        else st.just([])
+    )
+    source = draw(st.integers(min_value=0, max_value=n - 1))
+    target = draw(st.integers(min_value=0, max_value=n - 1))
+    p = draw(
+        st.floats(min_value=0.05, max_value=0.95, allow_nan=False)
+    )
+    budget = draw(st.one_of(st.none(), st.integers(1, 12)))
+    router = draw(st.sampled_from(range(len(_ROUTERS))))
+    seed = draw(st.integers(min_value=0, max_value=2**32))
+    return (n, spine + extra, source, target, p, budget, router, seed)
+
+
+@settings(max_examples=60, deadline=None)
+@given(_random_case())
+def test_batched_routing_equals_per_trial_probe_for_probe(case):
+    n, edges, source, target, p, budget, router_i, seed = case
+    graph = ExplicitGraph(edges, vertices=range(n), name="random")
+    specs = complexity_specs(
+        graph,
+        p=p,
+        router=_ROUTERS[router_i],
+        pair=(source, target),
+        trials=5,
+        seed=seed,
+        budget=budget,
+        conditioning="none",
+        key=("property",),
+    )
+    chunkexec._COMPILED.clear()
+    runner = chunk_runner(specs[0].workload)
+    assert runner is not None
+    assert runner.stages()["routing"] == "kernel"
+    reference = [spec.execute() for spec in specs]
+    got = execute_specs(specs)
+    assert repr(got) == repr(reference)

@@ -16,11 +16,13 @@ import repro.runtime.chunkexec as chunkexec
 from repro.core.complexity import complexity_specs
 from repro.core.router import Router
 from repro.experiments.defs.e14_site_faults import _site_factory
+from repro.experiments.defs.e15_clos_faults import _node_factory
+from repro.graphs.clos import FatTree
 from repro.graphs.debruijn import DeBruijn
 from repro.graphs.hypercube import Hypercube
 from repro.graphs.mesh import Mesh, Torus
 from repro.percolation.models import HashPercolation, TablePercolation
-from repro.routers.bfs import LocalBFSRouter
+from repro.routers.bfs import BidirectionalBFSRouter, LocalBFSRouter
 from repro.routers.dfs import DirectedDFSRouter
 from repro.routers.waypoint import MeshWaypointRouter, WaypointRouter
 from repro.runtime import (
@@ -77,6 +79,20 @@ CASES = [
         Hypercube(5), 0.7, WaypointRouter(), None, "exact",
         _site_factory,
         id="hypercube-site-faults",
+    ),
+    pytest.param(
+        Hypercube(5), 0.55, LocalBFSRouter(), 150, "exact", None,
+        id="hypercube-local-bfs",
+    ),
+    pytest.param(
+        Hypercube(5), 0.55, BidirectionalBFSRouter(), 150, "exact",
+        None,
+        id="hypercube-bidirectional-bfs",
+    ),
+    pytest.param(
+        FatTree(4), 0.8, WaypointRouter(), None, "exact",
+        _node_factory,
+        id="fat-tree-node-faults",
     ),
 ]
 

@@ -17,6 +17,8 @@ from repro.runtime.chunkexec import (
     kernel_enabled,
     kernel_split,
     register_chunk_kernel,
+    resolve_cache_cap,
+    stage_split,
     supports_run_chunk,
 )
 
@@ -154,6 +156,98 @@ def test_compile_cache_evicts_lru(monkeypatch):
     assert len(chunkexec._COMPILED) == 2
     execute_specs(_specs(w1, 1))  # evicted -> recompiles
     assert recorder.compiles == 4
+
+
+def test_cache_cap_env_overrides_default(monkeypatch):
+    recorder = _Recorder()
+    register_chunk_kernel(_work, recorder)
+    monkeypatch.setenv("REPRO_KERNEL_CACHE", "2")
+    assert resolve_cache_cap() == 2
+    w1 = Workload(fn=_work, args=("a",))
+    w2 = Workload(fn=_work, args=("b",))
+    w3 = Workload(fn=_work, args=("c",))
+    for w in (w1, w2, w3):
+        execute_specs(_specs(w, 1))
+    assert recorder.compiles == 3
+    assert len(chunkexec._COMPILED) == 2
+    execute_specs(_specs(w1, 1))  # evicted under the env cap
+    assert recorder.compiles == 4
+
+
+def test_cache_cap_zero_is_unbounded(monkeypatch):
+    recorder = _Recorder()
+    register_chunk_kernel(_work, recorder)
+    monkeypatch.setenv("REPRO_KERNEL_CACHE", "0")
+    monkeypatch.setattr(chunkexec, "_COMPILED_CAP", 1)  # would evict
+    workloads = [Workload(fn=_work, args=(tag,)) for tag in "abcd"]
+    for w in workloads:
+        execute_specs(_specs(w, 1))
+    assert len(chunkexec._COMPILED) == len(workloads)
+    for w in workloads:
+        execute_specs(_specs(w, 1))
+    assert recorder.compiles == len(workloads)  # nothing recompiled
+
+
+def test_cache_cap_defaults_to_module_attribute(monkeypatch):
+    monkeypatch.delenv("REPRO_KERNEL_CACHE", raising=False)
+    assert resolve_cache_cap() == chunkexec._COMPILED_CAP
+    monkeypatch.setattr(chunkexec, "_COMPILED_CAP", 7)
+    assert resolve_cache_cap() == 7
+
+
+@pytest.mark.parametrize("raw", ["-1", "many", "2.5", "0x10"])
+def test_cache_cap_rejects_garbage(monkeypatch, raw):
+    monkeypatch.setenv("REPRO_KERNEL_CACHE", raw)
+    with pytest.raises(ValueError, match="REPRO_KERNEL_CACHE"):
+        resolve_cache_cap()
+
+
+class _StagedRecorder(_Recorder):
+    """A compiler whose runners report a per-stage breakdown."""
+
+    def __init__(self, breakdown):
+        super().__init__()
+        self.breakdown = breakdown
+
+    def __call__(self, workload):
+        runner = super().__call__(workload)
+        runner.stages = lambda: dict(self.breakdown)
+        return runner
+
+
+def test_stage_split_reports_runner_breakdown():
+    register_chunk_kernel(
+        _work, _StagedRecorder({"routing": "per-trial"})
+    )
+    w = Workload(fn=_work, args=("a",))
+    plain = TrialSpec(key=("p",), fn=_other, args=(1,))
+    split = stage_split(_specs(w, 3) + [plain])
+    # Unreported stages count as kernel; the fallback spec is
+    # per-trial in every stage.
+    assert split == {
+        "draw": {"kernel": 3, "per-trial": 1},
+        "conditioning": {"kernel": 3, "per-trial": 1},
+        "routing": {"kernel": 0, "per-trial": 4},
+    }
+
+
+def test_stage_split_without_stages_counts_all_kernel():
+    register_chunk_kernel(_work, _Recorder())
+    split = stage_split(_specs(Workload(fn=_work, args=("a",)), 2))
+    assert all(
+        counts == {"kernel": 2, "per-trial": 0}
+        for counts in split.values()
+    )
+
+
+def test_stage_split_all_per_trial_when_disabled(monkeypatch):
+    register_chunk_kernel(_work, _Recorder())
+    monkeypatch.setenv("REPRO_KERNEL", "off")
+    split = stage_split(_specs(Workload(fn=_work, args=("a",)), 2))
+    assert all(
+        counts == {"kernel": 0, "per-trial": 2}
+        for counts in split.values()
+    )
 
 
 def test_env_switch(monkeypatch):
