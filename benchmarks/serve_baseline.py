@@ -1,0 +1,218 @@
+#!/usr/bin/env python3
+"""Load-test the experiment service (BENCH_serve.json).
+
+Boots a real :class:`~repro.serve.http.ExperimentService` in-process,
+then drives it with N concurrent clients issuing a mixed job stream —
+repeats of a small set of (experiment, seed) combinations, so some
+requests are cache misses that compute and the rest are hits served in
+O(lookup).  Records submit→table latency per request (p50/p99), the
+hit/miss split, and the cache counters into
+``results/BENCH_serve.json``, preserving sections other benchmarks may
+have written there.
+
+Run:  PYTHONPATH=src python benchmarks/serve_baseline.py
+      (optionally --scale tiny|small --clients N --requests N)
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+from repro.serve.testing import (
+    get_json,
+    request,
+    start_service,
+    submit_job,
+    wait_for_job,
+)
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+#: The job mix: repeats of few keys → most requests after warm-up hit.
+DEFAULT_EXPERIMENTS = ("E1", "E11")
+DEFAULT_SEEDS = (0, 1)
+
+
+def _percentile(values: list[float], q: float) -> float:
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, round(q * (len(ordered) - 1)))
+    return ordered[index]
+
+
+def _client(service, jobs, latencies, hits, errors, lock):
+    while True:
+        with lock:
+            if not jobs:
+                return
+            experiment, seed, scale = jobs.pop()
+        start = time.perf_counter()
+        try:
+            snap = submit_job(
+                service, experiment, scale=scale, seed=seed
+            )
+            done = wait_for_job(service, snap["job_id"])
+            status, _ = request(
+                service, "GET", f"/jobs/{done['job_id']}/table"
+            )
+            elapsed = time.perf_counter() - start
+            if done["state"] != "done" or status != 200:
+                raise AssertionError(
+                    f"{experiment} seed={seed}: state={done['state']} "
+                    f"table={status}"
+                )
+        except Exception as exc:
+            with lock:
+                errors.append(f"{type(exc).__name__}: {exc}")
+            return
+        with lock:
+            latencies.append(elapsed)
+            if done["cached"]:
+                hits.append(done["job_id"])
+
+
+def record(
+    scale: str = "tiny",
+    clients: int = 4,
+    requests: int = 24,
+    experiment_ids=DEFAULT_EXPERIMENTS,
+    seeds=DEFAULT_SEEDS,
+    out: Path | None = None,
+) -> dict:
+    """Run the mixed-workload campaign and write the baseline JSON.
+
+    ``requests`` jobs cycle over ``len(experiment_ids) * len(seeds)``
+    distinct keys, so the first pass over each key misses (computes
+    once — in-flight duplicates coalesce onto the computing job) and
+    every later repeat is a pure cache hit; with the defaults 4
+    computations serve 24 requests.
+    """
+    keys = [
+        (experiment, seed)
+        for experiment in experiment_ids
+        for seed in seeds
+    ]
+    jobs = [
+        (*keys[i % len(keys)], scale) for i in range(requests)
+    ]
+    latencies: list[float] = []
+    hits: list[str] = []
+    errors: list[str] = []
+    lock = threading.Lock()
+
+    with tempfile.TemporaryDirectory(prefix="repro-serve-bench-") as tmp:
+        service = start_service(backend="serial", cache_dir=tmp)
+        try:
+            start = time.perf_counter()
+            threads = [
+                threading.Thread(
+                    target=_client,
+                    args=(service, jobs, latencies, hits, errors, lock),
+                )
+                for _ in range(clients)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            wall = time.perf_counter() - start
+            if errors:
+                raise AssertionError(
+                    f"{len(errors)} client error(s): {errors[0]}"
+                )
+            cache_stats = get_json(service, "/cache/stats")
+            health = get_json(service, "/healthz")
+        finally:
+            service.stop()
+
+    served = len(latencies)
+    baseline = {
+        "benchmark": (
+            "experiment service under concurrent clients, mixed "
+            "cache hit/miss job stream"
+        ),
+        "scale": scale,
+        "clients": clients,
+        "requests": served,
+        "distinct_keys": len(keys),
+        "wall_seconds": round(wall, 3),
+        "requests_per_second": round(served / wall, 2),
+        "latency_seconds": {
+            "p50": round(_percentile(latencies, 0.50), 4),
+            "p99": round(_percentile(latencies, 0.99), 4),
+            "max": round(max(latencies), 4),
+        },
+        "hit_rate": round(len(hits) / served, 3),
+        "cache": {
+            counter: cache_stats[counter]
+            for counter in (
+                "hits", "misses", "stores", "repairs", "entries",
+            )
+        },
+        "jobs": health["jobs"],
+        "machine": {
+            "cpu_count": os.cpu_count(),
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+        },
+        "note": (
+            "latency is submit->terminal-snapshot->table per request; "
+            "misses include the experiment's compute time, hits are "
+            "O(lookup), so p50 vs p99 separates the two populations "
+            "when the hit rate is high"
+        ),
+    }
+    print(
+        f"{served} requests, {clients} clients: "
+        f"p50 {baseline['latency_seconds']['p50']:.3f}s, "
+        f"p99 {baseline['latency_seconds']['p99']:.3f}s, "
+        f"hit rate {baseline['hit_rate']:.0%}, "
+        f"{baseline['requests_per_second']:.1f} req/s"
+    )
+
+    out = out or RESULTS_DIR / "BENCH_serve.json"
+    out.parent.mkdir(exist_ok=True)
+    if out.exists():
+        # Keep any section another benchmark folded into this file.
+        previous = json.loads(out.read_text(encoding="utf-8"))
+        for section, value in previous.items():
+            if section not in baseline:
+                baseline[section] = value
+    out.write_text(json.dumps(baseline, indent=2) + "\n", encoding="utf-8")
+    print(f"wrote {out}")
+    return baseline
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", choices=("tiny", "small"), default="tiny")
+    parser.add_argument("--clients", type=int, default=4)
+    parser.add_argument("--requests", type=int, default=24)
+    parser.add_argument(
+        "--experiments",
+        default=",".join(DEFAULT_EXPERIMENTS),
+        help=(
+            "comma-separated experiment ids "
+            f"(default: {','.join(DEFAULT_EXPERIMENTS)})"
+        ),
+    )
+    args = parser.parse_args(argv)
+    record(
+        scale=args.scale,
+        clients=args.clients,
+        requests=args.requests,
+        experiment_ids=[
+            x.strip().upper() for x in args.experiments.split(",") if x.strip()
+        ],
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

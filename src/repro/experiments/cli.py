@@ -11,6 +11,8 @@ Commands::
     repro run all --scale tiny --csv results/
     repro worker serve --port 7101     # one cluster worker node
     repro worker serve --port 7101 --node-workers 8   # 8-wide node pool
+    repro serve --port 8080            # long-lived experiment service
+    repro info                         # resolved backend + cache status
 
 Experiments are deterministic given ``--seed`` — including under
 ``--workers N`` (or ``$REPRO_WORKERS``), any ``--chunksize`` (or
@@ -56,8 +58,19 @@ def build_parser() -> argparse.ArgumentParser:
         "thresholds", help="print the critical-probability registry"
     )
 
-    info = sub.add_parser("info", help="describe one experiment")
-    info.add_argument("experiment", help="experiment id, e.g. E7")
+    info = sub.add_parser(
+        "info",
+        help="describe one experiment, or the resolved environment",
+    )
+    info.add_argument(
+        "experiment",
+        nargs="?",
+        default=None,
+        help=(
+            "experiment id, e.g. E7; omit to print the resolved "
+            "backend, result-cache location and entry count instead"
+        ),
+    )
 
     run = sub.add_parser("run", help="run experiment(s) and print tables")
     run.add_argument("experiment", help="experiment id, or 'all'")
@@ -136,6 +149,69 @@ def build_parser() -> argparse.ArgumentParser:
             "evicted payloads are re-shipped transparently on demand"
         ),
     )
+
+    service = sub.add_parser(
+        "serve",
+        help=(
+            "serve experiments over HTTP with content-addressed result "
+            "caching"
+        ),
+    )
+    service.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="interface to bind (default loopback)",
+    )
+    service.add_argument(
+        "--port",
+        type=_port_int,
+        default=0,
+        help="TCP port; 0 picks an ephemeral port, announced on stdout",
+    )
+    service.add_argument(
+        "--backend",
+        choices=available_backends(),
+        default=None,
+        metavar="B",
+        help=(
+            "runner backend for job execution: one of %(choices)s "
+            "(default: $REPRO_BACKEND, else auto)"
+        ),
+    )
+    service.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="worker processes for the backend runner",
+    )
+    service.add_argument(
+        "--chunksize",
+        type=_positive_int,
+        default=None,
+        metavar="C",
+        help="specs per parallel work unit for the backend runner",
+    )
+    service.add_argument(
+        "--cache-dir",
+        type=_cache_directory,
+        default=None,
+        metavar="DIR",
+        help=(
+            "result-cache directory (default: $REPRO_CACHE_DIR, else "
+            "the XDG cache home); created if missing"
+        ),
+    )
+    service.add_argument(
+        "--cache-cap",
+        type=_nonnegative_int,
+        default=None,
+        metavar="N",
+        help=(
+            "LRU cap on cached sweep points, in entries; 0 = unbounded "
+            "(default: $REPRO_CACHE_CAP, else 0)"
+        ),
+    )
     return parser
 
 
@@ -177,6 +253,17 @@ def _nonnegative_float(text: str) -> float:
             f"must be a finite number >= 0, got {text}"
         )
     return value
+
+
+def _cache_directory(text: str) -> str:
+    from pathlib import Path
+
+    path = Path(text)
+    if path.exists() and not path.is_dir():
+        raise argparse.ArgumentTypeError(
+            f"cache dir exists and is not a directory: {text!r}"
+        )
+    return text
 
 
 def _port_int(text: str) -> int:
@@ -363,12 +450,54 @@ def _kernel_audit_line(spec) -> str:
     )
 
 
-def _cmd_info(experiment_id: str) -> int:
+def _cmd_info(experiment_id: str | None) -> int:
+    if experiment_id is None:
+        return _cmd_info_environment()
     spec = get_experiment(experiment_id)
     print(f"{spec.experiment_id}: {spec.title}")
     print(f"reference: {spec.reference}")
     print(f"claim: {spec.claim}")
     print(_kernel_audit_line(spec))
+    return 0
+
+
+def _cmd_info_environment() -> int:
+    """``repro info`` with no experiment: the resolved environment —
+    which backend a run would use, where the result cache lives and how
+    full it is, and the code version that keys new cache entries."""
+    from repro.runtime import resolve_backend
+    from repro.serve import ResultCache, code_version, resolve_cache_dir
+
+    cache_dir = resolve_cache_dir()
+    print(f"backend: {resolve_backend()}")
+    print(f"cache dir: {cache_dir}")
+    print(f"cache entries: {ResultCache(cache_dir).entry_count()}")
+    print(f"code version: {code_version()}")
+    print(f"experiments: {len(all_experiments())}")
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    from repro.serve import ExperimentService
+
+    service = ExperimentService(
+        host=args.host,
+        port=args.port,
+        backend=args.backend,
+        workers=args.workers,
+        chunksize=args.chunksize,
+        cache_dir=args.cache_dir,
+        cache_cap=args.cache_cap,
+    )
+
+    def _announce(svc) -> None:
+        print(
+            f"repro service on {svc.address} "
+            f"(backend={svc.backend}, cache={svc.cache.directory})",
+            flush=True,
+        )
+
+    service.serve_forever(ready=_announce)
     return 0
 
 
@@ -480,6 +609,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             args.chunksize,
             args.backend,
         )
+    if args.command == "serve":
+        return _cmd_serve(args)
     if args.command == "worker":
         if args.worker_command == "serve":
             return _cmd_worker_serve(

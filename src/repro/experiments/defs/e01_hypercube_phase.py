@@ -47,16 +47,36 @@ COLUMNS = [
 ]
 
 
-def run(scale: str, seed: int, runner=None) -> ResultTable:
+def run(
+    scale: str,
+    seed: int,
+    runner=None,
+    *,
+    ns: list[int] | None = None,
+    alphas: list[float] | None = None,
+    trials: int | None = None,
+) -> ResultTable:
+    """Sweep (n, alpha, router) points; one TrialSpec per trial.
+
+    The keyword-only ``ns`` / ``alphas`` / ``trials`` overrides replace
+    the scale's sweep lists for partial or extended sweeps (the
+    experiment service submits them); defaults leave the scale presets
+    — and the table bytes — untouched.  Per-point seeds derive from
+    ``(seed, "e1", n, alpha, router)`` only, so a point computes the
+    same trials no matter which sweep asked for it.
+    """
     runner = runner if runner is not None else SerialRunner()
-    ns = pick(scale, tiny=[6], small=[8, 10], medium=[10, 12])
-    alphas = pick(
-        scale,
-        tiny=[0.3, 0.7],
-        small=[0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8],
-        medium=[0.15, 0.25, 0.35, 0.45, 0.5, 0.55, 0.65, 0.75, 0.85],
-    )
-    trials = pick(scale, tiny=6, small=14, medium=30)
+    if ns is None:
+        ns = pick(scale, tiny=[6], small=[8, 10], medium=[10, 12])
+    if alphas is None:
+        alphas = pick(
+            scale,
+            tiny=[0.3, 0.7],
+            small=[0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8],
+            medium=[0.15, 0.25, 0.35, 0.45, 0.5, 0.55, 0.65, 0.75, 0.85],
+        )
+    if trials is None:
+        trials = pick(scale, tiny=6, small=14, medium=30)
 
     table = ResultTable(
         "E1",

@@ -49,7 +49,7 @@ class ExperimentSpec:
     run: Callable[..., ResultTable] = field(repr=False)
 
     def __call__(
-        self, scale: str = "small", seed: int = 0, runner=None
+        self, scale: str = "small", seed: int = 0, runner=None, **overrides
     ) -> ResultTable:
         """Run the experiment; returns its :class:`ResultTable`.
 
@@ -60,6 +60,12 @@ class ExperimentSpec:
         creates for itself is closed before returning — pools and
         cluster connections never outlive the call; pass an explicit
         runner to share it across experiments.
+
+        ``overrides`` forward to the definition's keyword-only sweep
+        parameters, for definitions that expose any (e.g. E1's
+        ``alphas=``); the experiment service uses them to submit
+        partial or extended sweeps.  A definition without matching
+        parameters raises ``TypeError``, as any keyword call would.
         """
         if scale not in SCALES:
             raise ValueError(
@@ -69,9 +75,11 @@ class ExperimentSpec:
             from repro.runtime import make_runner
 
             with make_runner() as default_runner:
-                table = self.run(scale, seed, runner=default_runner)
+                table = self.run(
+                    scale, seed, runner=default_runner, **overrides
+                )
         else:
-            table = self.run(scale, seed, runner=runner)
+            table = self.run(scale, seed, runner=runner, **overrides)
         if not isinstance(table, ResultTable):
             raise TypeError(
                 f"experiment {self.experiment_id} returned {type(table)!r}"

@@ -1,0 +1,249 @@
+"""Content-addressed result store: finished trial values, by digest.
+
+One entry per sweep point, keyed by :func:`repro.serve.digest.
+point_digest` and stored as its own file under the cache directory
+(``<dir>/<digest[:2]>/<digest>.rpc``), so entries are independently
+creatable, evictable and repairable.  The on-disk format is
+
+    b"RPRC1" + 16-byte BLAKE2b checksum of the payload + pickled values
+
+and every read verifies the checksum before unpickling.  **Any**
+defect — missing file, short header, checksum mismatch, unpicklable
+payload — degrades to a miss: the corrupt file is deleted (counted as
+a ``repair``) and the caller recomputes and rewrites it.  Writes go
+through a temp file + :func:`os.replace`, so a crash mid-write leaves
+either the old entry or none, never a torn one.
+
+The cap is an entry-count LRU: reads touch their entry's mtime, and a
+store that pushes the count past ``cap`` evicts the stalest entries.
+``cap=0`` means unbounded (mirroring the node-side workload cache).
+All counters are thread-safe; the store itself is safe for concurrent
+readers with one writer (the service's job executor).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+import threading
+from pathlib import Path
+
+__all__ = [
+    "CACHE_CAP_ENV",
+    "CACHE_DIR_ENV",
+    "ResultCache",
+    "default_cache_dir",
+    "resolve_cache_cap",
+    "resolve_cache_dir",
+]
+
+#: Cache directory when ``--cache-dir`` is not given.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Entry cap when ``--cache-cap`` is not given (0 = unbounded).
+CACHE_CAP_ENV = "REPRO_CACHE_CAP"
+
+_MAGIC = b"RPRC1"
+_CHECKSUM_SIZE = 16
+_SUFFIX = ".rpc"
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR``, else ``~/.cache/repro/results``."""
+    env = os.environ.get(CACHE_DIR_ENV, "").strip()
+    if env:
+        return Path(env).expanduser()
+    xdg = os.environ.get("XDG_CACHE_HOME", "").strip()
+    base = Path(xdg).expanduser() if xdg else Path.home() / ".cache"
+    return base / "repro" / "results"
+
+
+def resolve_cache_dir(directory=None) -> Path:
+    """Resolve and validate the cache directory (argument, else env,
+    else the per-user default).  An existing non-directory path is
+    rejected — silently shadowing a file would destroy it on the first
+    store."""
+    path = Path(directory).expanduser() if directory else default_cache_dir()
+    if path.exists() and not path.is_dir():
+        raise ValueError(
+            f"cache dir {str(path)!r} exists and is not a directory"
+        )
+    return path
+
+
+def resolve_cache_cap(cap=None, *, default: int = 0) -> int:
+    """Resolve the entry cap: argument, else ``$REPRO_CACHE_CAP``, else
+    ``default`` (0 = unbounded) — argument and environment validated
+    identically, like every runtime knob."""
+    if cap is None:
+        raw = os.environ.get(CACHE_CAP_ENV, "").strip()
+        if not raw:
+            return default
+        try:
+            cap = int(raw)
+        except ValueError:
+            raise ValueError(
+                f"${CACHE_CAP_ENV} must be an integer, got {raw!r}"
+            ) from None
+        if cap < 0:
+            raise ValueError(f"${CACHE_CAP_ENV} must be >= 0, got {raw!r}")
+        return cap
+    if isinstance(cap, bool) or not isinstance(cap, int):
+        raise ValueError(f"cache cap must be an integer, got {cap!r}")
+    if cap < 0:
+        raise ValueError(f"cache cap must be >= 0, got {cap}")
+    return cap
+
+
+class ResultCache:
+    """Digest-keyed pickle store with checksums, repair and LRU cap."""
+
+    def __init__(self, directory=None, cap: int | None = None) -> None:
+        self.directory = resolve_cache_dir(directory)
+        self.cap = resolve_cache_cap(cap)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.Lock()
+        self._stats = {
+            "hits": 0,
+            "misses": 0,
+            "stores": 0,
+            "repairs": 0,
+            "evictions": 0,
+            "declined": 0,
+        }
+
+    # -- paths ------------------------------------------------------------
+
+    def _path(self, digest: str) -> Path:
+        return self.directory / digest[:2] / f"{digest}{_SUFFIX}"
+
+    def _entries(self) -> list[Path]:
+        return list(self.directory.glob(f"*/*{_SUFFIX}"))
+
+    def entry_count(self) -> int:
+        """The number of entries currently on disk."""
+        return len(self._entries())
+
+    # -- counters ---------------------------------------------------------
+
+    def _count(self, what: str, n: int = 1) -> None:
+        with self._lock:
+            self._stats[what] += n
+
+    def stats(self) -> dict:
+        """A snapshot of the counters plus the on-disk entry count."""
+        with self._lock:
+            snapshot = dict(self._stats)
+        snapshot["entries"] = self.entry_count()
+        snapshot["cap"] = self.cap
+        return snapshot
+
+    # -- store ------------------------------------------------------------
+
+    def get(self, digest: str):
+        """The values stored under ``digest``, or ``None`` on a miss.
+
+        A defective entry (truncated, corrupted, unpicklable) is
+        deleted and reported as a miss — the caller recomputes and the
+        next :meth:`put` repairs the entry.  A hit refreshes the
+        entry's mtime, making the cap eviction LRU.
+        """
+        path = self._path(digest)
+        try:
+            blob = path.read_bytes()
+        except OSError:
+            self._count("misses")
+            return None
+        header = len(_MAGIC) + _CHECKSUM_SIZE
+        payload = blob[header:]
+        intact = (
+            blob.startswith(_MAGIC)
+            and len(blob) >= header
+            and blob[len(_MAGIC) : header] == _checksum(payload)
+        )
+        values = None
+        if intact:
+            try:
+                values = pickle.loads(payload)
+            except Exception:
+                values = None
+        if values is None:
+            # Corrupt on disk: remove it so the recompute's put()
+            # rewrites a clean entry (recompute-and-repair, not crash).
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            self._count("repairs")
+            self._count("misses")
+            return None
+        try:
+            os.utime(path)
+        except OSError:
+            pass
+        self._count("hits")
+        return values
+
+    def put(self, digest: str, values) -> bool:
+        """Store ``values`` under ``digest``; returns whether it stored.
+
+        Unpicklable values are declined (counted, not raised): caching
+        is an optimisation and must never fail a job that the uncached
+        path would finish.
+        """
+        try:
+            payload = pickle.dumps(values, protocol=4)
+        except Exception:
+            self._count("declined")
+            return False
+        path = self._path(digest)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(
+            dir=path.parent, prefix=f".{digest[:8]}-", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(_MAGIC)
+                handle.write(_checksum(payload))
+                handle.write(payload)
+            os.replace(tmp, path)
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            self._count("declined")
+            return False
+        self._count("stores")
+        if self.cap:
+            self._evict_over_cap()
+        return True
+
+    def _evict_over_cap(self) -> None:
+        entries = self._entries()
+        excess = len(entries) - self.cap
+        if excess <= 0:
+            return
+        def _age(path: Path):
+            try:
+                return (path.stat().st_mtime, str(path))
+            except OSError:
+                return (0.0, str(path))
+        for path in sorted(entries, key=_age)[:excess]:
+            try:
+                path.unlink()
+                self._count("evictions")
+            except OSError:
+                pass
+
+    def __repr__(self) -> str:
+        return (
+            f"ResultCache({str(self.directory)!r}, cap={self.cap}, "
+            f"entries={self.entry_count()})"
+        )
+
+
+def _checksum(payload: bytes) -> bytes:
+    return hashlib.blake2b(payload, digest_size=_CHECKSUM_SIZE).digest()

@@ -1,0 +1,116 @@
+"""In-process service harness + a tiny HTTP client, for tests and
+benchmarks.
+
+:func:`start_service` boots a real :class:`~repro.serve.http.
+ExperimentService` — real TCP socket on an ephemeral port, real job
+executor — on a daemon thread inside the calling process, so tests can
+reach through ``service.manager`` / ``service.cache`` for the
+instrumentation the end-to-end assertions need ("zero trials
+executed", "only the delta points") while clients talk genuine HTTP.
+
+:func:`request` / :func:`submit_job` / :func:`wait_for_job` are the
+blocking client helpers the tests and the load-test harness share —
+stdlib :mod:`http.client` only, one connection per request (the
+service answers ``Connection: close``).
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+
+from repro.serve.http import ExperimentService
+
+__all__ = [
+    "get_json",
+    "request",
+    "start_service",
+    "submit_job",
+    "wait_for_job",
+]
+
+
+def start_service(**kwargs) -> ExperimentService:
+    """A running service on ``127.0.0.1:<ephemeral>``; caller stops it.
+
+    Keyword arguments go to :class:`ExperimentService` (backend,
+    workers, cache_dir, cache_cap...).  Typical use::
+
+        service = start_service(backend="serial", cache_dir=tmp)
+        try:
+            ...
+        finally:
+            service.stop()
+    """
+    kwargs.setdefault("host", "127.0.0.1")
+    kwargs.setdefault("port", 0)
+    return ExperimentService(**kwargs).start()
+
+
+def request(
+    service: ExperimentService,
+    method: str,
+    path: str,
+    body: dict | None = None,
+    timeout: float = 60.0,
+) -> tuple[int, bytes]:
+    """One HTTP round-trip; returns ``(status, body_bytes)``."""
+    conn = http.client.HTTPConnection(
+        service.host, service.port, timeout=timeout
+    )
+    try:
+        payload = None if body is None else json.dumps(body).encode()
+        headers = {} if payload is None else {
+            "Content-Type": "application/json"
+        }
+        conn.request(method, path, body=payload, headers=headers)
+        response = conn.getresponse()
+        return response.status, response.read()
+    finally:
+        conn.close()
+
+
+def get_json(
+    service: ExperimentService, path: str, timeout: float = 60.0
+) -> dict:
+    """GET ``path`` and decode the JSON body (asserts a 2xx status)."""
+    status, body = request(service, "GET", path, timeout=timeout)
+    if not 200 <= status < 300:
+        raise AssertionError(f"GET {path} -> {status}: {body!r}")
+    return json.loads(body)
+
+
+def submit_job(
+    service: ExperimentService,
+    experiment: str,
+    scale: str = "tiny",
+    seed: int = 0,
+    overrides: dict | None = None,
+) -> dict:
+    """POST a job; returns the submission snapshot (with ``job_id``)."""
+    payload = {"experiment": experiment, "scale": scale, "seed": seed}
+    if overrides is not None:
+        payload["overrides"] = overrides
+    status, body = request(service, "POST", "/jobs", body=payload)
+    if status != 202:
+        raise AssertionError(f"POST /jobs -> {status}: {body!r}")
+    return json.loads(body)
+
+
+def wait_for_job(
+    service: ExperimentService,
+    job_id: str,
+    timeout: float = 120.0,
+) -> dict:
+    """Poll snapshots until the job reaches a terminal state."""
+    deadline = time.monotonic() + timeout
+    while True:
+        snapshot = get_json(service, f"/jobs/{job_id}?wait=0")
+        if snapshot["state"] in ("done", "failed"):
+            return snapshot
+        if time.monotonic() > deadline:
+            raise AssertionError(
+                f"job {job_id} still {snapshot['state']} after {timeout}s"
+            )
+        time.sleep(0.02)

@@ -1,0 +1,174 @@
+"""Tests for the on-disk result store (repro.serve.cache).
+
+Round-trips, the corruption → recompute-and-repair contract, atomic
+writes, LRU eviction under a cap, and the resolve_* knob validators
+(argument and environment validated identically, like every runtime
+knob).
+"""
+
+import os
+
+import pytest
+
+from repro.serve.cache import (
+    CACHE_CAP_ENV,
+    CACHE_DIR_ENV,
+    ResultCache,
+    default_cache_dir,
+    resolve_cache_cap,
+    resolve_cache_dir,
+)
+
+DIGEST = "ab" + "0" * 30
+OTHER = "cd" + "1" * 30
+
+
+class TestRoundTrip:
+    def test_put_get(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        values = [{"queries": 3}, {"queries": 5}]
+        assert cache.put(DIGEST, values)
+        assert cache.get(DIGEST) == values
+
+    def test_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.get(DIGEST) is None
+        assert cache.stats()["misses"] == 1
+
+    def test_entries_are_sharded_files(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(DIGEST, [1])
+        assert (tmp_path / DIGEST[:2] / f"{DIGEST}.rpc").is_file()
+        assert cache.entry_count() == 1
+
+    def test_second_instance_reads_first_instances_entries(self, tmp_path):
+        ResultCache(tmp_path).put(DIGEST, [1, 2])
+        assert ResultCache(tmp_path).get(DIGEST) == [1, 2]
+
+    def test_unpicklable_values_declined_not_raised(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert not cache.put(DIGEST, [lambda: None])
+        assert cache.stats()["declined"] == 1
+        assert cache.entry_count() == 0
+
+    def test_hit_refreshes_mtime(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(DIGEST, [1])
+        path = tmp_path / DIGEST[:2] / f"{DIGEST}.rpc"
+        os.utime(path, (1, 1))
+        cache.get(DIGEST)
+        assert path.stat().st_mtime > 1
+
+
+class TestRepair:
+    def _entry_path(self, tmp_path):
+        return tmp_path / DIGEST[:2] / f"{DIGEST}.rpc"
+
+    @staticmethod
+    def _checksummed_junk(blob):
+        # Valid magic + checksum over a payload that is not a pickle:
+        # exercises the unpickle failure path, not the checksum path.
+        import hashlib
+
+        payload = b"not a pickle"
+        return (
+            b"RPRC1"
+            + hashlib.blake2b(payload, digest_size=16).digest()
+            + payload
+        )
+
+    @pytest.mark.parametrize(
+        "corrupt",
+        [
+            lambda blob: b"",  # empty file
+            lambda blob: blob[: len(blob) // 2],  # truncated
+            lambda blob: b"XXXXX" + blob[5:],  # wrong magic
+            lambda blob: blob[:-1] + bytes([blob[-1] ^ 1]),  # bit flip
+            _checksummed_junk.__func__,  # unpicklable payload
+        ],
+        ids=["empty", "truncated", "bad-magic", "bit-flip", "junk"],
+    )
+    def test_defect_is_miss_plus_delete(self, tmp_path, corrupt):
+        cache = ResultCache(tmp_path)
+        cache.put(DIGEST, [1, 2, 3])
+        path = self._entry_path(tmp_path)
+        path.write_bytes(corrupt(path.read_bytes()))
+        assert cache.get(DIGEST) is None
+        assert not path.exists(), "corrupt entry must be deleted"
+        assert cache.stats()["repairs"] == 1
+
+    def test_recompute_and_repair_cycle(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(DIGEST, [1, 2, 3])
+        path = self._entry_path(tmp_path)
+        path.write_bytes(b"garbage")
+        assert cache.get(DIGEST) is None  # miss → caller recomputes
+        assert cache.put(DIGEST, [1, 2, 3])  # ...and repairs
+        assert cache.get(DIGEST) == [1, 2, 3]
+        stats = cache.stats()
+        assert stats["repairs"] == 1 and stats["hits"] == 1
+
+    def test_no_tmp_files_left_behind(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        for i in range(5):
+            cache.put(f"{i:02d}" + "e" * 30, [i])
+        leftovers = list(tmp_path.rglob("*.tmp"))
+        assert leftovers == []
+
+
+class TestEviction:
+    def test_cap_evicts_stalest(self, tmp_path):
+        cache = ResultCache(tmp_path, cap=3)
+        digests = [f"{i:02x}" + "f" * 30 for i in range(5)]
+        for i, digest in enumerate(digests):
+            cache.put(digest, [i])
+            # Deterministic ages without sleeping.
+            path = tmp_path / digest[:2] / f"{digest}.rpc"
+            os.utime(path, (1000 + i, 1000 + i))
+            cache._evict_over_cap()
+        assert cache.entry_count() == 3
+        assert cache.get(digests[0]) is None
+        assert cache.get(digests[-1]) == [4]
+        assert cache.stats()["evictions"] == 2
+
+    def test_zero_cap_is_unbounded(self, tmp_path):
+        cache = ResultCache(tmp_path, cap=0)
+        for i in range(10):
+            cache.put(f"{i:02x}" + "a" * 30, [i])
+        assert cache.entry_count() == 10
+
+
+class TestResolvers:
+    def test_dir_argument_wins(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path / "env"))
+        assert resolve_cache_dir(tmp_path / "arg") == tmp_path / "arg"
+
+    def test_dir_env_fallback(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path / "env"))
+        assert resolve_cache_dir() == tmp_path / "env"
+        assert default_cache_dir() == tmp_path / "env"
+
+    def test_existing_file_rejected(self, tmp_path):
+        target = tmp_path / "occupied"
+        target.write_text("not a directory")
+        with pytest.raises(ValueError, match="not a directory"):
+            resolve_cache_dir(target)
+
+    def test_cap_argument_and_env(self, monkeypatch):
+        assert resolve_cache_cap(7) == 7
+        assert resolve_cache_cap(0) == 0
+        monkeypatch.setenv(CACHE_CAP_ENV, "12")
+        assert resolve_cache_cap() == 12
+        monkeypatch.delenv(CACHE_CAP_ENV)
+        assert resolve_cache_cap() == 0
+
+    @pytest.mark.parametrize("bad", [-1, 1.5, True, "3"])
+    def test_cap_argument_validation(self, bad):
+        with pytest.raises(ValueError):
+            resolve_cache_cap(bad)
+
+    @pytest.mark.parametrize("bad", ["x", "-2", "1.5"])
+    def test_cap_env_validation(self, monkeypatch, bad):
+        monkeypatch.setenv(CACHE_CAP_ENV, bad)
+        with pytest.raises(ValueError, match=CACHE_CAP_ENV):
+            resolve_cache_cap()

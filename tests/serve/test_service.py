@@ -1,0 +1,216 @@
+"""End-to-end tests for the experiment service (repro serve).
+
+A real :class:`ExperimentService` — TCP socket, asyncio front-end, job
+executor — boots on an ephemeral port per test class; clients talk
+genuine HTTP.  The acceptance claims under test:
+
+* a repeated job is served **entirely from cache** (zero trials
+  executed — asserted through the runner instrumentation, not timing)
+  and its table is byte-identical to a direct ``repro run``-style
+  serial execution;
+* an **overlapping sweep** (50% shared points) executes only the
+  delta;
+* ``/healthz`` reports the resolved backend, cache dir and entry
+  count the small-fix satellite added.
+"""
+
+import json
+
+import pytest
+
+from repro.experiments.registry import get_experiment
+from repro.runtime import SerialRunner
+from repro.serve.testing import (
+    get_json,
+    request,
+    start_service,
+    submit_job,
+    wait_for_job,
+)
+
+
+@pytest.fixture(scope="class")
+def service(tmp_path_factory):
+    svc = start_service(
+        backend="serial",
+        cache_dir=tmp_path_factory.mktemp("serve-cache"),
+    )
+    yield svc
+    svc.stop()
+
+
+class TestRepeatedJob:
+    def test_second_submission_is_pure_cache(self, service):
+        first = wait_for_job(
+            service, submit_job(service, "E1", seed=3)["job_id"]
+        )
+        assert first["state"] == "done"
+        assert first["trials_executed"] > 0
+        assert first["cached"] is False
+
+        second = wait_for_job(
+            service, submit_job(service, "E1", seed=3)["job_id"]
+        )
+        assert second["state"] == "done"
+        assert second["trials_executed"] == 0, (
+            "repeat of a finished job must execute zero trials"
+        )
+        assert second["cached"] is True
+        assert second["points_cached"] == second["points_total"] > 0
+        assert second["job_id"] != first["job_id"]
+
+        _, table1 = request(
+            service, "GET", f"/jobs/{first['job_id']}/table"
+        )
+        _, table2 = request(
+            service, "GET", f"/jobs/{second['job_id']}/table"
+        )
+        assert table1 == table2
+
+    def test_table_byte_identical_to_direct_serial_run(self, service):
+        done = wait_for_job(
+            service, submit_job(service, "E1", seed=3)["job_id"]
+        )
+        status, served = request(
+            service, "GET", f"/jobs/{done['job_id']}/table"
+        )
+        assert status == 200
+        with SerialRunner() as runner:
+            direct = get_experiment("E1")(
+                scale="tiny", seed=3, runner=runner
+            )
+        assert served == direct.render().encode()
+
+    def test_table_json_format(self, service):
+        done = wait_for_job(
+            service, submit_job(service, "E1", seed=3)["job_id"]
+        )
+        payload = get_json(
+            service, f"/jobs/{done['job_id']}/table?format=json"
+        )
+        assert payload["experiment_id"] == "E1"
+        assert payload["columns"][0] == "n"
+        assert len(payload["rows"]) == done["rows"]
+        assert payload["render"].encode() == request(
+            service, "GET", f"/jobs/{done['job_id']}/table"
+        )[1]
+
+
+class TestOverlappingSweep:
+    def test_half_shared_sweep_executes_only_the_delta(self, service):
+        # Two 4-point sweeps over (n=6) x (2 alphas) x (2 routers),
+        # sharing alpha=0.5 — 50% of their points.
+        first = wait_for_job(
+            service,
+            submit_job(
+                service,
+                "E1",
+                seed=7,
+                overrides={"alphas": [0.3, 0.5], "trials": 4},
+            )["job_id"],
+        )
+        assert first["state"] == "done"
+        assert first["points_total"] == 4
+        assert first["trials_executed"] == 16
+
+        second = wait_for_job(
+            service,
+            submit_job(
+                service,
+                "E1",
+                seed=7,
+                overrides={"alphas": [0.5, 0.7], "trials": 4},
+            )["job_id"],
+        )
+        assert second["state"] == "done"
+        assert second["points_total"] == 4
+        assert second["points_cached"] == 2, (
+            "the alpha=0.5 points must come from cache"
+        )
+        assert second["trials_executed"] == 8, (
+            "only the alpha=0.7 delta may execute"
+        )
+
+    def test_override_order_coalesces_to_same_key(self, service):
+        a = submit_job(
+            service,
+            "E1",
+            seed=7,
+            overrides={"alphas": [0.3, 0.5], "trials": 4},
+        )
+        b = submit_job(
+            service,
+            "E1",
+            seed=7,
+            overrides={"trials": 4, "alphas": [0.3, 0.5]},
+        )
+        assert a["key"] == b["key"]
+
+
+class TestEndpoints:
+    def test_healthz_reports_resolved_environment(self, service):
+        health = get_json(service, "/healthz")
+        assert health["status"] == "ok"
+        assert health["backend"] == "serial"
+        assert health["cache_dir"] == str(service.cache.directory)
+        assert health["cache_entries"] == service.cache.entry_count()
+        assert health["code_version"]
+        assert set(health["jobs"]) == {
+            "total", "queued", "running", "done", "failed",
+        }
+
+    def test_cache_stats_endpoint(self, service):
+        stats = get_json(service, "/cache/stats")
+        for counter in (
+            "hits", "misses", "stores", "repairs", "evictions",
+            "declined", "entries", "cap",
+        ):
+            assert counter in stats
+
+    def test_jobs_listing(self, service):
+        wait_for_job(
+            service, submit_job(service, "E1", seed=3)["job_id"]
+        )
+        listing = get_json(service, "/jobs")
+        assert any(
+            job["experiment"] == "E1" for job in listing["jobs"]
+        )
+
+    def test_stream_ends_with_terminal_snapshot(self, service):
+        job_id = submit_job(service, "E1", seed=11)["job_id"]
+        status, body = request(service, "GET", f"/jobs/{job_id}")
+        assert status == 200
+        lines = [
+            json.loads(line)
+            for line in body.decode().splitlines()
+            if line
+        ]
+        assert lines, "stream must carry at least one snapshot"
+        assert lines[-1]["state"] == "done"
+        assert all(line["job_id"] == job_id for line in lines)
+
+    def test_validation_errors_are_400(self, service):
+        cases = [
+            {"experiment": "E99"},
+            {"experiment": "E1", "scale": "huge"},
+            {"experiment": "E1", "seed": "zero"},
+            {"experiment": "E2", "overrides": {"alphas": [1]}},
+            {"experiment": "E1", "overrides": {"bogus": 1}},
+            {"experiment": "E1", "unknown_field": 1},
+            {},
+        ]
+        for payload in cases:
+            status, body = request(
+                service, "POST", "/jobs", body=payload
+            )
+            assert status == 400, (payload, body)
+            assert "error" in json.loads(body)
+
+    def test_unknown_routes_and_methods(self, service):
+        assert request(service, "GET", "/nope")[0] == 404
+        assert request(service, "DELETE", "/jobs")[0] == 405
+        assert request(service, "GET", "/jobs/j9999-missing")[0] == 404
+        assert (
+            request(service, "GET", "/jobs/j9999-missing/table")[0]
+            == 404
+        )
