@@ -12,6 +12,11 @@
   rejection-sampled estimation of query distributions conditioned on
   ``{u ~ v}``, split into per-trial work units (spec emission → pure
   trial kernel → deterministic reassembly) so sweeps parallelise.
+* :mod:`repro.core.traffic` — the per-trial unit generalised to a
+  demand matrix: seeded permutation / hotspot / all-to-all generators,
+  per-commodity routing through ``Router.route_demands``, and
+  congestion metrics (routability, max/mean link load, probes per
+  delivered commodity) — the single pair is the one-commodity case.
 * :mod:`repro.core.lower_bounds` — Lemma 5 as an empirical certificate:
   estimate ``η``, ``Pr[(u~v) ∈ S]`` and ``Pr[u ~ v]`` for a concrete cut
   and obtain a CDF bound every local router must respect.
@@ -45,20 +50,41 @@ from repro.core.result import (
     validate_path,
 )
 from repro.core.router import Router
+from repro.core.traffic import (
+    AllToAllTraffic,
+    DemandMatrix,
+    FixedTraffic,
+    HotspotTraffic,
+    PermutationTraffic,
+    TrafficMeasurement,
+    TrafficResult,
+    assemble_traffic,
+    run_traffic_trial,
+    summarize_traffic,
+    traffic_specs,
+)
 
 __all__ = [
+    "AllToAllTraffic",
     "ComplexityMeasurement",
+    "DemandMatrix",
     "FailureReason",
+    "FixedTraffic",
+    "HotspotTraffic",
     "InvalidPathError",
     "Lemma5Certificate",
     "LocalProbeOracle",
     "LocalityViolation",
+    "PermutationTraffic",
     "ProbeBudgetExceeded",
     "ProbeOracle",
     "Router",
     "RoutingResult",
+    "TrafficMeasurement",
+    "TrafficResult",
     "TrialRecord",
     "assemble_measurement",
+    "assemble_traffic",
     "ball",
     "complexity_specs",
     "cut_edges",
@@ -66,5 +92,8 @@ __all__ = [
     "estimate_certificate",
     "measure_complexity",
     "run_trial",
+    "run_traffic_trial",
+    "summarize_traffic",
+    "traffic_specs",
     "validate_path",
 ]

@@ -38,6 +38,10 @@ from __future__ import annotations
 
 from collections.abc import Callable, Iterable, Sequence
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.traffic import TrafficResult
 
 from repro.core.result import RoutingResult
 from repro.core.router import Router
@@ -66,16 +70,36 @@ ModelFactory = Callable[[Graph, float, int], PercolationModel]
 
 @dataclass(frozen=True)
 class TrialRecord:
-    """One percolation draw and (if conditioned in) one routing attempt."""
+    """One percolation draw and (if conditioned in) one routing attempt.
+
+    Single-pair trials carry their attempt in ``result``; demand-matrix
+    trials (:func:`repro.core.traffic.run_traffic_trial`) carry their
+    per-commodity outcome in ``traffic`` instead (``result`` stays
+    ``None`` and ``connected`` means every commodity was delivered).
+    """
 
     trial: int
     seed: int
     connected: bool
     result: RoutingResult | None = None
+    traffic: "TrafficResult | None" = None
 
     @property
     def attempted(self) -> bool:
         return self.result is not None
+
+    def __repr__(self) -> str:
+        # Byte-stable with the pre-traffic dataclass repr: single-pair
+        # records (traffic=None) must render identically to before the
+        # field existed — the golden record streams and repr-parity
+        # gates pin those bytes.
+        base = (
+            f"TrialRecord(trial={self.trial!r}, seed={self.seed!r}, "
+            f"connected={self.connected!r}, result={self.result!r}"
+        )
+        if self.traffic is None:
+            return base + ")"
+        return base + f", traffic={self.traffic!r})"
 
 
 @dataclass
@@ -248,6 +272,7 @@ def complexity_specs(
     model_factory: ModelFactory | None = None,
     conditioning: str = "exact",
     key: tuple = ("complexity",),
+    demands=None,
 ) -> list[TrialSpec]:
     """Emit one :class:`TrialSpec` per trial of a measurement.
 
@@ -264,7 +289,39 @@ def complexity_specs(
     16-byte content id however large the graph is.  The returned specs
     keep the workload alive; see the ownership contract in
     :mod:`repro.runtime.workload`.
+
+    ``demands=`` switches the trial unit from one probe pair to a
+    demand matrix: specs then call :func:`~repro.core.traffic.
+    run_traffic_trial` with the given demand factory (see
+    :func:`~repro.core.traffic.traffic_specs`, which this delegates
+    to).  ``pair`` and ``conditioning`` do not apply to demand trials —
+    every commodity is attempted — so non-default values are rejected
+    rather than silently ignored.
     """
+    if demands is not None:
+        from repro.core.traffic import traffic_specs
+
+        if pair is not None:
+            raise ValueError(
+                "demands= replaces the probe pair; pass sources/targets "
+                "through the demand factory instead"
+            )
+        if conditioning != "exact":
+            raise ValueError(
+                "demand trials attempt every commodity; conditioning "
+                "does not apply"
+            )
+        return traffic_specs(
+            graph,
+            p,
+            router,
+            demands,
+            trials=trials,
+            seed=seed,
+            budget=budget,
+            model_factory=model_factory,
+            key=key,
+        )
     _validate(trials, router, budget, conditioning)
     source, target = pair if pair is not None else graph.canonical_pair()
     factory = model_factory or _default_factory(graph)

@@ -212,6 +212,27 @@ def build_parser() -> argparse.ArgumentParser:
             "(default: $REPRO_CACHE_CAP, else 0)"
         ),
     )
+    service.add_argument(
+        "--cache-cap-bytes",
+        type=_nonnegative_int,
+        default=None,
+        metavar="BYTES",
+        help=(
+            "LRU cap on cached sweep points, in total bytes on disk; "
+            "0 = unbounded (default: $REPRO_CACHE_CAP_BYTES, else 0)"
+        ),
+    )
+    service.add_argument(
+        "--job-ttl",
+        type=_positive_float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "forget finished jobs this many seconds after completion "
+            "(their sweep points stay in the result cache); default: "
+            "keep every job for the life of the process"
+        ),
+    )
     return parser
 
 
@@ -236,6 +257,22 @@ def _nonnegative_int(text: str) -> int:
         ) from None
     if value < 0:
         raise argparse.ArgumentTypeError(f"must be >= 0, got {value}")
+    return value
+
+
+def _positive_float(text: str) -> float:
+    import math
+
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"must be a number of seconds, got {text!r}"
+        ) from None
+    if not math.isfinite(value) or value <= 0:
+        raise argparse.ArgumentTypeError(
+            f"must be a finite number > 0, got {text}"
+        )
     return value
 
 
@@ -409,6 +446,7 @@ def _make_kernel_audit_runner():
         def __init__(self) -> None:
             self.kernel = 0
             self.fallback = 0
+            self.demand_specs = 0
             self.stages = {
                 stage: {"kernel": 0, "per-trial": 0} for stage in STAGES
             }
@@ -418,12 +456,21 @@ def _make_kernel_audit_runner():
             kernel, fallback = kernel_split(specs)
             self.kernel += kernel
             self.fallback += fallback
+            self.demand_specs += sum(
+                1 for spec in specs if _routes_demands(spec)
+            )
             for stage, counts in stage_split(specs).items():
                 for mode, n in counts.items():
                     self.stages[stage][mode] += n
             return super().run(specs)
 
     return _KernelAuditRunner()
+
+
+def _routes_demands(spec) -> bool:
+    """Whether a spec's trial unit is a demand matrix (traffic trial)."""
+    fn = getattr(spec.workload, "fn", None)
+    return getattr(fn, "__qualname__", None) == "run_traffic_trial"
 
 
 def _kernel_audit_line(spec) -> str:
@@ -439,8 +486,15 @@ def _kernel_audit_line(spec) -> str:
     # A kernel-eligible spec can still run individual stages per trial
     # (e.g. an unregistered router drops only the routing stage), so
     # break the split down per pipeline stage underneath the headline.
+    # Demand-matrix trials route every commodity of a chunk through one
+    # batched frontier pass — name that explicitly on the routing stage.
+    def _label(stage: str) -> str:
+        if stage == "routing" and audit.demand_specs:
+            return "routing (commodity-batched)"
+        return stage
+
     stages = "  ".join(
-        f"{stage} {counts['kernel']}/{total} kernel"
+        f"{_label(stage)} {counts['kernel']}/{total} kernel"
         for stage, counts in audit.stages.items()
     )
     return (
@@ -488,6 +542,8 @@ def _cmd_serve(args) -> int:
         chunksize=args.chunksize,
         cache_dir=args.cache_dir,
         cache_cap=args.cache_cap,
+        cache_cap_bytes=args.cache_cap_bytes,
+        job_ttl=args.job_ttl,
     )
 
     def _announce(svc) -> None:

@@ -34,6 +34,9 @@ _DEF_MODULES = (
     "repro.experiments.defs.e15_clos_faults",
     "repro.experiments.defs.e16_correlated_faults",
     "repro.experiments.defs.e17_adversarial_budget",
+    "repro.experiments.defs.e18_permutation_traffic",
+    "repro.experiments.defs.e19_hotspot_skew",
+    "repro.experiments.defs.e20_fault_capacity",
     "repro.experiments.defs.a1_conditioning",
     "repro.experiments.defs.a2_waypoint",
     "repro.experiments.defs.a3_gnp_policies",

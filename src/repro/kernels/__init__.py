@@ -50,23 +50,31 @@ from repro.kernels.percolation import (
     table_edge_masks,
 )
 from repro.kernels.routing import (
+    PairRoutingUnsupported,
+    pair_router_kernel_for,
     register_router_kernel,
+    register_router_pair_kernel,
     router_kernel_for,
     routing_incidence,
 )
 from repro.kernels.topology import EdgeIndex, build_edge_index
+from repro.kernels.traffic import compile_traffic_chunk
 
 __all__ = [
     "EdgeIndex",
     "LazySiteDraw",
     "MaskEdgePercolation",
     "MaskSitePercolation",
+    "PairRoutingUnsupported",
     "batched_connected",
     "build_edge_index",
     "compile_run_trial_chunk",
+    "compile_traffic_chunk",
     "node_model_kernel",
+    "pair_router_kernel_for",
     "register_model_kernel",
     "register_router_kernel",
+    "register_router_pair_kernel",
     "router_kernel_for",
     "routing_incidence",
     "site_model_kernel",
@@ -79,9 +87,11 @@ __all__ = [
 def _register_builtin_kernels() -> None:
     """Wire the shipped compilers into the runtime seam (idempotent)."""
     from repro.core.complexity import run_trial
+    from repro.core.traffic import run_traffic_trial
     from repro.runtime.chunkexec import register_chunk_kernel
 
     register_chunk_kernel(run_trial, compile_run_trial_chunk)
+    register_chunk_kernel(run_traffic_trial, compile_traffic_chunk)
 
 
 _register_builtin_kernels()

@@ -33,11 +33,18 @@ Extension seam: :func:`register_router_kernel` mirrors
 :func:`~repro.kernels.complexity.register_model_kernel` — register a
 compiler per *exact* router type; unregistered routers (and declined
 compiles) keep the per-trial routing loop inside the chunk kernel.
+
+The engines are compiled per workload but **not** per pair: every
+``_route_block`` takes per-row ``sources`` / ``targets`` arrays, so one
+engine routes many commodities of a demand matrix in the same lockstep
+sweep (:meth:`route_pairs` — what :mod:`repro.kernels.traffic` batches
+the commodity loop through), while :meth:`route_rows` keeps the classic
+fixed-pair entry point by broadcasting the workload's pair.
 """
 
 from __future__ import annotations
 
-from collections.abc import Callable
+from collections.abc import Callable, Sequence
 
 import numpy as np
 
@@ -46,16 +53,33 @@ from repro.kernels.bfs import BLOCK_BYTES
 from repro.kernels.topology import EdgeIndex
 
 __all__ = [
+    "PairRoutingUnsupported",
+    "pair_router_kernel_for",
     "register_router_kernel",
+    "register_router_pair_kernel",
     "router_kernel_for",
     "routing_incidence",
 ]
 
-#: Exact router type -> kernel compiler.
+#: Exact router type -> kernel compiler (fixed-pair workloads).
 _ROUTER_KERNELS: dict[type, Callable] = {}
+
+#: Exact router type -> pair-kernel compiler (demand-matrix workloads).
+_PAIR_KERNELS: dict[type, Callable] = {}
 
 #: Row status codes shared by the engines.
 _ACTIVE, _SUCCESS, _BUDGET, _FAIL = 0, 1, 2, 3
+
+
+class PairRoutingUnsupported(Exception):
+    """A pair kernel cannot route one of the requested pairs.
+
+    Raised by :meth:`route_pairs` implementations *before* any probe
+    accounting happens (e.g. the waypoint engine finds no geodesic for
+    a pair).  Callers catch it and drop the whole batch to the
+    per-trial loop, where the same condition surfaces through the
+    unchanged per-trial error path with per-spec attribution.
+    """
 
 
 def register_router_kernel(router_type: type, compiler: Callable) -> None:
@@ -93,6 +117,38 @@ def router_kernel_for(
     if budget is not None and budget < 1:
         return None
     return compiler(router, index, source_code, target_code, budget)
+
+
+def register_router_pair_kernel(
+    router_type: type, compiler: Callable
+) -> None:
+    """Register the per-row-pair counterpart of a router type.
+
+    ``compiler(router, index, budget)`` must return an object with
+    ``route_pairs(masks, sources, targets) -> list[RoutingResult]`` —
+    row ``i`` routed from ``sources[i]`` to ``targets[i]`` (vertex
+    codes) over ``masks[i]``, field-identical to ``router.route(
+    model_i, verts[sources[i]], verts[targets[i]], budget=budget)`` —
+    or ``None`` to decline.  ``route_pairs`` may raise
+    :class:`PairRoutingUnsupported` for a pair it cannot replay; the
+    caller then falls back to the per-trial loop for the whole batch.
+    """
+    _PAIR_KERNELS[router_type] = compiler
+
+
+def pair_router_kernel_for(router, index: EdgeIndex, budget: int | None):
+    """Compile the per-row-pair routing kernel for one workload, or None.
+
+    The demand-matrix analogue of :func:`router_kernel_for`: matched by
+    exact router type, declining for unregistered routers and for
+    budgets the per-trial oracle would reject.
+    """
+    compiler = _PAIR_KERNELS.get(type(router))
+    if compiler is None:
+        return None
+    if budget is not None and budget < 1:
+        return None
+    return compiler(router, index, budget)
 
 
 def routing_incidence(
@@ -163,11 +219,18 @@ def _block_rows(num_vertices: int, num_edges: int) -> int:
 
 
 class _EngineBase:
-    """Shared plumbing: blocking, result assembly, trivial pairs."""
+    """Shared plumbing: blocking, result assembly, trivial pairs.
+
+    Engines carry an optional *fixed* pair (``source_code`` /
+    ``target_code`` — the workload's probe pair, ``None`` for
+    demand-matrix engines) but every ``_route_block`` routes per-row
+    ``src`` / ``tgt`` arrays; :meth:`route_rows` broadcasts the fixed
+    pair, :meth:`route_pairs` passes the commodities straight through.
+    """
 
     def __init__(
-        self, router, index: EdgeIndex, source_code: int, target_code: int,
-        budget: int | None,
+        self, router, index: EdgeIndex, source_code: int | None,
+        target_code: int | None, budget: int | None,
     ) -> None:
         self._router = router
         self._index = index
@@ -177,29 +240,80 @@ class _EngineBase:
 
     def route_rows(self, masks: np.ndarray) -> list[RoutingResult]:
         rows = masks.shape[0]
-        if self._source_code == self._target_code:
+        src_code, tgt_code = self._source_code, self._target_code
+        if src_code is None or tgt_code is None:
+            raise ValueError(
+                "engine compiled without a fixed pair; use route_pairs"
+            )
+        if src_code == tgt_code:
             # Every router short-circuits `source == target` to the
             # single-vertex path before probing anything.
-            return [self._success(0, [self._source_code])] * rows
+            return [self._success(0, [src_code], src_code, tgt_code)] * rows
+        src = np.full(rows, src_code, dtype=np.int64)
+        tgt = np.full(rows, tgt_code, dtype=np.int64)
+        return self._route_blocked(masks, src, tgt)
+
+    def route_pairs(
+        self,
+        masks: np.ndarray,
+        sources: Sequence[int],
+        targets: Sequence[int],
+    ) -> list[RoutingResult]:
+        """Route row ``i`` from ``sources[i]`` to ``targets[i]``.
+
+        The demand-matrix entry point: many lockstep pairs per sweep.
+        Trivial ``source == target`` rows short-circuit exactly like
+        the per-trial routers (single-vertex path, zero probes).
+        """
+        src = np.asarray(sources, dtype=np.int64)
+        tgt = np.asarray(targets, dtype=np.int64)
+        rows = masks.shape[0]
+        if src.shape != (rows,) or tgt.shape != (rows,):
+            raise ValueError("sources/targets must carry one code per row")
+        trivial = src == tgt
+        if not trivial.any():
+            return self._route_blocked(masks, src, tgt)
+        out: list[RoutingResult | None] = [None] * rows
+        for row in np.nonzero(trivial)[0].tolist():
+            code = int(src[row])
+            out[row] = self._success(0, [code], code, code)
+        keep = np.nonzero(~trivial)[0]
+        if keep.size:
+            routed = self._route_blocked(masks[keep], src[keep], tgt[keep])
+            for row, result in zip(keep.tolist(), routed):
+                out[row] = result
+        return out  # type: ignore[return-value]
+
+    def _route_blocked(
+        self, masks: np.ndarray, src: np.ndarray, tgt: np.ndarray
+    ) -> list[RoutingResult]:
+        rows = masks.shape[0]
         out: list[RoutingResult] = []
         block = _block_rows(self._index.num_vertices, self._index.num_edges)
         for lo in range(0, rows, block):
-            out.extend(self._route_block(masks[lo : min(lo + block, rows)]))
+            hi = min(lo + block, rows)
+            out.extend(
+                self._route_block(masks[lo:hi], src[lo:hi], tgt[lo:hi])
+            )
         return out
 
-    def _success(self, queries: int, codes: list[int]) -> RoutingResult:
+    def _success(
+        self, queries: int, codes: list[int], src: int, tgt: int
+    ) -> RoutingResult:
         verts = self._index.verts
         path = [verts[c] for c in erase_loops(codes)]
         return RoutingResult(
-            source=verts[self._source_code],
-            target=verts[self._target_code],
+            source=verts[src],
+            target=verts[tgt],
             success=True,
             queries=queries,
             path=path,
             router=self._router.name,
         )
 
-    def _failure(self, queries: int, budget_hit: bool) -> RoutingResult:
+    def _failure(
+        self, queries: int, budget_hit: bool, src: int, tgt: int
+    ) -> RoutingResult:
         verts = self._index.verts
         if budget_hit:
             reason = FailureReason.BUDGET
@@ -208,8 +322,8 @@ class _EngineBase:
         else:
             reason = FailureReason.GAVE_UP
         return RoutingResult(
-            source=verts[self._source_code],
-            target=verts[self._target_code],
+            source=verts[src],
+            target=verts[tgt],
             success=False,
             queries=queries,
             failure=reason,
@@ -234,10 +348,11 @@ class _LocalBFSEngine(_EngineBase):
     discovery or exclusively on the budget raise.
     """
 
-    def _route_block(self, masks: np.ndarray) -> list[RoutingResult]:
+    def _route_block(
+        self, masks: np.ndarray, src: np.ndarray, tgt: np.ndarray
+    ) -> list[RoutingResult]:
         index = self._index
         num_vertices, num_edges = index.num_vertices, index.num_edges
-        src, tgt = self._source_code, self._target_code
         budget = self._budget
         rows = masks.shape[0]
         inc_nbr, inc_eid, inc_valid = routing_incidence(index)
@@ -246,7 +361,8 @@ class _LocalBFSEngine(_EngineBase):
         mask_ext = self._mask_ext(masks)
         probed = np.zeros((rows, num_edges + 1), dtype=bool)
         intree = np.zeros((rows, num_vertices + 1), dtype=bool)
-        intree[:, src] = True
+        rowids = np.arange(rows, dtype=np.int64)
+        intree[rowids, src] = True
         parent = np.full((rows, num_vertices + 1), -1, dtype=np.int64)
         queue = np.zeros((rows, max(1, num_vertices)), dtype=np.int64)
         queue[:, 0] = src
@@ -254,7 +370,7 @@ class _LocalBFSEngine(_EngineBase):
         tail = np.ones(rows, dtype=np.int64)
         queries = np.zeros(rows, dtype=np.int64)
         status = np.zeros(rows, dtype=np.int8)
-        act = np.arange(rows, dtype=np.int64)
+        act = rowids
         while act.size:
             empty = head[act] >= tail[act]
             if empty.any():
@@ -271,7 +387,7 @@ class _LocalBFSEngine(_EngineBase):
             newp = inc_valid[x] & ~probed[arow, eid]
             jraise = _budget_raise_slot(newp, queries[act], budget, width)
             add = open_ & ~intree[arow, nbr]
-            disc = add & (nbr == tgt)
+            disc = add & (nbr == tgt[act][:, None])
             any_disc = disc.any(axis=1)
             jdisc = np.where(any_disc, disc.argmax(axis=1), width)
             raised = (jraise < width) & (jraise <= jdisc)
@@ -284,7 +400,7 @@ class _LocalBFSEngine(_EngineBase):
             intree[arow, nbr] |= addeff
             r, c = np.nonzero(addeff)
             parent[act[r], nbr[r, c]] = x[r]
-            enq = addeff & (nbr != tgt)
+            enq = addeff & (nbr != tgt[act][:, None])
             pos = tail[act, None] + np.cumsum(enq, axis=1) - enq
             r, c = np.nonzero(enq)
             queue[act[r], pos[r, c]] = nbr[r, c]
@@ -296,10 +412,11 @@ class _LocalBFSEngine(_EngineBase):
         out = []
         for row in range(rows):
             q = int(queries[row])
+            s, t = int(src[row]), int(tgt[row])
             if status[row] == _SUCCESS:
-                out.append(self._success(q, _chain(parent[row], tgt)))
+                out.append(self._success(q, _chain(parent[row], t), s, t))
             else:
-                out.append(self._failure(q, status[row] == _BUDGET))
+                out.append(self._failure(q, status[row] == _BUDGET, s, t))
         return out
 
 
@@ -312,10 +429,11 @@ class _BidirectionalEngine(_EngineBase):
     other tree stops the row inclusively.
     """
 
-    def _route_block(self, masks: np.ndarray) -> list[RoutingResult]:
+    def _route_block(
+        self, masks: np.ndarray, src: np.ndarray, tgt: np.ndarray
+    ) -> list[RoutingResult]:
         index = self._index
         num_vertices, num_edges = index.num_vertices, index.num_edges
-        src, tgt = self._source_code, self._target_code
         budget = self._budget
         rows = masks.shape[0]
         inc_nbr, inc_eid, inc_valid = routing_incidence(index)
@@ -324,6 +442,7 @@ class _BidirectionalEngine(_EngineBase):
         mask_ext = self._mask_ext(masks)
         probed = np.zeros((rows, num_edges + 1), dtype=bool)
         shape_v = (rows, num_vertices + 1)
+        rowids = np.arange(rows, dtype=np.int64)
         intree = [np.zeros(shape_v, dtype=bool) for _ in range(2)]
         parent = [np.full(shape_v, -1, dtype=np.int64) for _ in range(2)]
         queue = [
@@ -333,7 +452,7 @@ class _BidirectionalEngine(_EngineBase):
         head = [np.zeros(rows, dtype=np.int64) for _ in range(2)]
         tail = [np.ones(rows, dtype=np.int64) for _ in range(2)]
         for side, root in ((0, src), (1, tgt)):
-            intree[side][:, root] = True
+            intree[side][rowids, root] = True
             queue[side][:, 0] = root
         queries = np.zeros(rows, dtype=np.int64)
         status = np.zeros(rows, dtype=np.int8)
@@ -399,13 +518,14 @@ class _BidirectionalEngine(_EngineBase):
         out = []
         for row in range(rows):
             q = int(queries[row])
+            s, t = int(src[row]), int(tgt[row])
             if status[row] == _SUCCESS:
                 left = _chain(parent[0][row], int(meet_at[row]))
                 right = _chain(parent[1][row], int(meet_at[row]))
                 right.reverse()
-                out.append(self._success(q, left + right[1:]))
+                out.append(self._success(q, left + right[1:], s, t))
             else:
-                out.append(self._failure(q, status[row] == _BUDGET))
+                out.append(self._failure(q, status[row] == _BUDGET, s, t))
         return out
 
 
@@ -418,23 +538,77 @@ class _WaypointEngine(_EngineBase):
     after the increment, before the layer is probed — the per-trial
     order.  Segment backtracking and path stitching stay per-trial
     Python on the (short) discovered segments.
+
+    Waypoint positions are per *pair*: the fixed-pair compile precomputes
+    one vector; the pair-mode engine builds vectors lazily per distinct
+    pair (cached for the engine's lifetime) and stacks them into a
+    per-row matrix — a zero-copy broadcast when a block shares one pair.
     """
 
     def __init__(
         self, router, index, source_code, target_code, budget,
-        wp_pos: np.ndarray,
+        wp_pos: np.ndarray | None = None,
     ) -> None:
         super().__init__(router, index, source_code, target_code, budget)
         self._wp_pos = wp_pos
+        self._wp_cache: dict[tuple[int, int], np.ndarray] = {}
+        if wp_pos is not None:
+            self._wp_cache[(source_code, target_code)] = wp_pos
 
-    def _route_block(self, masks: np.ndarray) -> list[RoutingResult]:
+    def _wp_vector(self, src: int, tgt: int) -> np.ndarray:
+        """The waypoint-position vector of one pair, built on demand.
+
+        Raises :class:`PairRoutingUnsupported` when the base graph has
+        no geodesic for the pair — the per-trial router would raise the
+        same condition on every trial, so the caller's per-trial
+        fallback reproduces it with per-spec attribution.
+        """
+        key = (src, tgt)
+        vec = self._wp_cache.get(key)
+        if vec is not None:
+            return vec
+        index = self._index
+        verts = index.verts
+        try:
+            waypoints = index.graph.shortest_path(verts[src], verts[tgt])
+        except Exception as exc:
+            raise PairRoutingUnsupported(
+                f"no geodesic for pair ({verts[src]!r}, {verts[tgt]!r})"
+            ) from exc
+        vec = np.full(index.num_vertices + 1, -1, dtype=np.int64)
+        for j, w in enumerate(waypoints):
+            code = index.code.get(w)
+            if code is None:  # pragma: no cover - defensive
+                raise PairRoutingUnsupported(
+                    f"waypoint {w!r} is not an indexed vertex"
+                )
+            vec[code] = j
+        self._wp_cache[key] = vec
+        return vec
+
+    def _wp_matrix(self, src: np.ndarray, tgt: np.ndarray) -> np.ndarray:
+        rows = src.shape[0]
+        vec0 = self._wp_vector(int(src[0]), int(tgt[0]))
+        if bool((src == src[0]).all()) and bool((tgt == tgt[0]).all()):
+            # One shared pair (the classic fixed-pair workload): a
+            # broadcast view, no per-row copy.
+            return np.broadcast_to(vec0, (rows, vec0.shape[0]))
+        return np.stack(
+            [
+                self._wp_vector(int(s), int(t))
+                for s, t in zip(src.tolist(), tgt.tolist())
+            ]
+        )
+
+    def _route_block(
+        self, masks: np.ndarray, src: np.ndarray, tgt: np.ndarray
+    ) -> list[RoutingResult]:
         index = self._index
         num_vertices, num_edges = index.num_vertices, index.num_edges
-        src, tgt = self._source_code, self._target_code
         budget = self._budget
         cap = self._router.max_radius
-        wp_pos = self._wp_pos
         rows = masks.shape[0]
+        wp_mat = self._wp_matrix(src, tgt)
         inc_nbr, inc_eid, inc_valid = routing_incidence(index)
         width = inc_nbr.shape[1]
         slots = np.arange(width, dtype=np.int64)
@@ -442,7 +616,8 @@ class _WaypointEngine(_EngineBase):
         probed = np.zeros((rows, num_edges + 1), dtype=bool)
         stamp = np.zeros((rows, num_vertices + 1), dtype=np.int64)
         seg = np.ones(rows, dtype=np.int64)
-        stamp[:, src] = 1
+        rowids = np.arange(rows, dtype=np.int64)
+        stamp[rowids, src] = 1
         parent = np.full((rows, num_vertices + 1), -1, dtype=np.int64)
         queue = np.zeros((rows, max(1, num_vertices)), dtype=np.int64)
         queue[:, 0] = src
@@ -453,8 +628,8 @@ class _WaypointEngine(_EngineBase):
         position = np.zeros(rows, dtype=np.int64)
         queries = np.zeros(rows, dtype=np.int64)
         status = np.zeros(rows, dtype=np.int8)
-        pathbuf: list[list[int]] = [[src] for _ in range(rows)]
-        act = np.arange(rows, dtype=np.int64)
+        pathbuf: list[list[int]] = [[int(s)] for s in src]
+        act = rowids
         while act.size:
             empty = head[act] >= tail[act]
             if empty.any():
@@ -483,7 +658,7 @@ class _WaypointEngine(_EngineBase):
             newp = fresh & ~probed[arow, eid]
             jraise = _budget_raise_slot(newp, queries[act], budget, width)
             open_f = fresh & mask_ext[arow, eid]
-            disc = open_f & (wp_pos[nbr] > position[act, None])
+            disc = open_f & (wp_mat[arow, nbr] > position[act, None])
             any_disc = disc.any(axis=1)
             jdisc = np.where(any_disc, disc.argmax(axis=1), width)
             raised = (jraise < width) & (jraise <= jdisc)
@@ -510,8 +685,8 @@ class _WaypointEngine(_EngineBase):
                     y = int(nbr[a, jdisc[a]])
                     segment = _chain(parent[row], y)
                     pathbuf[row].extend(segment[1:])
-                    position[row] = wp_pos[y]
-                    if y == tgt:
+                    position[row] = wp_mat[row, y]
+                    if y == int(tgt[row]):
                         status[row] = _SUCCESS
                     else:
                         seg[row] += 1
@@ -526,10 +701,11 @@ class _WaypointEngine(_EngineBase):
         out = []
         for row in range(rows):
             q = int(queries[row])
+            s, t = int(src[row]), int(tgt[row])
             if status[row] == _SUCCESS:
-                out.append(self._success(q, pathbuf[row]))
+                out.append(self._success(q, pathbuf[row], s, t))
             else:
-                out.append(self._failure(q, status[row] == _BUDGET))
+                out.append(self._failure(q, status[row] == _BUDGET, s, t))
         return out
 
 
@@ -576,6 +752,21 @@ def _waypoint_kernel(router, index, source_code, target_code, budget):
     )
 
 
+def _local_bfs_pair_kernel(router, index, budget):
+    return _LocalBFSEngine(router, index, None, None, budget)
+
+
+def _bidirectional_pair_kernel(router, index, budget):
+    return _BidirectionalEngine(router, index, None, None, budget)
+
+
+def _waypoint_pair_kernel(router, index, budget):
+    # Geodesics are per pair and unknown until the demands draw, so the
+    # engine builds waypoint vectors lazily (raising
+    # PairRoutingUnsupported when a pair has none).
+    return _WaypointEngine(router, index, None, None, budget, wp_pos=None)
+
+
 def _register_builtin_router_kernels() -> None:
     from repro.routers.bfs import BidirectionalBFSRouter, LocalBFSRouter
     from repro.routers.waypoint import (
@@ -591,6 +782,15 @@ def _register_builtin_router_kernels() -> None:
     register_router_kernel(WaypointRouter, _waypoint_kernel)
     register_router_kernel(HypercubeWaypointRouter, _waypoint_kernel)
     register_router_kernel(MeshWaypointRouter, _waypoint_kernel)
+    register_router_pair_kernel(LocalBFSRouter, _local_bfs_pair_kernel)
+    register_router_pair_kernel(
+        BidirectionalBFSRouter, _bidirectional_pair_kernel
+    )
+    register_router_pair_kernel(WaypointRouter, _waypoint_pair_kernel)
+    register_router_pair_kernel(
+        HypercubeWaypointRouter, _waypoint_pair_kernel
+    )
+    register_router_pair_kernel(MeshWaypointRouter, _waypoint_pair_kernel)
 
 
 _register_builtin_router_kernels()

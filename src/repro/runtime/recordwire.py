@@ -16,10 +16,18 @@ Both ends derive the codec from the *workload* (``specs[i]`` names it;
 content-addressed ids guarantee the two sides hold the same graph, so
 ``graph.vertices()`` order is a shared vertex numbering that never
 travels on the wire).  Chunks that do not fit the packed shape — a
-non-``run_trial`` workload, a record carrying ``extra`` data, a
-workload either side cannot resolve — make :func:`pack_records` return
-``None`` and the node falls back to the pickle wire for that chunk;
-``$REPRO_RECORD_WIRE=pickle`` forces the fallback globally.
+workload that is neither ``run_trial`` nor ``run_traffic_trial``, a
+record carrying ``extra`` data, a workload either side cannot resolve
+— make :func:`pack_records` return ``None`` and the node falls back to
+the pickle wire for that chunk; ``$REPRO_RECORD_WIRE=pickle`` forces
+the fallback globally.
+
+``records/2`` extends ``records/1`` with demand-matrix trials: a
+traffic record packs its per-commodity query counts and delivery mask
+into ragged flat columns (``t_comm`` holds each record's commodity
+count, ``-1`` marking pair records) plus per-record congestion columns
+— exactly the fields of :class:`~repro.core.traffic.TrafficResult`, so
+the reassembled records stay identical to the pickle wire's.
 """
 
 from __future__ import annotations
@@ -38,7 +46,7 @@ from repro.runtime.workload import (
 __all__ = ["PACKED_FORMAT", "pack_records", "unpack_records"]
 
 #: Format tag carried in every packed body; bump on layout changes.
-PACKED_FORMAT = "records/1"
+PACKED_FORMAT = "records/2"
 
 #: ``FailureReason`` <-> wire code (0 is "no failure").
 _FAILURE_CODES = {None: 0, "budget": 1, "exhausted": 2, "gave_up": 3}
@@ -83,6 +91,14 @@ def _is_run_trial(workload: Workload) -> bool:
     )
 
 
+def _is_run_traffic(workload: Workload) -> bool:
+    fn = workload.fn
+    return (
+        getattr(fn, "__module__", None) == "repro.core.traffic"
+        and getattr(fn, "__qualname__", None) == "run_traffic_trial"
+    )
+
+
 def pack_records(
     specs: Sequence[TrialSpec],
     results: Sequence[TrialResult],
@@ -104,6 +120,7 @@ def pack_records(
 
         from repro.core.complexity import TrialRecord
         from repro.core.result import RoutingResult
+        from repro.core.traffic import TrafficResult
 
         if len(specs) != len(results):
             return None
@@ -117,16 +134,33 @@ def pack_records(
         failure = np.zeros(n, dtype=np.int8)
         path_len = np.full(n, -1, dtype=np.int64)
         flat_path: list[int] = []
+        t_comm = np.full(n, -1, dtype=np.int64)
+        t_max_load = np.zeros(n, dtype=np.int64)
+        t_mean_load = np.zeros(n, dtype=np.float64)
+        t_queries: list[int] = []
+        t_delivered: list[bool] = []
         for i, (spec, result) in enumerate(zip(specs, results)):
             record = result.value
             if type(record) is not TrialRecord or result.key != spec.key:
                 return None
             workload = _live_workload(spec, resolve)
-            if workload is None or not _is_run_trial(workload):
+            if workload is None:
                 return None
             trial[i] = record.trial
             seed[i] = record.seed
             connected[i] = record.connected
+            if _is_run_traffic(workload):
+                traffic = record.traffic
+                if type(traffic) is not TrafficResult or record.result is not None:
+                    return None
+                t_comm[i] = traffic.commodities
+                t_max_load[i] = traffic.max_link_load
+                t_mean_load[i] = traffic.mean_link_load
+                t_queries.extend(traffic.queries)
+                t_delivered.extend(traffic.delivered_mask)
+                continue
+            if not _is_run_trial(workload) or record.traffic is not None:
+                return None
             routing = record.result
             if routing is None:
                 continue
@@ -161,6 +195,11 @@ def pack_records(
             "failure": failure,
             "path_len": path_len,
             "path": np.asarray(flat_path, dtype=np.int64),
+            "t_comm": t_comm,
+            "t_max_load": t_max_load,
+            "t_mean_load": t_mean_load,
+            "t_queries": np.asarray(t_queries, dtype=np.int64),
+            "t_delivered": np.asarray(t_delivered, dtype=bool),
         }
     except Exception:
         return None
@@ -181,6 +220,7 @@ def unpack_records(
     """
     from repro.core.complexity import TrialRecord
     from repro.core.result import FailureReason, RoutingResult
+    from repro.core.traffic import TrafficResult
 
     if packed.get("format") != PACKED_FORMAT:
         raise ValueError(f"unknown packed format {packed.get('format')!r}")
@@ -194,8 +234,13 @@ def unpack_records(
             packed["queries"],
             packed["failure"],
             packed["path_len"],
+            packed["t_comm"],
+            packed["t_max_load"],
+            packed["t_mean_load"],
         )
         flat_path = packed["path"]
+        t_queries = packed["t_queries"]
+        t_delivered = packed["t_delivered"]
     except KeyError as missing:
         raise ValueError(f"packed body is missing column {missing}")
     n = len(specs)
@@ -203,20 +248,52 @@ def unpack_records(
         raise ValueError(
             f"packed columns do not cover the {n}-spec chunk"
         )
+    if len(t_queries) != len(t_delivered):
+        raise ValueError("traffic columns disagree on commodity count")
     reasons = {
         code: FailureReason(reason)
         for reason, code in _FAILURE_CODES.items()
         if reason is not None
     }
     (trial, seed, connected, attempted, success, queries, failure,
-     path_len) = columns
+     path_len, t_comm, t_max_load, t_mean_load) = columns
     results = []
     cursor = 0
+    t_cursor = 0
     for i, spec in enumerate(specs):
         workload = _live_workload(spec, resolve)
-        if workload is None or not _is_run_trial(workload):
+        if workload is None or not (
+            _is_run_trial(workload) or _is_run_traffic(workload)
+        ):
             raise ValueError(
                 f"spec {spec.key!r} does not name a packable workload"
+            )
+        traffic = None
+        if t_comm[i] >= 0:
+            if not _is_run_traffic(workload) or attempted[i]:
+                raise ValueError(
+                    f"spec {spec.key!r} cannot carry a traffic record"
+                )
+            k = int(t_comm[i])
+            stop = t_cursor + k
+            if stop > len(t_queries):
+                raise ValueError(
+                    "traffic columns are shorter than declared"
+                )
+            mask = tuple(bool(d) for d in t_delivered[t_cursor:stop])
+            traffic = TrafficResult(
+                commodities=k,
+                delivered=sum(mask),
+                queries=tuple(int(q) for q in t_queries[t_cursor:stop]),
+                delivered_mask=mask,
+                max_link_load=int(t_max_load[i]),
+                mean_link_load=float(t_mean_load[i]),
+            )
+            t_cursor = stop
+        elif _is_run_traffic(workload):
+            raise ValueError(
+                f"spec {spec.key!r} names a traffic workload but the "
+                "record carries none"
             )
         routing = None
         if attempted[i]:
@@ -245,8 +322,11 @@ def unpack_records(
             seed=int(seed[i]),
             connected=bool(connected[i]),
             result=routing,
+            traffic=traffic,
         )
         results.append(TrialResult(key=spec.key, value=record))
     if cursor != len(flat_path):
         raise ValueError("path column is longer than declared")
+    if t_cursor != len(t_queries):
+        raise ValueError("traffic columns are longer than declared")
     return results

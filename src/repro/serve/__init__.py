@@ -36,11 +36,13 @@ in-process for tests and benchmarks.
 """
 
 from repro.serve.cache import (
+    CACHE_CAP_BYTES_ENV,
     CACHE_CAP_ENV,
     CACHE_DIR_ENV,
     ResultCache,
     default_cache_dir,
     resolve_cache_cap,
+    resolve_cache_cap_bytes,
     resolve_cache_dir,
 )
 from repro.serve.cached_runner import CachedRunner
@@ -54,6 +56,7 @@ from repro.serve.http import ExperimentService
 from repro.serve.jobs import Job, JobManager
 
 __all__ = [
+    "CACHE_CAP_BYTES_ENV",
     "CACHE_CAP_ENV",
     "CACHE_DIR_ENV",
     "CachedRunner",
@@ -66,6 +69,7 @@ __all__ = [
     "job_key",
     "point_digest",
     "resolve_cache_cap",
+    "resolve_cache_cap_bytes",
     "resolve_cache_dir",
     "sweep_digest",
 ]

@@ -14,11 +14,12 @@ a ``repair``) and the caller recomputes and rewrites it.  Writes go
 through a temp file + :func:`os.replace`, so a crash mid-write leaves
 either the old entry or none, never a torn one.
 
-The cap is an entry-count LRU: reads touch their entry's mtime, and a
-store that pushes the count past ``cap`` evicts the stalest entries.
-``cap=0`` means unbounded (mirroring the node-side workload cache).
-All counters are thread-safe; the store itself is safe for concurrent
-readers with one writer (the service's job executor).
+The cap is an LRU over mtimes: reads touch their entry's mtime, and a
+store that pushes past either limit — ``cap`` entries, ``cap_bytes``
+total payload on disk — evicts the stalest entries until both hold.
+``0`` means unbounded on either axis (mirroring the node-side workload
+cache).  All counters are thread-safe; the store itself is safe for
+concurrent readers with one writer (the service's job executor).
 """
 
 from __future__ import annotations
@@ -31,11 +32,13 @@ import threading
 from pathlib import Path
 
 __all__ = [
+    "CACHE_CAP_BYTES_ENV",
     "CACHE_CAP_ENV",
     "CACHE_DIR_ENV",
     "ResultCache",
     "default_cache_dir",
     "resolve_cache_cap",
+    "resolve_cache_cap_bytes",
     "resolve_cache_dir",
 ]
 
@@ -44,6 +47,9 @@ CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 
 #: Entry cap when ``--cache-cap`` is not given (0 = unbounded).
 CACHE_CAP_ENV = "REPRO_CACHE_CAP"
+
+#: Byte cap when ``--cache-cap-bytes`` is not given (0 = unbounded).
+CACHE_CAP_BYTES_ENV = "REPRO_CACHE_CAP_BYTES"
 
 _MAGIC = b"RPRC1"
 _CHECKSUM_SIZE = 16
@@ -97,12 +103,45 @@ def resolve_cache_cap(cap=None, *, default: int = 0) -> int:
     return cap
 
 
+def resolve_cache_cap_bytes(cap_bytes=None, *, default: int = 0) -> int:
+    """Resolve the byte cap: argument, else ``$REPRO_CACHE_CAP_BYTES``,
+    else ``default`` (0 = unbounded)."""
+    if cap_bytes is None:
+        raw = os.environ.get(CACHE_CAP_BYTES_ENV, "").strip()
+        if not raw:
+            return default
+        try:
+            cap_bytes = int(raw)
+        except ValueError:
+            raise ValueError(
+                f"${CACHE_CAP_BYTES_ENV} must be an integer, got {raw!r}"
+            ) from None
+        if cap_bytes < 0:
+            raise ValueError(
+                f"${CACHE_CAP_BYTES_ENV} must be >= 0, got {raw!r}"
+            )
+        return cap_bytes
+    if isinstance(cap_bytes, bool) or not isinstance(cap_bytes, int):
+        raise ValueError(
+            f"cache byte cap must be an integer, got {cap_bytes!r}"
+        )
+    if cap_bytes < 0:
+        raise ValueError(f"cache byte cap must be >= 0, got {cap_bytes}")
+    return cap_bytes
+
+
 class ResultCache:
     """Digest-keyed pickle store with checksums, repair and LRU cap."""
 
-    def __init__(self, directory=None, cap: int | None = None) -> None:
+    def __init__(
+        self,
+        directory=None,
+        cap: int | None = None,
+        cap_bytes: int | None = None,
+    ) -> None:
         self.directory = resolve_cache_dir(directory)
         self.cap = resolve_cache_cap(cap)
+        self.cap_bytes = resolve_cache_cap_bytes(cap_bytes)
         self.directory.mkdir(parents=True, exist_ok=True)
         self._lock = threading.Lock()
         self._stats = {
@@ -126,6 +165,16 @@ class ResultCache:
         """The number of entries currently on disk."""
         return len(self._entries())
 
+    def total_bytes(self) -> int:
+        """The bytes the entries currently occupy on disk."""
+        total = 0
+        for path in self._entries():
+            try:
+                total += path.stat().st_size
+            except OSError:
+                pass
+        return total
+
     # -- counters ---------------------------------------------------------
 
     def _count(self, what: str, n: int = 1) -> None:
@@ -138,6 +187,8 @@ class ResultCache:
             snapshot = dict(self._stats)
         snapshot["entries"] = self.entry_count()
         snapshot["cap"] = self.cap
+        snapshot["bytes"] = self.total_bytes()
+        snapshot["cap_bytes"] = self.cap_bytes
         return snapshot
 
     # -- store ------------------------------------------------------------
@@ -217,31 +268,38 @@ class ResultCache:
             self._count("declined")
             return False
         self._count("stores")
-        if self.cap:
+        if self.cap or self.cap_bytes:
             self._evict_over_cap()
         return True
 
     def _evict_over_cap(self) -> None:
-        entries = self._entries()
-        excess = len(entries) - self.cap
-        if excess <= 0:
-            return
-        def _age(path: Path):
+        entries = []
+        for path in self._entries():
             try:
-                return (path.stat().st_mtime, str(path))
+                stat = path.stat()
+                entries.append((stat.st_mtime, str(path), path, stat.st_size))
             except OSError:
-                return (0.0, str(path))
-        for path in sorted(entries, key=_age)[:excess]:
+                entries.append((0.0, str(path), path, 0))
+        entries.sort(key=lambda e: e[:2])
+        count = len(entries)
+        total = sum(size for *_, size in entries)
+        for _, _, path, size in entries:
+            over_count = self.cap and count > self.cap
+            over_bytes = self.cap_bytes and total > self.cap_bytes
+            if not over_count and not over_bytes:
+                return
             try:
                 path.unlink()
-                self._count("evictions")
             except OSError:
-                pass
+                continue
+            self._count("evictions")
+            count -= 1
+            total -= size
 
     def __repr__(self) -> str:
         return (
             f"ResultCache({str(self.directory)!r}, cap={self.cap}, "
-            f"entries={self.entry_count()})"
+            f"cap_bytes={self.cap_bytes}, entries={self.entry_count()})"
         )
 
 

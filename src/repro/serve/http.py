@@ -96,13 +96,15 @@ class ExperimentService:
         chunksize: int | None = None,
         cache_dir=None,
         cache_cap: int | None = None,
+        cache_cap_bytes: int | None = None,
+        job_ttl: float | None = None,
     ) -> None:
         self.host = host
         self.port = port
         self.backend = resolve_backend(backend)
-        self.cache = ResultCache(cache_dir, cache_cap)
+        self.cache = ResultCache(cache_dir, cache_cap, cache_cap_bytes)
         self.runner = make_runner(workers, chunksize, backend=self.backend)
-        self.manager = JobManager(self.runner, self.cache)
+        self.manager = JobManager(self.runner, self.cache, job_ttl=job_ttl)
         self._server: asyncio.base_events.Server | None = None
         self._loop: asyncio.AbstractEventLoop | None = None
         self._thread: threading.Thread | None = None
@@ -286,7 +288,9 @@ class ExperimentService:
         while last["state"] not in FINISHED:
             await asyncio.sleep(STREAM_POLL_SECONDS)
             snapshot = self.manager.snapshot(job_id)
-            if snapshot is None:  # pragma: no cover - jobs are kept
+            if snapshot is None:
+                # Reaped mid-stream (job TTL): end the stream like the
+                # job finished — the watcher already has the last state.
                 break
             changed = {
                 k: v

@@ -23,6 +23,15 @@ in a per-job :class:`~repro.serve.cached_runner.CachedRunner` so the
 per-point counters are the job's own.  Clients streaming a job's
 progress hold no lock on it: disconnecting a watcher never touches
 the computation, which completes and populates the cache regardless.
+
+A ``job_ttl`` (seconds) bounds the ledger: a *finished* job older than
+the TTL is reaped — dropped from the job table — on the next
+submission or query, so a long-lived service does not grow its job
+dict forever.  Reaping forgets only the bookkeeping entry: the sweep
+points live on in the result cache, so resubmitting a reaped job is
+the cheap cached path.  A reaped job id answers 404, exactly like an
+id that never existed; ``job_ttl=None`` (the default) keeps every job
+for the life of the process.
 """
 
 from __future__ import annotations
@@ -117,9 +126,19 @@ class Job:
 class JobManager:
     """Validates, coalesces, schedules and tracks jobs."""
 
-    def __init__(self, runner: TrialRunner, cache: ResultCache) -> None:
+    def __init__(
+        self,
+        runner: TrialRunner,
+        cache: ResultCache,
+        job_ttl: float | None = None,
+        clock=time.time,
+    ) -> None:
+        if job_ttl is not None and job_ttl <= 0:
+            raise ValueError(f"job_ttl must be positive, got {job_ttl!r}")
         self.runner = runner
         self.cache = cache
+        self.job_ttl = job_ttl
+        self._clock = clock
         self.version = code_version()
         self._lock = threading.Lock()
         self._jobs: dict[str, Job] = {}
@@ -194,6 +213,7 @@ class JobManager:
         with self._lock:
             if self._closed:
                 raise JobRequestError("service is shutting down")
+            self._reap_locked()
             inflight = self._inflight.get(key)
             if inflight is not None and inflight.state not in FINISHED:
                 inflight.coalesced += 1
@@ -251,23 +271,48 @@ class JobManager:
             job.finished_at = time.time()
             self._inflight.pop(job.key, None)
 
+    # -- reaping ----------------------------------------------------------
+
+    def _reap_locked(self) -> None:
+        """Drop finished jobs past the TTL (caller holds the lock).
+
+        Only terminal states age out — a queued or running job is
+        always reachable, however old its submission.
+        """
+        if self.job_ttl is None:
+            return
+        cutoff = self._clock() - self.job_ttl
+        stale = [
+            job_id
+            for job_id, job in self._jobs.items()
+            if job.state in FINISHED
+            and job.finished_at is not None
+            and job.finished_at < cutoff
+        ]
+        for job_id in stale:
+            del self._jobs[job_id]
+
     # -- queries ----------------------------------------------------------
 
     def get(self, job_id: str) -> Job | None:
         with self._lock:
+            self._reap_locked()
             return self._jobs.get(job_id)
 
     def snapshot(self, job_id: str) -> dict | None:
         with self._lock:
+            self._reap_locked()
             job = self._jobs.get(job_id)
             return None if job is None else job.snapshot()
 
     def jobs(self) -> list[dict]:
         with self._lock:
+            self._reap_locked()
             return [job.snapshot() for job in self._jobs.values()]
 
     def counts(self) -> dict:
         with self._lock:
+            self._reap_locked()
             states = [job.state for job in self._jobs.values()]
         return {
             "total": len(states),

@@ -100,6 +100,9 @@ class TestRegistry:
             "E15",
             "E16",
             "E17",
+            "E18",
+            "E19",
+            "E20",
             "A1",
             "A2",
             "A3",

@@ -30,6 +30,9 @@ EXPECTED_COLUMNS = {
     "E15": {"k", "p", "fault_model", "median_frac_probed"},
     "E16": {"n", "spread", "mean_dead_frac", "median_frac_probed"},
     "E17": {"k", "budget", "placement", "median_queries"},
+    "E18": {"graph", "p", "commodities", "routability", "median_max_link_load"},
+    "E19": {"k", "p", "skew", "routability", "median_max_link_load"},
+    "E20": {"k", "p", "fault_model", "routability", "full_delivery_rate"},
     "A1": {"graph", "mode", "verdicts_agree"},
     "A2": {"graph", "router", "success_rate", "mean_queries"},
     "A3": {"n", "router", "vs_local"},
@@ -82,6 +85,9 @@ class TestPhysicalSanity:
             "E8": ["mirror_success_rate"],
             "E11": ["value"],
             "E16": ["mean_dead_frac"],
+            "E18": ["routability", "full_delivery_rate"],
+            "E19": ["routability"],
+            "E20": ["routability", "full_delivery_rate"],
             "A2": ["success_rate"],
         }
         for exp_id, columns in prob_columns.items():

@@ -154,11 +154,16 @@ class TestClusterExperimentParity:
     """Cluster-vs-serial byte parity at the ResultTable level.
 
     E1 exercises ``complexity_specs`` emission; E12 carries the fattest
-    explicit-graph payload in the registry.  ``chunksize=1`` maximises
+    explicit-graph payload in the registry; E18/E19/E20 route demand
+    matrices, so their records cross the wire through the ragged
+    traffic columns of ``records/2`` (and E20 ships the structured
+    fault factories alongside them).  ``chunksize=1`` maximises
     interleaving across the two nodes — the adversarial schedule.
     """
 
-    @pytest.mark.parametrize("experiment_id", ["E1", "E12"])
+    @pytest.mark.parametrize(
+        "experiment_id", ["E1", "E12", "E18", "E19", "E20"]
+    )
     def test_cluster_matches_serial(self, cluster_addresses, experiment_id):
         from repro.experiments.registry import get_experiment
 

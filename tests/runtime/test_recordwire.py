@@ -17,6 +17,12 @@ import pickle
 import pytest
 
 from repro.core.complexity import complexity_specs
+from repro.core.traffic import (
+    FixedTraffic,
+    HotspotTraffic,
+    PermutationTraffic,
+    traffic_specs,
+)
 from repro.graphs.hypercube import Hypercube
 from repro.graphs.mesh import Mesh
 from repro.routers.bfs import BidirectionalBFSRouter, LocalBFSRouter
@@ -151,3 +157,100 @@ def test_record_wire_env(monkeypatch):
     monkeypatch.setenv("REPRO_RECORD_WIRE", "json")
     with pytest.raises(ValueError, match="REPRO_RECORD_WIRE"):
         resolve_record_wire()
+
+
+def _traffic_chunk(demands, *, p=0.7, trials=6, seed=11, budget=None):
+    specs = traffic_specs(
+        Hypercube(4),
+        p,
+        LocalBFSRouter(),
+        demands,
+        trials=trials,
+        seed=seed,
+        budget=budget,
+        key=("twire",),
+    )
+    return specs, execute_specs(specs)
+
+
+class TestTrafficRecords:
+    @pytest.mark.parametrize(
+        "demands,p,budget",
+        [
+            (PermutationTraffic(4), 0.7, None),   # mixed deliveries
+            (PermutationTraffic(4), 0.2, None),   # mostly undelivered
+            (HotspotTraffic(5, 0.8), 0.75, 25),   # budget failures
+            (FixedTraffic(((0, 15),)), 0.8, None),  # one commodity
+        ],
+        ids=["mixed", "undelivered", "budget", "single"],
+    )
+    def test_round_trip_is_identical(self, demands, p, budget):
+        specs, results = _traffic_chunk(demands, p=p, budget=budget)
+        packed = pack_records(specs, results)
+        assert packed is not None
+        assert packed["format"] == "records/2"
+        assert repr(unpack_records(packed, specs)) == repr(results)
+
+    def test_mixed_pair_and_traffic_chunk(self):
+        # One chunk carrying both trial units: ragged traffic columns
+        # must skip the pair records (t_comm == -1) cleanly.
+        s1, r1 = _chunk(LocalBFSRouter(), seed=3, trials=4)
+        s2, r2 = _traffic_chunk(PermutationTraffic(3), seed=5)
+        specs, results = s1 + s2, r1 + r2
+        packed = pack_records(specs, results)
+        assert packed is not None
+        assert repr(unpack_records(packed, specs)) == repr(results)
+
+    def test_traffic_record_with_result_declines(self):
+        specs, results = _traffic_chunk(PermutationTraffic(3), trials=2)
+        donor = _chunk(LocalBFSRouter(), trials=1)[1][0].value
+        record = results[0].value
+        object.__setattr__(record, "result", donor.result)
+        assert pack_records(specs, results) is None
+
+    def test_pair_record_with_traffic_declines(self):
+        specs, results = _chunk(LocalBFSRouter(), trials=2)
+        donor = _traffic_chunk(PermutationTraffic(3), trials=1)[1][0].value
+        record = results[0].value
+        object.__setattr__(record, "traffic", donor.traffic)
+        assert pack_records(specs, results) is None
+
+    def test_unpack_rejects_malformed_traffic_columns(self):
+        specs, results = _traffic_chunk(PermutationTraffic(3), trials=3)
+        packed = pack_records(specs, results)
+        with pytest.raises(ValueError, match="disagree"):
+            unpack_records(
+                {**packed, "t_delivered": packed["t_delivered"][:-1]},
+                specs,
+            )
+        with pytest.raises(ValueError, match="shorter"):
+            unpack_records(
+                {
+                    **packed,
+                    "t_queries": packed["t_queries"][:-1],
+                    "t_delivered": packed["t_delivered"][:-1],
+                },
+                specs,
+            )
+        import numpy as np
+
+        with pytest.raises(ValueError, match="longer"):
+            unpack_records(
+                {
+                    **packed,
+                    "t_queries": np.append(packed["t_queries"], 1),
+                    "t_delivered": np.append(
+                        packed["t_delivered"], True
+                    ),
+                },
+                specs,
+            )
+
+    def test_unpack_rejects_traffic_body_against_pair_specs(self):
+        # Same trial count, but the specs route a single pair: a body
+        # declaring traffic rows for them is a protocol violation.
+        t_specs, t_results = _traffic_chunk(PermutationTraffic(3), trials=3)
+        packed = pack_records(t_specs, t_results)
+        p_specs, _ = _chunk(LocalBFSRouter(), trials=3)
+        with pytest.raises(ValueError):
+            unpack_records(packed, p_specs)

@@ -11,11 +11,13 @@ import os
 import pytest
 
 from repro.serve.cache import (
+    CACHE_CAP_BYTES_ENV,
     CACHE_CAP_ENV,
     CACHE_DIR_ENV,
     ResultCache,
     default_cache_dir,
     resolve_cache_cap,
+    resolve_cache_cap_bytes,
     resolve_cache_dir,
 )
 
@@ -138,6 +140,57 @@ class TestEviction:
         assert cache.entry_count() == 10
 
 
+class TestByteCapEviction:
+    def _fill(self, cache, tmp_path, n=5, payload=1000):
+        digests = [f"{i:02x}" + "e" * 30 for i in range(n)]
+        for i, digest in enumerate(digests):
+            cache.put(digest, ["x" * payload])
+            path = tmp_path / digest[:2] / f"{digest}.rpc"
+            os.utime(path, (1000 + i, 1000 + i))
+        return digests
+
+    def test_byte_cap_evicts_stalest_until_under(self, tmp_path):
+        probe = ResultCache(tmp_path / "probe")
+        probe.put(DIGEST, ["x" * 1000])
+        entry_size = probe.total_bytes()
+
+        cache = ResultCache(tmp_path, cap_bytes=3 * entry_size)
+        digests = self._fill(cache, tmp_path, n=5, payload=1000)
+        cache._evict_over_cap()
+        assert cache.entry_count() == 3
+        assert cache.total_bytes() <= cache.cap_bytes
+        # LRU: the two stalest went, the newest stayed.
+        assert cache.get(digests[0]) is None
+        assert cache.get(digests[1]) is None
+        assert cache.get(digests[-1]) == ["x" * 1000]
+
+    def test_byte_cap_composes_with_entry_cap(self, tmp_path):
+        # Entry cap is the binding constraint here: byte cap alone
+        # would keep 4 entries, the entry cap allows 2.
+        probe = ResultCache(tmp_path / "probe")
+        probe.put(DIGEST, ["x" * 100])
+        entry_size = probe.total_bytes()
+        cache = ResultCache(
+            tmp_path, cap=2, cap_bytes=4 * entry_size
+        )
+        self._fill(cache, tmp_path, n=5, payload=100)
+        cache._evict_over_cap()
+        assert cache.entry_count() == 2
+
+    def test_zero_byte_cap_is_unbounded(self, tmp_path):
+        cache = ResultCache(tmp_path, cap_bytes=0)
+        for i in range(10):
+            cache.put(f"{i:02x}" + "b" * 30, ["x" * 1000])
+        assert cache.entry_count() == 10
+
+    def test_stats_report_bytes(self, tmp_path):
+        cache = ResultCache(tmp_path, cap_bytes=1 << 20)
+        cache.put(DIGEST, [1, 2, 3])
+        stats = cache.stats()
+        assert stats["cap_bytes"] == 1 << 20
+        assert stats["bytes"] == cache.total_bytes() > 0
+
+
 class TestResolvers:
     def test_dir_argument_wins(self, tmp_path, monkeypatch):
         monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path / "env"))
@@ -172,3 +225,22 @@ class TestResolvers:
         monkeypatch.setenv(CACHE_CAP_ENV, bad)
         with pytest.raises(ValueError, match=CACHE_CAP_ENV):
             resolve_cache_cap()
+
+    def test_cap_bytes_argument_and_env(self, monkeypatch):
+        assert resolve_cache_cap_bytes(1 << 20) == 1 << 20
+        assert resolve_cache_cap_bytes(0) == 0
+        monkeypatch.setenv(CACHE_CAP_BYTES_ENV, "4096")
+        assert resolve_cache_cap_bytes() == 4096
+        monkeypatch.delenv(CACHE_CAP_BYTES_ENV)
+        assert resolve_cache_cap_bytes() == 0
+
+    @pytest.mark.parametrize("bad", [-1, 1.5, True, "3"])
+    def test_cap_bytes_argument_validation(self, bad):
+        with pytest.raises(ValueError):
+            resolve_cache_cap_bytes(bad)
+
+    @pytest.mark.parametrize("bad", ["x", "-2", "1.5"])
+    def test_cap_bytes_env_validation(self, monkeypatch, bad):
+        monkeypatch.setenv(CACHE_CAP_BYTES_ENV, bad)
+        with pytest.raises(ValueError, match=CACHE_CAP_BYTES_ENV):
+            resolve_cache_cap_bytes()

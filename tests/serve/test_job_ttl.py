@@ -1,0 +1,146 @@
+"""Job TTL: finished jobs age out of the ledger, the cache does not.
+
+Unit tests drive :class:`~repro.serve.jobs.JobManager` with an
+injectable clock (no sleeping); the end-to-end test runs a real
+service with a short TTL and asserts the reaped job id answers 404
+while a resubmission of the same job is served entirely from cache —
+reaping forgets bookkeeping, never results.
+"""
+
+import time
+
+import pytest
+
+from repro.runtime import SerialRunner
+from repro.serve.cache import ResultCache
+from repro.serve.jobs import Job, JobManager
+from repro.serve.testing import (
+    get_json,
+    request,
+    start_service,
+    submit_job,
+    wait_for_job,
+)
+
+
+class _Clock:
+    """Real time plus a test-controlled offset."""
+
+    def __init__(self) -> None:
+        self.offset = 0.0
+
+    def __call__(self) -> float:
+        return time.time() + self.offset
+
+
+@pytest.fixture
+def manager(tmp_path):
+    clock = _Clock()
+    mgr = JobManager(
+        SerialRunner(),
+        ResultCache(tmp_path),
+        job_ttl=30.0,
+        clock=clock,
+    )
+    yield mgr, clock
+    mgr.close()
+
+
+def _wait_done(mgr, job_id, timeout=60.0):
+    deadline = time.monotonic() + timeout
+    while True:
+        job = mgr.get(job_id)
+        assert job is not None
+        if job.state in ("done", "failed"):
+            return job
+        assert time.monotonic() < deadline, f"job stuck in {job.state}"
+        time.sleep(0.02)
+
+
+class TestManagerReaping:
+    def test_finished_job_reaped_after_ttl(self, manager):
+        mgr, clock = manager
+        job, created = mgr.submit("E1", scale="tiny", seed=3)
+        assert created
+        _wait_done(mgr, job.job_id)
+        assert mgr.snapshot(job.job_id) is not None
+
+        clock.offset = 60.0
+        assert mgr.snapshot(job.job_id) is None
+        assert mgr.get(job.job_id) is None
+        assert mgr.jobs() == []
+        assert mgr.counts()["total"] == 0
+
+    def test_fresh_finished_job_survives(self, manager):
+        mgr, clock = manager
+        job, _ = mgr.submit("E1", scale="tiny", seed=3)
+        _wait_done(mgr, job.job_id)
+        clock.offset = 10.0  # under the 30s TTL
+        assert mgr.snapshot(job.job_id) is not None
+
+    def test_unfinished_jobs_are_never_reaped(self, manager):
+        mgr, clock = manager
+        stuck = Job(
+            job_id="j9999-deadbeef",
+            key="deadbeef",
+            experiment="E1",
+            scale="tiny",
+            seed=0,
+            overrides={},
+            state="running",
+        )
+        with mgr._lock:
+            mgr._jobs[stuck.job_id] = stuck
+        clock.offset = 1e6
+        assert mgr.get(stuck.job_id) is stuck
+
+    def test_no_ttl_keeps_everything(self, tmp_path):
+        mgr = JobManager(SerialRunner(), ResultCache(tmp_path))
+        try:
+            job, _ = mgr.submit("E1", scale="tiny", seed=3)
+            _wait_done(mgr, job.job_id)
+            assert mgr.snapshot(job.job_id) is not None
+        finally:
+            mgr.close()
+
+    @pytest.mark.parametrize("bad", [0, -1.0])
+    def test_nonpositive_ttl_rejected(self, tmp_path, bad):
+        with pytest.raises(ValueError, match="job_ttl"):
+            JobManager(SerialRunner(), ResultCache(tmp_path), job_ttl=bad)
+
+
+class TestServiceTTL:
+    def test_reaped_job_is_404_but_cache_survives(self, tmp_path):
+        service = start_service(
+            backend="serial",
+            cache_dir=tmp_path / "cache",
+            job_ttl=0.2,
+        )
+        try:
+            first = wait_for_job(
+                service, submit_job(service, "E1", seed=3)["job_id"]
+            )
+            assert first["state"] == "done"
+            assert first["trials_executed"] > 0
+
+            deadline = time.monotonic() + 30
+            while True:
+                status, _ = request(
+                    service, "GET", f"/jobs/{first['job_id']}?wait=0"
+                )
+                if status == 404:
+                    break
+                assert time.monotonic() < deadline, "job never reaped"
+                time.sleep(0.05)
+
+            # The listing agrees the ledger is empty...
+            assert get_json(service, "/jobs")["jobs"] == []
+            # ...and the results live on: the resubmission is pure cache.
+            second = wait_for_job(
+                service, submit_job(service, "E1", seed=3)["job_id"]
+            )
+            assert second["state"] == "done"
+            assert second["trials_executed"] == 0
+            assert second["cached"] is True
+        finally:
+            service.stop()
